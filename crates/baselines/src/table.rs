@@ -1,0 +1,120 @@
+//! Comparison-table assembly (the machinery behind the Table III binary).
+
+use crate::NttAccelerator;
+
+/// One cell of the comparison: a value or a dash (unsupported/unpublished).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// A value in the row's unit.
+    Value(f64),
+    /// Not supported or not published ("-" in the paper).
+    Dash,
+}
+
+impl Cell {
+    /// Formats like the paper: 2 decimal places in µs / nJ, or "-".
+    pub fn fmt_us(&self) -> String {
+        match self {
+            Cell::Value(v) => format!("{:.2}", v / 1000.0),
+            Cell::Dash => "-".to_string(),
+        }
+    }
+}
+
+/// A labeled comparison row (one polynomial length, one metric).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Polynomial length.
+    pub n: usize,
+    /// Cells in column order.
+    pub cells: Vec<Cell>,
+}
+
+/// Builds latency rows (ns-valued cells) for the given lengths and models,
+/// with `ours` prepended as the first columns.
+pub fn latency_rows(
+    lengths: &[usize],
+    ours: &[(String, Vec<(usize, f64)>)],
+    models: &[Box<dyn NttAccelerator>],
+) -> Vec<Row> {
+    lengths
+        .iter()
+        .map(|&n| {
+            let mut cells = Vec::new();
+            for (_, points) in ours {
+                cells.push(
+                    points
+                        .iter()
+                        .find(|&&(pn, _)| pn == n)
+                        .map_or(Cell::Dash, |&(_, v)| Cell::Value(v)),
+                );
+            }
+            for m in models {
+                cells.push(m.latency_ns(n).map_or(Cell::Dash, Cell::Value));
+            }
+            Row { n, cells }
+        })
+        .collect()
+}
+
+/// Builds energy rows (nJ-valued cells), same column convention.
+pub fn energy_rows(
+    lengths: &[usize],
+    ours: &[(String, Vec<(usize, f64)>)],
+    models: &[Box<dyn NttAccelerator>],
+) -> Vec<Row> {
+    lengths
+        .iter()
+        .map(|&n| {
+            let mut cells = Vec::new();
+            for (_, points) in ours {
+                cells.push(
+                    points
+                        .iter()
+                        .find(|&&(pn, _)| pn == n)
+                        .map_or(Cell::Dash, |&(_, v)| Cell::Value(v)),
+                );
+            }
+            for m in models {
+                cells.push(m.energy_nj(n).map_or(Cell::Dash, Cell::Value));
+            }
+            Row { n, cells }
+        })
+        .collect()
+}
+
+/// Column headers matching [`latency_rows`]/[`energy_rows`] order.
+pub fn headers(
+    ours: &[(String, Vec<(usize, f64)>)],
+    models: &[Box<dyn NttAccelerator>],
+) -> Vec<String> {
+    ours.iter()
+        .map(|(name, _)| name.clone())
+        .chain(models.iter().map(|m| m.name().to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::all_models;
+
+    #[test]
+    fn rows_align_with_headers() {
+        let ours = vec![("NTT-PIM Nb=2".to_string(), vec![(256usize, 3900.0)])];
+        let models = all_models();
+        let rows = latency_rows(&[256, 2048], &ours, &models);
+        let heads = headers(&ours, &models);
+        assert_eq!(rows[0].cells.len(), heads.len());
+        assert!(matches!(rows[0].cells[0], Cell::Value(v) if v == 3900.0));
+        // N=2048: our column has no point -> dash; MeNTT unsupported -> dash.
+        assert!(matches!(rows[1].cells[0], Cell::Dash));
+        assert!(matches!(rows[1].cells[1], Cell::Dash));
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert_eq!(Cell::Value(3900.0).fmt_us(), "3.90");
+        assert_eq!(Cell::Dash.fmt_us(), "-");
+    }
+}

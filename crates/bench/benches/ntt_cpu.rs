@@ -1,0 +1,75 @@
+//! Criterion benches of the CPU reference NTTs — the measured "x86
+//! software" baseline of Figs. 7–8 / Table III, plus the alternative
+//! dataflows of §II.B, so the choice of iterative Cooley–Tukey for the
+//! baseline is itself justified by data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use modmath::prime::NttField;
+use ntt_ref::plan::NttPlan;
+use std::hint::black_box;
+
+fn plans() -> Vec<(usize, NttPlan)> {
+    [256usize, 1024, 4096]
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                NttPlan::new(NttField::with_bits(n, 31).expect("prime exists")),
+            )
+        })
+        .collect()
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_ntt_forward");
+    for (n, plan) in plans() {
+        let q = plan.modulus();
+        let data: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 5) % q).collect();
+        group.bench_with_input(BenchmarkId::new("iterative_dit", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut v = data.clone();
+                p.forward(black_box(&mut v));
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stockham", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut v = data.clone();
+                ntt_ref::stockham::forward(p, black_box(&mut v));
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pease", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut v = data.clone();
+                ntt_ref::pease::forward(p, black_box(&mut v));
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("four_step", n), &plan, |b, p| {
+            b.iter(|| {
+                let mut v = data.clone();
+                let rows = 1usize << (n.trailing_zeros() / 2);
+                ntt_ref::four_step::forward(p, black_box(&mut v), rows);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_polymul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_polymul_negacyclic");
+    for (n, plan) in plans() {
+        let q = plan.modulus();
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 3) % q).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 7) % q).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |bench, p| {
+            bench.iter(|| ntt_ref::poly::mul_negacyclic(p, black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward, bench_polymul);
+criterion_main!(benches);

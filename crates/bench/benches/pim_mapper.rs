@@ -1,0 +1,73 @@
+//! Criterion benches of the simulator itself: command-stream generation
+//! (mapper), timing (scheduler), and functional execution — simulator
+//! throughput determines how large an experiment grid is practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::layout::PolyLayout;
+use ntt_pim_core::mapper::{map_ntt, MapperOptions, NttParams};
+use ntt_pim_core::sched::schedule;
+use ntt_pim_core::sim::FunctionalSim;
+use std::hint::black_box;
+
+const Q: u32 = 2_013_265_921;
+
+fn setup(n: usize, nb: usize) -> (PimConfig, PolyLayout, NttParams) {
+    let config = PimConfig::hbm2e(nb);
+    let layout = PolyLayout::new(&config, 0, n).unwrap();
+    let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+    (config, layout, NttParams { q: Q, omega })
+}
+
+fn bench_mapper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_mapper");
+    for n in [1024usize, 4096] {
+        let (config, layout, params) = setup(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                map_ntt(
+                    black_box(&config),
+                    &layout,
+                    &params,
+                    &MapperOptions::default(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scheduler");
+    for n in [1024usize, 4096] {
+        let (config, layout, params) = setup(n, 4);
+        let program = map_ntt(&config, &layout, &params, &MapperOptions::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| schedule(black_box(&config), &program).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_functional");
+    group.sample_size(20);
+    for n in [1024usize] {
+        let (config, layout, params) = setup(n, 4);
+        let program = map_ntt(&config, &layout, &params, &MapperOptions::default()).unwrap();
+        let data: Vec<u32> = (0..n as u32).map(|i| i % Q).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = FunctionalSim::new(&config).unwrap();
+                sim.load_words(0, &data);
+                sim.execute(black_box(&program)).unwrap();
+                sim
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapper, bench_scheduler, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench covering the full table/figure regeneration paths
+//! (map + schedule at each experiment grid point), so a regression in any
+//! harness-critical path is caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_pim_bench::simulate_ntt;
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::mapper::MapperOptions;
+use std::hint::black_box;
+
+fn bench_fig7_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_grid");
+    group.sample_size(10);
+    for nb in [2usize, 6] {
+        group.bench_with_input(BenchmarkId::new("nb", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                simulate_ntt(
+                    black_box(&PimConfig::hbm2e(nb)),
+                    4096,
+                    &MapperOptions::default(),
+                )
+                .unwrap()
+                .latency_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_grid");
+    group.sample_size(10);
+    for mhz in [300u32, 1200] {
+        group.bench_with_input(BenchmarkId::new("mhz", mhz), &mhz, |b, &mhz| {
+            b.iter(|| {
+                simulate_ntt(
+                    black_box(&PimConfig::hbm2e(2).with_cu_clock_mhz(mhz)),
+                    4096,
+                    &MapperOptions::default(),
+                )
+                .unwrap()
+                .latency_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7_points, bench_fig8_points);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Per-regime runtime breakdown — the quantitative backing for the
+//! paper's §VI.C/§VI.E explanation: "at larger N, a bigger portion of
+//! runtime is accounted for by inter-row mapping and inter-row mapping
+//! benefits more from pipelining".
+
+use ntt_pim_bench::{print_table, Q};
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::layout::PolyLayout;
+use ntt_pim_core::mapper::{map_ntt, MapperOptions, NttParams};
+use ntt_pim_core::sched::schedule;
+
+fn main() {
+    // --- Regime share vs N at Nb = 2 --------------------------------------
+    let mut rows = Vec::new();
+    for &n in &[256usize, 1024, 4096, 16384] {
+        let config = PimConfig::hbm2e(2);
+        let layout = PolyLayout::new(&config, 0, n).unwrap();
+        let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+        let program = map_ntt(
+            &config,
+            &layout,
+            &NttParams { q: Q, omega },
+            &MapperOptions::default(),
+        )
+        .unwrap();
+        let tl = schedule(&config, &program).unwrap();
+        let phases = tl.phase_breakdown(&program);
+        let total: f64 = tl.end_ps as f64;
+        let share = |key: &str| -> f64 {
+            phases
+                .iter()
+                .filter(|p| p.label.contains(key))
+                .map(|p| (p.end_ps - p.start_ps) as f64)
+                .sum::<f64>()
+                .max(0.0)
+                / total
+                * 100.0
+        };
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.1}%", share("intra-atom")),
+            format!("{:.1}%", share("intra-row")),
+            format!("{:.1}%", share("inter-row")),
+            format!("{:.2}", tl.latency_us()),
+        ]);
+    }
+    print_table(
+        "Runtime share per mapping regime (Nb = 2)",
+        &[
+            "N".into(),
+            "intra-atom".into(),
+            "intra-row".into(),
+            "inter-row".into(),
+            "total (µs)".into(),
+        ],
+        &rows,
+    );
+
+    // --- Stage-by-stage detail for one size -------------------------------
+    println!();
+    let n = 4096;
+    let config = PimConfig::hbm2e(2);
+    let layout = PolyLayout::new(&config, 0, n).unwrap();
+    let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+    let program = map_ntt(
+        &config,
+        &layout,
+        &NttParams { q: Q, omega },
+        &MapperOptions::default(),
+    )
+    .unwrap();
+    let tl = schedule(&config, &program).unwrap();
+    let rows: Vec<Vec<String>> = tl
+        .phase_breakdown(&program)
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                format!("{:.2}", p.span_ns() / 1000.0),
+                p.activations.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Per-stage breakdown, N={n}, Nb=2"),
+        &["phase".into(), "time (µs)".into(), "ACTs".into()],
+        &rows,
+    );
+    println!();
+    println!("The inter-row stages dominate both time and activations at large N;");
+    println!("this is where multiple buffers (pipelining + grouping) pay off, which");
+    println!("is why the Nb gain in Fig. 7 grows with N.");
+}

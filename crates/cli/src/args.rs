@@ -1,0 +1,147 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! Supports `--flag`, `--key value`, and `--key=value` forms plus
+//! positional subcommands — enough for this tool without pulling a parser
+//! crate into the workspace (DESIGN.md limits dependencies).
+
+use crate::CliError;
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus its options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` / `--key=value` options, keyed without the dashes.
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag`s present.
+    pub flags: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::usage`] on a missing subcommand, stray positionals, or
+    /// a dangling `--key` without value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, CliError> {
+        let mut it = raw.into_iter().peekable();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError::usage("missing subcommand; try `ntt-pim help`"))?;
+        if command.starts_with('-') {
+            return Err(CliError::usage(format!(
+                "expected a subcommand, got option {command}"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            let Some(stripped) = tok.strip_prefix("--") else {
+                return Err(CliError::usage(format!("unexpected positional {tok}")));
+            };
+            if let Some((k, v)) = stripped.split_once('=') {
+                options.insert(k.to_string(), v.to_string());
+            } else if it.peek().map_or(false, |nxt| !nxt.starts_with("--")) {
+                options.insert(stripped.to_string(), it.next().expect("peeked"));
+            } else {
+                flags.push(stripped.to_string());
+            }
+        }
+        Ok(Self {
+            command,
+            options,
+            flags,
+        })
+    }
+
+    /// Typed option lookup with default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::usage`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("bad value for --{key}: {v}"))),
+        }
+    }
+
+    /// A comma-separated list option (e.g. `--nb 1,2,4`).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::usage`] when any element is unparsable.
+    pub fn get_list_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse()
+                        .map_err(|_| CliError::usage(format!("bad value in --{key}: {part}")))
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether a bare flag is present.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<ParsedArgs, CliError> {
+        ParsedArgs::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_flags() {
+        let a = parse("run --n 1024 --nb=4 --refresh").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.options.get("n").unwrap(), "1024");
+        assert_eq!(a.options.get("nb").unwrap(), "4");
+        assert!(a.has_flag("refresh"));
+        assert_eq!(a.get_or("n", 0usize).unwrap(), 1024);
+        assert_eq!(a.get_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let a = parse("sweep --nb 1,2,4,6").unwrap();
+        assert_eq!(a.get_list_or("nb", vec![0usize]).unwrap(), vec![1, 2, 4, 6]);
+        assert_eq!(
+            a.get_list_or("lengths", vec![256usize]).unwrap(),
+            vec![256]
+        );
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("--n 4").is_err());
+        assert!(parse("run stray").is_err());
+        let a = parse("run --n x").unwrap();
+        assert!(a.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn negative_like_values_need_equals() {
+        // `--key value` treats a following `--x` as a flag boundary, so
+        // values beginning with dashes use the = form.
+        let a = parse("run --label=--weird").unwrap();
+        assert_eq!(a.options.get("label").unwrap(), "--weird");
+    }
+}

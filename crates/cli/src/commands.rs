@@ -1,0 +1,292 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! tests can assert on it; the binary prints to stdout.
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::device::{NttDirection, PimDevice};
+use ntt_pim_core::layout::PolyLayout;
+use ntt_pim_core::mapper::{map_ntt, MapperOptions, NttParams};
+use ntt_pim_core::sched::schedule;
+use std::fmt::Write as _;
+
+/// Usage text for `help` and errors.
+pub const USAGE: &str = "\
+ntt-pim — row-centric DRAM-PIM NTT simulator (DAC'23 reproduction)
+
+USAGE:
+    ntt-pim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run      simulate one forward NTT and print the report
+    sweep    latency table over polynomial lengths and buffer counts
+    trace    dump the DRAM command trace of one NTT (textual format)
+    verify   functional verification against the software reference
+    polymul  on-device negacyclic polynomial product
+    help     show this message
+
+COMMON OPTIONS:
+    --n <len>        polynomial length, power of two       [default: 1024]
+    --nb <count>     atom buffers incl. primary            [default: 2]
+    --clock <mhz>    CU clock in MHz                       [default: 1200]
+    --q <modulus>    odd prime with 2N | q-1               [default: auto]
+    --refresh        enable tREFI/tRFC refresh modeling
+    --banks <k>      number of banks (sweep/batch)         [default: 1]
+    --nb <a,b,c>     (sweep) list of buffer counts         [default: 1,2,4,6]
+    --lengths <...>  (sweep) list of lengths               [default: 256..8192]
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// [`CliError`] with a usage or runtime classification.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "run" => run(args),
+        "sweep" => sweep(args),
+        "trace" => trace(args),
+        "verify" => verify(args),
+        "polymul" => polymul(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`; try `ntt-pim help`"
+        ))),
+    }
+}
+
+fn config_from(args: &ParsedArgs) -> Result<PimConfig, CliError> {
+    let nb: usize = args.get_or("nb", 2)?;
+    let clock: u32 = args.get_or("clock", 1200)?;
+    let banks: u32 = args.get_or("banks", 1)?;
+    let config = PimConfig::hbm2e(nb)
+        .with_cu_clock_mhz(clock)
+        .with_banks(banks)
+        .with_refresh(args.has_flag("refresh"));
+    config.validate()?;
+    Ok(config)
+}
+
+fn modulus_for(args: &ParsedArgs, n: usize) -> Result<u32, CliError> {
+    match args.options.get("q") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad value for --q: {v}"))),
+        None => Ok(modmath::prime::find_ntt_prime(2 * n as u64, 31)? as u32),
+    }
+}
+
+fn test_poly(n: usize, q: u32) -> Vec<u32> {
+    (0..n as u32).map(|i| i.wrapping_mul(2654435761) % q).collect()
+}
+
+fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    let n: usize = args.get_or("n", 1024)?;
+    let config = config_from(args)?;
+    let q = modulus_for(args, n)?;
+    let mut dev = PimDevice::new(config)?;
+    let mut h = dev.load_polynomial_bitrev(0, &test_poly(n, q), q)?;
+    let rep = dev.ntt_in_place(&mut h, NttDirection::Forward)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "forward NTT  N={n}  q={q}  Nb={}", config.n_bufs);
+    let _ = writeln!(out, "  latency      : {:>12.3} µs", rep.latency_us());
+    let _ = writeln!(out, "  activations  : {:>12}", rep.activations());
+    let _ = writeln!(out, "  refreshes    : {:>12}", rep.timeline.counters.refreshes);
+    let _ = writeln!(out, "  commands     : {:>12}", rep.logical_commands);
+    let _ = writeln!(out, "  C1 / C2      : {:>6} / {}", rep.c1_ops, rep.c2_ops);
+    let _ = writeln!(out, "  energy       : {:>12.3} nJ", rep.energy.total_nj);
+    let _ = writeln!(
+        out,
+        "  energy split : act {:.0}%  col {:.0}%  compute {:.0}%",
+        rep.energy.act_share * 100.0,
+        rep.energy.col_share * 100.0,
+        rep.energy.compute_share * 100.0
+    );
+    Ok(out)
+}
+
+fn sweep(args: &ParsedArgs) -> Result<String, CliError> {
+    let nbs: Vec<usize> = args.get_list_or("nb", vec![1, 2, 4, 6])?;
+    let lengths: Vec<usize> =
+        args.get_list_or("lengths", vec![256, 512, 1024, 2048, 4096, 8192])?;
+    let clock: u32 = args.get_or("clock", 1200)?;
+    let mut out = String::new();
+    let _ = write!(out, "{:>7}", "N");
+    for nb in &nbs {
+        let _ = write!(out, " {:>12}", format!("Nb={nb} (µs)"));
+    }
+    let _ = writeln!(out);
+    for &n in &lengths {
+        let _ = write!(out, "{n:>7}");
+        let q = modulus_for(args, n)?;
+        for &nb in &nbs {
+            if nb == 1 && n > 2048 {
+                let _ = write!(out, " {:>12}", "-");
+                continue;
+            }
+            let config = PimConfig::hbm2e(nb)
+                .with_cu_clock_mhz(clock)
+                .with_refresh(args.has_flag("refresh"));
+            let layout = PolyLayout::new(&config, 0, n)?;
+            let omega = modmath::prime::root_of_unity(n as u64, q as u64)? as u32;
+            let program = map_ntt(
+                &config,
+                &layout,
+                &NttParams { q, omega },
+                &MapperOptions::default(),
+            )?;
+            let tl = schedule(&config, &program)?;
+            let _ = write!(out, " {:>12.2}", tl.latency_us());
+        }
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
+fn trace(args: &ParsedArgs) -> Result<String, CliError> {
+    let n: usize = args.get_or("n", 256)?;
+    let config = config_from(args)?;
+    let q = modulus_for(args, n)?;
+    let layout = PolyLayout::new(&config, 0, n)?;
+    let omega = modmath::prime::root_of_unity(n as u64, q as u64)? as u32;
+    let program = map_ntt(
+        &config,
+        &layout,
+        &NttParams { q, omega },
+        &MapperOptions::default(),
+    )?;
+    let tl = schedule(&config, &program)?;
+    Ok(dram_sim::trace::to_text(
+        &tl.bank_trace(),
+        config.timing.resolve().cycle_ps,
+    ))
+}
+
+fn verify(args: &ParsedArgs) -> Result<String, CliError> {
+    let n: usize = args.get_or("n", 1024)?;
+    let config = config_from(args)?;
+    let q = modulus_for(args, n)?;
+    let mut dev = PimDevice::new(config)?;
+    let poly = test_poly(n, q);
+    let mut h = dev.load_polynomial_bitrev(0, &poly, q)?;
+    dev.ntt_in_place(&mut h, NttDirection::Forward)?;
+    let got = dev.read_polynomial(&h)?;
+
+    // Reference through the independent software path.
+    let psi = modmath::prime::root_of_unity(2 * n as u64, q as u64)?;
+    let field = modmath::prime::NttField::with_psi(n, q as u64, psi)?;
+    let plan = ntt_ref::plan::NttPlan::new(field);
+    let mut expect: Vec<u64> = poly.iter().map(|&c| c as u64).collect();
+    plan.forward(&mut expect);
+    let mismatches = got
+        .iter()
+        .zip(&expect)
+        .filter(|(&g, &e)| g as u64 != e)
+        .count();
+    if mismatches != 0 {
+        return Err(CliError::runtime(format!(
+            "verification FAILED: {mismatches}/{n} mismatching coefficients"
+        )));
+    }
+    // And back.
+    dev.ntt_in_place(&mut h, NttDirection::Inverse)?;
+    if dev.read_polynomial(&h)? != poly {
+        return Err(CliError::runtime("inverse roundtrip FAILED".to_string()));
+    }
+    Ok(format!(
+        "verification OK: N={n}, q={q}, Nb={} — forward matches the software \
+         NTT and inverse(forward(x)) == x\n",
+        args.get_or("nb", 2usize)?
+    ))
+}
+
+fn polymul(args: &ParsedArgs) -> Result<String, CliError> {
+    let n: usize = args.get_or("n", 1024)?;
+    let config = config_from(args)?;
+    let q = modulus_for(args, n)?;
+    let mut dev = PimDevice::new(config)?;
+    let a = test_poly(n, q);
+    let b: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % q).collect();
+    let ha = dev.load_polynomial(0, &a, q)?;
+    let hb = dev.load_polynomial(n.max(256), &b, q)?;
+    let rep = dev.polymul_negacyclic(&ha, &hb)?;
+    // Spot-check against the schoolbook product.
+    let got = dev.read_polynomial(&ha)?;
+    let a64: Vec<u64> = a.iter().map(|&v| v as u64).collect();
+    let b64: Vec<u64> = b.iter().map(|&v| v as u64).collect();
+    let expect = ntt_ref::naive::negacyclic_convolution(&a64, &b64, q as u64);
+    if !got.iter().zip(&expect).all(|(&g, &e)| g as u64 == e) {
+        return Err(CliError::runtime("polymul verification FAILED".to_string()));
+    }
+    Ok(format!(
+        "on-device negacyclic polymul OK: N={n}, q={q}\n  latency: {:.2} µs, \
+         {} activations, {:.2} nJ\n",
+        rep.latency_us(),
+        rep.activations(),
+        rep.energy.total_nj
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(s: &str) -> Result<String, CliError> {
+        dispatch(&ParsedArgs::parse(s.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_line("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn run_reports_metrics() {
+        let out = run_line("run --n 256 --nb 2").unwrap();
+        assert!(out.contains("latency"));
+        assert!(out.contains("N=256"));
+    }
+
+    #[test]
+    fn sweep_emits_table() {
+        let out = run_line("sweep --nb 2,4 --lengths 256,512").unwrap();
+        assert!(out.contains("Nb=2"));
+        assert!(out.lines().count() >= 3);
+    }
+
+    #[test]
+    fn trace_roundtrips_through_parser() {
+        let out = run_line("trace --n 64 --nb 2").unwrap();
+        let parsed = dram_sim::trace::from_text(&out, 833).unwrap();
+        assert!(parsed.len() > 10);
+    }
+
+    #[test]
+    fn verify_passes_and_polymul_passes() {
+        assert!(run_line("verify --n 256 --nb 4").unwrap().contains("OK"));
+        assert!(run_line("polymul --n 256 --nb 4").unwrap().contains("OK"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let e = run_line("frobnicate").unwrap_err();
+        assert_eq!(e.exit_code, 2);
+    }
+
+    #[test]
+    fn explicit_modulus_respected() {
+        let out = run_line("run --n 256 --nb 2 --q 12289").unwrap();
+        assert!(out.contains("q=12289"));
+    }
+
+    #[test]
+    fn refresh_flag_adds_refreshes() {
+        let out = run_line("run --n 8192 --nb 2 --refresh").unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.contains("refreshes"))
+            .expect("refresh line");
+        let count: u64 = line.split(':').nth(1).unwrap().trim().parse().unwrap();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The `ntt-pim` command-line tool (thin wrapper over `ntt_pim_cli`).
+
+use ntt_pim_cli::args::ParsedArgs;
+use ntt_pim_cli::commands;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(e.exit_code);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            if e.exit_code == 2 {
+                eprintln!("{}", commands::USAGE);
+            }
+            std::process::exit(e.exit_code);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The atom-buffer file: primary (GSA) plus secondary buffers (Fig. 2).
+//!
+//! Each buffer holds one DRAM atom (`Na` words). Buffers are single-ported;
+//! a small crossbar gives the butterfly unit full connectivity (§IV.A). The
+//! functional model here tracks contents and validity; *timing* ownership
+//! (who may touch a buffer when) lives in the scheduler.
+
+use crate::cmd::BufId;
+use crate::PimError;
+
+/// Functional state of the `Nb` atom buffers.
+#[derive(Debug, Clone)]
+pub struct BufferFile {
+    atom_words: usize,
+    bufs: Vec<Option<Vec<u32>>>,
+}
+
+impl BufferFile {
+    /// Creates `n_bufs` empty buffers of `atom_words` words each.
+    pub fn new(n_bufs: usize, atom_words: usize) -> Self {
+        Self {
+            atom_words,
+            bufs: vec![None; n_bufs],
+        }
+    }
+
+    /// Number of buffers (`Nb`).
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// True when there are no buffers (never for a validated config).
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Words per buffer (`Na`).
+    pub fn atom_words(&self) -> usize {
+        self.atom_words
+    }
+
+    /// Fills `buf` with an atom (a CU-read landing).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BufferMisuse`] for an unknown buffer or wrong length.
+    pub fn fill(&mut self, buf: BufId, data: Vec<u32>) -> Result<(), PimError> {
+        if data.len() != self.atom_words {
+            return Err(PimError::BufferMisuse {
+                reason: format!(
+                    "atom of {} words filled into buffer expecting {}",
+                    data.len(),
+                    self.atom_words
+                ),
+            });
+        }
+        let slot = self.slot_mut(buf)?;
+        *slot = Some(data);
+        Ok(())
+    }
+
+    /// Borrows the valid contents of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BufferMisuse`] for an unknown or invalid (never filled)
+    /// buffer.
+    pub fn contents(&self, buf: BufId) -> Result<&[u32], PimError> {
+        self.bufs
+            .get(buf.0 as usize)
+            .ok_or_else(|| Self::unknown(buf))?
+            .as_deref()
+            .ok_or_else(|| PimError::BufferMisuse {
+                reason: format!("buffer {buf} read before being filled"),
+            })
+    }
+
+    /// Mutably borrows the valid contents of `buf` (compute in place).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::contents`].
+    pub fn contents_mut(&mut self, buf: BufId) -> Result<&mut [u32], PimError> {
+        self.bufs
+            .get_mut(buf.0 as usize)
+            .ok_or_else(|| Self::unknown(buf))?
+            .as_deref_mut()
+            .ok_or_else(|| PimError::BufferMisuse {
+                reason: format!("buffer {buf} written before being filled"),
+            })
+    }
+
+    /// Mutably borrows two *distinct* buffers (the C2 operand pair).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BufferMisuse`] when `a == b`, either is unknown, or
+    /// either holds no valid data.
+    pub fn pair_mut(&mut self, a: BufId, b: BufId) -> Result<(&mut [u32], &mut [u32]), PimError> {
+        if a == b {
+            return Err(PimError::BufferMisuse {
+                reason: format!("C2 operands must be distinct buffers (both {a})"),
+            });
+        }
+        // Validate both exist and are filled before splitting.
+        self.contents(a)?;
+        self.contents(b)?;
+        let (lo_id, hi_id, swap) = if a.0 < b.0 { (a, b, false) } else { (b, a, true) };
+        let (lo_half, hi_half) = self.bufs.split_at_mut(hi_id.0 as usize);
+        let lo = lo_half[lo_id.0 as usize]
+            .as_deref_mut()
+            .expect("validated above");
+        let hi = hi_half[0].as_deref_mut().expect("validated above");
+        if swap {
+            Ok((hi, lo))
+        } else {
+            Ok((lo, hi))
+        }
+    }
+
+    /// Copies the contents out (a CU-write departing). The buffer stays
+    /// valid (writes do not consume).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::contents`].
+    pub fn snapshot(&self, buf: BufId) -> Result<Vec<u32>, PimError> {
+        Ok(self.contents(buf)?.to_vec())
+    }
+
+    fn slot_mut(&mut self, buf: BufId) -> Result<&mut Option<Vec<u32>>, PimError> {
+        self.bufs
+            .get_mut(buf.0 as usize)
+            .ok_or_else(|| Self::unknown(buf))
+    }
+
+    fn unknown(buf: BufId) -> PimError {
+        PimError::BufferMisuse {
+            reason: format!("buffer {buf} does not exist in this configuration"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_and_read_back() {
+        let mut f = BufferFile::new(2, 8);
+        assert_eq!(f.len(), 2);
+        f.fill(BufId(1), vec![5; 8]).unwrap();
+        assert_eq!(f.contents(BufId(1)).unwrap(), &[5; 8]);
+        assert!(f.contents(BufId(0)).is_err(), "unfilled buffer");
+        assert!(f.contents(BufId(2)).is_err(), "unknown buffer");
+    }
+
+    #[test]
+    fn wrong_atom_size_rejected() {
+        let mut f = BufferFile::new(1, 8);
+        assert!(f.fill(BufId(0), vec![0; 4]).is_err());
+    }
+
+    #[test]
+    fn pair_mut_orders_operands_correctly() {
+        let mut f = BufferFile::new(3, 8);
+        f.fill(BufId(0), vec![1; 8]).unwrap();
+        f.fill(BufId(2), vec![2; 8]).unwrap();
+        {
+            let (p, s) = f.pair_mut(BufId(2), BufId(0)).unwrap();
+            assert_eq!(p[0], 2);
+            assert_eq!(s[0], 1);
+            p[0] = 9;
+        }
+        assert_eq!(f.contents(BufId(2)).unwrap()[0], 9);
+        assert!(f.pair_mut(BufId(0), BufId(0)).is_err());
+        assert!(f.pair_mut(BufId(0), BufId(1)).is_err(), "S1 unfilled");
+    }
+}

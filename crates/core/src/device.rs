@@ -1,0 +1,675 @@
+//! Host interface — the paper's §IV.A: "our NTT function can be invoked
+//! as a write request … The input data is assumed to be already in the
+//! memory; thus, only the address is passed. … The result is stored at the
+//! same location as the input, and a write response is given to the
+//! request initiator."
+//!
+//! [`PimDevice`] bundles the memory controller (mapper + scheduler) with
+//! per-bank functional simulators, so every request returns both a timing
+//! report *and* actually-computed values. Host-side work the paper assigns
+//! to the CPU (bit reversal, DMA) happens in [`PimDevice::load_polynomial`]
+//! / [`PimDevice::read_polynomial`] and is excluded from reported latency,
+//! matching the paper's measurement boundary ("except the bit reversal,
+//! which is common in all the compared works").
+
+use crate::config::PimConfig;
+use crate::energy::EnergyReport;
+use crate::layout::PolyLayout;
+use crate::mapper::{self, Dataflow, MapperOptions, NttParams, Program};
+use crate::sched::{self, Timeline};
+use crate::sim::FunctionalSim;
+use crate::PimError;
+use modmath::bitrev::bitrev_permute;
+
+/// Transform direction for [`PimDevice::ntt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NttDirection {
+    /// Time domain → NTT domain.
+    Forward,
+    /// NTT domain → time domain (includes the `N⁻¹` scaling pass).
+    Inverse,
+}
+
+/// How a polynomial's memory image relates to its logical coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoredOrder {
+    /// Memory word `i` holds coefficient `i`.
+    Natural,
+    /// Memory word `i` holds coefficient `bitrev(i)`.
+    BitReversed,
+}
+
+/// A polynomial resident in a PIM bank.
+#[derive(Debug, Clone, Copy)]
+pub struct PolyHandle {
+    layout: PolyLayout,
+    bank: usize,
+    q: u32,
+    order: StoredOrder,
+}
+
+impl PolyHandle {
+    /// Transform length.
+    pub fn n(&self) -> usize {
+        self.layout.n()
+    }
+
+    /// The modulus this polynomial lives in.
+    pub fn modulus(&self) -> u32 {
+        self.q
+    }
+
+    /// Which bank holds the data.
+    pub fn bank(&self) -> usize {
+        self.bank
+    }
+
+    /// Current memory ordering.
+    pub fn order(&self) -> StoredOrder {
+        self.order
+    }
+}
+
+/// Timing/energy/accounting result of one device request.
+#[derive(Debug, Clone)]
+pub struct NttReport {
+    /// The full timed schedule (render with
+    /// [`Timeline::render_ascii`]).
+    pub timeline: Timeline,
+    /// Energy summary.
+    pub energy: EnergyReport,
+    /// Logical commands issued (excluding inserted ACT/PRE).
+    pub logical_commands: usize,
+    /// C1 (intra-atom NTT) commands.
+    pub c1_ops: usize,
+    /// C2 (vectorized butterfly) commands.
+    pub c2_ops: usize,
+}
+
+impl NttReport {
+    /// Request latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.timeline.latency_ns()
+    }
+
+    /// Request latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.timeline.latency_us()
+    }
+
+    /// Row activations performed.
+    pub fn activations(&self) -> u64 {
+        self.timeline.activations()
+    }
+
+    fn from_parts(timeline: Timeline, program: &Program) -> Self {
+        let energy = EnergyReport::from_timeline(&timeline);
+        Self {
+            energy,
+            logical_commands: program.len(),
+            c1_ops: program.c1_ops,
+            c2_ops: program.c2_ops,
+            timeline,
+        }
+    }
+}
+
+/// Result of a bank-parallel batch request.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-bank timing.
+    pub per_bank_ns: Vec<f64>,
+    /// Batch latency (slowest bank), ns.
+    pub latency_ns: f64,
+    /// Total energy across banks, nJ.
+    pub energy_nj: f64,
+}
+
+/// The PIM device: configuration, mapper defaults, and per-bank state.
+#[derive(Debug, Clone)]
+pub struct PimDevice {
+    config: PimConfig,
+    opts: MapperOptions,
+    banks: Vec<FunctionalSim>,
+}
+
+impl PimDevice {
+    /// Creates a device with zeroed banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PimError::BadConfig`] from validation.
+    pub fn new(config: PimConfig) -> Result<Self, PimError> {
+        config.validate()?;
+        let banks = (0..config.geometry.banks)
+            .map(|_| FunctionalSim::new(&config))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            config,
+            opts: MapperOptions::default(),
+            banks,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Overrides the mapper options (ablation studies).
+    pub fn set_mapper_options(&mut self, opts: MapperOptions) {
+        self.opts = opts;
+    }
+
+    /// Loads natural-order coefficients into bank 0 at `base_word`,
+    /// bit-reversing on the host first (the layout the forward DIT
+    /// transform expects).
+    ///
+    /// # Errors
+    ///
+    /// Region and parameter errors as in [`PolyLayout::new`].
+    pub fn load_polynomial_bitrev(
+        &mut self,
+        base_word: usize,
+        coeffs: &[u32],
+        q: u32,
+    ) -> Result<PolyHandle, PimError> {
+        self.load_in_bank(0, base_word, coeffs, q, StoredOrder::BitReversed)
+    }
+
+    /// Loads natural-order coefficients as-is (for the DIF forward path
+    /// and element-wise operations).
+    ///
+    /// # Errors
+    ///
+    /// Region and parameter errors as in [`PolyLayout::new`].
+    pub fn load_polynomial(
+        &mut self,
+        base_word: usize,
+        coeffs: &[u32],
+        q: u32,
+    ) -> Result<PolyHandle, PimError> {
+        self.load_in_bank(0, base_word, coeffs, q, StoredOrder::Natural)
+    }
+
+    /// Loads into an explicit bank (bank-parallel workloads).
+    ///
+    /// # Errors
+    ///
+    /// Region errors, plus [`PimError::BadConfig`] for a bad bank index.
+    pub fn load_in_bank(
+        &mut self,
+        bank: usize,
+        base_word: usize,
+        coeffs: &[u32],
+        q: u32,
+        order: StoredOrder,
+    ) -> Result<PolyHandle, PimError> {
+        if bank >= self.banks.len() {
+            return Err(PimError::BadConfig {
+                reason: format!("bank {bank} out of range ({} banks)", self.banks.len()),
+            });
+        }
+        if coeffs.iter().any(|&c| c >= q) {
+            return Err(PimError::BadRegion {
+                reason: "coefficients must be reduced modulo q".into(),
+            });
+        }
+        let layout = PolyLayout::new(&self.config, base_word, coeffs.len())?;
+        let mut image = coeffs.to_vec();
+        if order == StoredOrder::BitReversed {
+            bitrev_permute(&mut image);
+        }
+        self.banks[bank].load_words(base_word, &image);
+        Ok(PolyHandle {
+            layout,
+            bank,
+            q,
+            order,
+        })
+    }
+
+    /// Reads a polynomial back in logical (natural coefficient) order,
+    /// undoing any bit-reversed storage on the host side.
+    ///
+    /// # Errors
+    ///
+    /// None in practice; kept fallible for future region variants.
+    pub fn read_polynomial(&mut self, handle: &PolyHandle) -> Result<Vec<u32>, PimError> {
+        let mut data = self.banks[handle.bank].read_region(&handle.layout);
+        if handle.order == StoredOrder::BitReversed {
+            bitrev_permute(&mut data);
+        }
+        Ok(data)
+    }
+
+    /// Executes an NTT request on the polynomial, in place.
+    ///
+    /// *Forward* expects bit-reversed storage (see
+    /// [`Self::load_polynomial_bitrev`]) and leaves a natural-order
+    /// spectrum. *Inverse* expects natural storage and leaves a
+    /// bit-reversed result (transparent through
+    /// [`Self::read_polynomial`]); it includes the `N⁻¹` scaling pass.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] when the stored order does not match the
+    /// direction; math errors when `q` lacks the needed root of unity.
+    pub fn ntt(&mut self, handle: &PolyHandle, dir: NttDirection) -> Result<NttReport, PimError> {
+        let n = handle.n();
+        let omega = modmath::prime::root_of_unity(n as u64, handle.q as u64)? as u32;
+        let params = NttParams {
+            q: handle.q,
+            omega,
+        };
+        let mut program;
+        match dir {
+            NttDirection::Forward => {
+                if handle.order != StoredOrder::BitReversed {
+                    return Err(PimError::BadRegion {
+                        reason: "forward NTT expects bit-reversed storage".into(),
+                    });
+                }
+                let opts = MapperOptions {
+                    dataflow: Dataflow::DitFromBitrev,
+                    inverse: false,
+                    ..self.opts
+                };
+                program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
+            }
+            NttDirection::Inverse => {
+                if handle.order != StoredOrder::Natural {
+                    return Err(PimError::BadRegion {
+                        reason: "inverse NTT expects natural storage".into(),
+                    });
+                }
+                let opts = MapperOptions {
+                    dataflow: Dataflow::DifToBitrev,
+                    inverse: true,
+                    ..self.opts
+                };
+                program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
+                let n_inv = modmath::arith::inv_mod(n as u64, handle.q as u64)? as u32;
+                let scale =
+                    mapper::map_scale(&self.config, &handle.layout, handle.q, n_inv, 1)?;
+                program.commands.extend(scale.commands);
+            }
+        }
+        let timeline = sched::schedule(&self.config, &program)?;
+        self.banks[handle.bank].execute(&program)?;
+        Ok(NttReport::from_parts(timeline, &program))
+    }
+
+    /// Completes the in-place update of the handle's order after
+    /// [`Self::ntt`]. Separated so callers can inspect reports; invoked
+    /// automatically by [`Self::ntt_in_place`].
+    fn flip_order(handle: &mut PolyHandle, dir: NttDirection) {
+        handle.order = match dir {
+            NttDirection::Forward => StoredOrder::Natural,
+            NttDirection::Inverse => StoredOrder::BitReversed,
+        };
+    }
+
+    /// [`Self::ntt`] plus the handle-order bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::ntt`].
+    pub fn ntt_in_place(
+        &mut self,
+        handle: &mut PolyHandle,
+        dir: NttDirection,
+    ) -> Result<NttReport, PimError> {
+        let report = self.ntt(handle, dir)?;
+        Self::flip_order(handle, dir);
+        Ok(report)
+    }
+
+    /// Full on-device negacyclic polynomial multiplication
+    /// `a ← a·b mod (X^N + 1, q)` — the FHE workload of the paper's
+    /// Eq. (1), run end to end without any host compute: ψ-weighting
+    /// (Scale), forward DIF NTTs, Pointwise, inverse DIT NTT, and the
+    /// combined `N⁻¹·ψ⁻ⁱ` unweighting.
+    ///
+    /// Both operands must be naturally stored in the same bank with the
+    /// same modulus. Returns one report covering the whole fused schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] on mismatched operands; math errors when
+    /// `q` lacks a `2N`-th root of unity.
+    pub fn polymul_negacyclic(
+        &mut self,
+        a: &PolyHandle,
+        b: &PolyHandle,
+    ) -> Result<NttReport, PimError> {
+        let program = self.polymul_program(a, b)?;
+        let timeline = sched::schedule(&self.config, &program)?;
+        self.banks[a.bank].execute(&program)?;
+        Ok(NttReport::from_parts(timeline, &program))
+    }
+
+    /// Builds the fused negacyclic-polymul program for one operand pair
+    /// (shared by [`Self::polymul_negacyclic`] and
+    /// [`Self::polymul_batch`]).
+    fn polymul_program(&self, a: &PolyHandle, b: &PolyHandle) -> Result<Program, PimError> {
+        if a.bank != b.bank || a.q != b.q || a.n() != b.n() {
+            return Err(PimError::BadRegion {
+                reason: "polymul operands must share bank, modulus, and length".into(),
+            });
+        }
+        if a.order != StoredOrder::Natural || b.order != StoredOrder::Natural {
+            return Err(PimError::BadRegion {
+                reason: "polymul expects naturally stored operands".into(),
+            });
+        }
+        let n = a.n();
+        let q = a.q as u64;
+        let psi = modmath::prime::root_of_unity(2 * n as u64, q)?;
+        let omega = modmath::arith::mul_mod(psi, psi, q) as u32;
+        let psi_inv = modmath::arith::inv_mod(psi, q)? as u32;
+        let n_inv = modmath::arith::inv_mod(n as u64, q)?;
+        let params = NttParams { q: a.q, omega };
+        let fwd_opts = MapperOptions {
+            dataflow: Dataflow::DifToBitrev,
+            inverse: false,
+            ..self.opts
+        };
+        let inv_opts = MapperOptions {
+            dataflow: Dataflow::DitFromBitrev,
+            inverse: true,
+            ..self.opts
+        };
+        let mut program = mapper::map_scale(&self.config, &a.layout, a.q, 1, psi as u32)?;
+        let sb = mapper::map_scale(&self.config, &b.layout, a.q, 1, psi as u32)?;
+        program.commands.extend(sb.commands);
+        let fa = mapper::map_ntt(&self.config, &a.layout, &params, &fwd_opts)?;
+        let fb = mapper::map_ntt(&self.config, &b.layout, &params, &fwd_opts)?;
+        program.c1_ops += fa.c1_ops + fb.c1_ops;
+        program.c2_ops += fa.c2_ops + fb.c2_ops;
+        program.commands.extend(fa.commands);
+        program.commands.extend(fb.commands);
+        let pw = mapper::map_pointwise(&self.config, &a.layout, &b.layout, a.q)?;
+        program.commands.extend(pw.commands);
+        let ia = mapper::map_ntt(&self.config, &a.layout, &params, &inv_opts)?;
+        program.c1_ops += ia.c1_ops;
+        program.c2_ops += ia.c2_ops;
+        program.commands.extend(ia.commands);
+        let unweight =
+            mapper::map_scale(&self.config, &a.layout, a.q, n_inv as u32, psi_inv)?;
+        program.commands.extend(unweight.commands);
+        Ok(program)
+    }
+
+    /// Runs one full negacyclic polynomial product per operand pair, each
+    /// pair in its own bank, over the shared command bus — an entire
+    /// RNS-form ring multiplication in one batch (the FHE op the paper's
+    /// introduction motivates, on-device end to end).
+    ///
+    /// Results land in each pair's first operand.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadConfig`] when pairs share a bank; per-pair errors as
+    /// in [`Self::polymul_negacyclic`].
+    pub fn polymul_batch(
+        &mut self,
+        pairs: &[(PolyHandle, PolyHandle)],
+    ) -> Result<BatchReport, PimError> {
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in pairs {
+            if a.bank != b.bank {
+                return Err(PimError::BadRegion {
+                    reason: "operand pair split across banks".into(),
+                });
+            }
+            if !seen.insert(a.bank) {
+                return Err(PimError::BadConfig {
+                    reason: format!("bank {} used by two batch entries", a.bank),
+                });
+            }
+        }
+        let programs = pairs
+            .iter()
+            .map(|(a, b)| self.polymul_program(a, b))
+            .collect::<Result<Vec<_>, _>>()?;
+        let parallel = sched::schedule_parallel(&self.config, &programs)?;
+        for ((a, _), prog) in pairs.iter().zip(&programs) {
+            self.banks[a.bank].execute(prog)?;
+        }
+        let energy_nj = parallel.banks.iter().map(|t| t.energy.total_nj()).sum();
+        Ok(BatchReport {
+            per_bank_ns: parallel.banks.iter().map(|t| t.latency_ns()).collect(),
+            latency_ns: parallel.latency_ns(),
+            energy_nj,
+        })
+    }
+
+    /// Runs one forward NTT per handle, each in its own bank, over the
+    /// shared command bus (bank-level parallelism, §VI.A/§VII).
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadConfig`] when handles share a bank; per-handle
+    /// errors as in [`Self::ntt`].
+    pub fn ntt_batch(&mut self, handles: &mut [PolyHandle]) -> Result<BatchReport, PimError> {
+        let mut seen = std::collections::HashSet::new();
+        for h in handles.iter() {
+            if !seen.insert(h.bank) {
+                return Err(PimError::BadConfig {
+                    reason: format!("bank {} used by two batch entries", h.bank),
+                });
+            }
+            if h.order != StoredOrder::BitReversed {
+                return Err(PimError::BadRegion {
+                    reason: "batch forward NTT expects bit-reversed storage".into(),
+                });
+            }
+        }
+        let mut programs = Vec::with_capacity(handles.len());
+        for h in handles.iter() {
+            let omega = modmath::prime::root_of_unity(h.n() as u64, h.q as u64)? as u32;
+            let opts = MapperOptions {
+                dataflow: Dataflow::DitFromBitrev,
+                inverse: false,
+                ..self.opts
+            };
+            programs.push(mapper::map_ntt(
+                &self.config,
+                &h.layout,
+                &NttParams { q: h.q, omega },
+                &opts,
+            )?);
+        }
+        let parallel = sched::schedule_parallel(&self.config, &programs)?;
+        for (h, prog) in handles.iter().zip(&programs) {
+            self.banks[h.bank].execute(prog)?;
+        }
+        for h in handles.iter_mut() {
+            h.order = StoredOrder::Natural;
+        }
+        let energy_nj = parallel
+            .banks
+            .iter()
+            .map(|t| t.energy.total_nj())
+            .sum();
+        Ok(BatchReport {
+            per_bank_ns: parallel.banks.iter().map(|t| t.latency_ns()).collect(),
+            latency_ns: parallel.latency_ns(),
+            energy_nj,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u32 = 7681;
+
+    fn poly(n: usize, seed: u64) -> Vec<u32> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % Q as u64) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_reference_and_roundtrips() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let n = 512;
+        let x = poly(n, 42);
+        let mut h = dev.load_polynomial_bitrev(0, &x, Q).unwrap();
+        let rep = dev.ntt_in_place(&mut h, NttDirection::Forward).unwrap();
+        assert!(rep.latency_ns() > 0.0);
+        let spectrum = dev.read_polynomial(&h).unwrap();
+        // Direct-evaluation reference with the same ω the device derives.
+        let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap();
+        let expect: Vec<u32> = (0..n)
+            .map(|k| {
+                let mut acc = 0u64;
+                for (i, &v) in x.iter().enumerate() {
+                    let tw = modmath::arith::pow_mod(omega, (i * k) as u64, Q as u64);
+                    acc = modmath::arith::add_mod(
+                        acc,
+                        modmath::arith::mul_mod(v as u64, tw, Q as u64),
+                        Q as u64,
+                    );
+                }
+                acc as u32
+            })
+            .collect();
+        assert_eq!(spectrum, expect);
+        // Inverse brings the coefficients back.
+        dev.ntt_in_place(&mut h, NttDirection::Inverse).unwrap();
+        assert_eq!(dev.read_polynomial(&h).unwrap(), x);
+    }
+
+    #[test]
+    fn direction_order_mismatch_rejected() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let x = poly(256, 1);
+        let h = dev.load_polynomial(0, &x, Q).unwrap(); // natural
+        assert!(dev.ntt(&h, NttDirection::Forward).is_err());
+    }
+
+    #[test]
+    fn unreduced_coefficients_rejected() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let x = vec![Q; 8];
+        assert!(dev.load_polynomial(0, &x, Q).is_err());
+    }
+
+    #[test]
+    fn on_device_polymul_matches_schoolbook() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(4)).unwrap();
+        let n = 256;
+        let a = poly(n, 3);
+        let b = poly(n, 4);
+        let ha = dev.load_polynomial(0, &a, Q).unwrap();
+        let hb = dev.load_polynomial(n, &b, Q).unwrap();
+        let rep = dev.polymul_negacyclic(&ha, &hb).unwrap();
+        assert!(rep.latency_us() > 0.0);
+        let got = dev.read_polynomial(&ha).unwrap();
+        let a64: Vec<u64> = a.iter().map(|&v| v as u64).collect();
+        let b64: Vec<u64> = b.iter().map(|&v| v as u64).collect();
+        let expect = ntt_ref::naive::negacyclic_convolution(&a64, &b64, Q as u64);
+        let got64: Vec<u64> = got.iter().map(|&v| v as u64).collect();
+        assert_eq!(got64, expect);
+    }
+
+    #[test]
+    fn batch_runs_in_parallel_banks() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let n = 256;
+        let mut handles = Vec::new();
+        for bank in 0..4 {
+            let x = poly(n, bank as u64 + 10);
+            handles.push(
+                dev.load_in_bank(bank, 0, &x, Q, StoredOrder::BitReversed)
+                    .unwrap(),
+            );
+        }
+        let single = {
+            let mut d2 = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+            let x = poly(n, 10);
+            let h = d2.load_polynomial_bitrev(0, &x, Q).unwrap();
+            d2.ntt(&h, NttDirection::Forward).unwrap().latency_ns()
+        };
+        let batch = dev.ntt_batch(&mut handles).unwrap();
+        assert_eq!(batch.per_bank_ns.len(), 4);
+        // 4 banks work concurrently: far less than 4x a single NTT.
+        assert!(batch.latency_ns < 2.5 * single);
+        // All four banks actually hold transformed data.
+        for h in &handles {
+            assert_eq!(h.order(), StoredOrder::Natural);
+        }
+    }
+
+    #[test]
+    fn polymul_batch_matches_sequential_products() {
+        let banks = 3;
+        let n = 256;
+        let mut dev = PimDevice::new(PimConfig::hbm2e(4).with_banks(banks)).unwrap();
+        let mut pairs = Vec::new();
+        let mut expects = Vec::new();
+        for bank in 0..banks as usize {
+            let a = poly(n, 50 + bank as u64);
+            let b = poly(n, 70 + bank as u64);
+            let ha = dev
+                .load_in_bank(bank, 0, &a, Q, StoredOrder::Natural)
+                .unwrap();
+            let hb = dev
+                .load_in_bank(bank, n, &b, Q, StoredOrder::Natural)
+                .unwrap();
+            let a64: Vec<u64> = a.iter().map(|&v| v as u64).collect();
+            let b64: Vec<u64> = b.iter().map(|&v| v as u64).collect();
+            expects.push(ntt_ref::naive::negacyclic_convolution(&a64, &b64, Q as u64));
+            pairs.push((ha, hb));
+        }
+        let report = dev.polymul_batch(&pairs).unwrap();
+        assert_eq!(report.per_bank_ns.len(), banks as usize);
+        // Batch of 3 products takes much less than 3x one product.
+        let single = {
+            let mut d = PimDevice::new(PimConfig::hbm2e(4)).unwrap();
+            let a = poly(n, 50);
+            let b = poly(n, 70);
+            let ha = d.load_polynomial(0, &a, Q).unwrap();
+            let hb = d.load_polynomial(n, &b, Q).unwrap();
+            d.polymul_negacyclic(&ha, &hb).unwrap().latency_ns()
+        };
+        assert!(report.latency_ns < 2.0 * single);
+        for (bank, (ha, _)) in pairs.iter().enumerate() {
+            let got = dev.read_polynomial(ha).unwrap();
+            let got64: Vec<u64> = got.iter().map(|&v| v as u64).collect();
+            assert_eq!(got64, expects[bank], "bank {bank}");
+        }
+    }
+
+    #[test]
+    fn polymul_batch_rejects_cross_bank_pairs() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(4).with_banks(2)).unwrap();
+        let a = poly(64, 1);
+        let ha = dev.load_in_bank(0, 0, &a, Q, StoredOrder::Natural).unwrap();
+        let hb = dev.load_in_bank(1, 0, &a, Q, StoredOrder::Natural).unwrap();
+        assert!(dev.polymul_batch(&[(ha, hb)]).is_err());
+    }
+
+    #[test]
+    fn batch_rejects_shared_bank() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        let x = poly(64, 1);
+        let h1 = dev
+            .load_in_bank(0, 0, &x, Q, StoredOrder::BitReversed)
+            .unwrap();
+        let h2 = dev
+            .load_in_bank(0, 512, &x, Q, StoredOrder::BitReversed)
+            .unwrap();
+        assert!(dev.ntt_batch(&mut [h1, h2]).is_err());
+    }
+}

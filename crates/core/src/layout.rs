@@ -1,0 +1,191 @@
+//! Polynomial placement: element index ↔ bank row/column/lane.
+//!
+//! The host passes only a base address (paper §IV.A: "The input data … is
+//! assumed to be already in the memory; thus, only the address is
+//! passed"). A [`PolyLayout`] pins a length-`N` polynomial contiguously
+//! from an atom-aligned word address and answers the mapper's addressing
+//! questions.
+
+use crate::config::PimConfig;
+use crate::PimError;
+
+/// Location of one atom of the polynomial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AtomLoc {
+    /// DRAM row.
+    pub row: u32,
+    /// Column (atom index within the row).
+    pub col: u32,
+}
+
+/// A length-`N` polynomial pinned at an atom-aligned base word address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolyLayout {
+    base_word: usize,
+    n: usize,
+    atom_words: usize,
+    row_words: usize,
+    rows_per_bank: u32,
+}
+
+impl PolyLayout {
+    /// Creates a layout, validating alignment and capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] when `n` is not a power of two ≥ 2, the
+    /// base is not atom-aligned, or the region exceeds the bank. Regions
+    /// larger than one atom must also be row-aligned so that the
+    /// intra-row regime never straddles rows.
+    pub fn new(config: &PimConfig, base_word: usize, n: usize) -> Result<Self, PimError> {
+        let atom_words = config.na();
+        let row_words = config.row_words();
+        if !n.is_power_of_two() || n < 2 {
+            return Err(PimError::BadRegion {
+                reason: format!("polynomial length {n} must be a power of two >= 2"),
+            });
+        }
+        if base_word % atom_words != 0 {
+            return Err(PimError::BadRegion {
+                reason: format!("base word {base_word} is not atom-aligned ({atom_words})"),
+            });
+        }
+        if n > atom_words && base_word % row_words != 0 {
+            return Err(PimError::BadRegion {
+                reason: format!(
+                    "multi-atom polynomial base {base_word} must be row-aligned ({row_words})"
+                ),
+            });
+        }
+        let bank_words = config.geometry.bank_words();
+        if base_word + n > bank_words {
+            return Err(PimError::BadRegion {
+                reason: format!(
+                    "region [{base_word}, {}) exceeds bank of {bank_words} words",
+                    base_word + n
+                ),
+            });
+        }
+        Ok(Self {
+            base_word,
+            n,
+            atom_words,
+            row_words,
+            rows_per_bank: config.geometry.rows_per_bank,
+        })
+    }
+
+    /// Base word address.
+    pub fn base_word(&self) -> usize {
+        self.base_word
+    }
+
+    /// Polynomial length `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `log2(N)` — total stage count of the transform.
+    pub fn log_n(&self) -> u32 {
+        self.n.trailing_zeros()
+    }
+
+    /// Number of atoms the polynomial spans (at least 1).
+    pub fn atom_count(&self) -> usize {
+        self.n.div_ceil(self.atom_words)
+    }
+
+    /// Number of rows the polynomial spans (at least 1).
+    pub fn row_count(&self) -> usize {
+        self.n.div_ceil(self.row_words)
+    }
+
+    /// Row/column of the atom holding element `index` (elements are
+    /// contiguous words from the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn atom_of(&self, index: usize) -> AtomLoc {
+        assert!(index < self.n, "element {index} out of range");
+        let word = self.base_word + index;
+        let row = (word / self.row_words) as u32;
+        debug_assert!(row < self.rows_per_bank);
+        AtomLoc {
+            row,
+            col: ((word % self.row_words) / self.atom_words) as u32,
+        }
+    }
+
+    /// Row/column of atom number `a` (0-based within the polynomial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= atom_count()`.
+    pub fn atom(&self, a: usize) -> AtomLoc {
+        assert!(a < self.atom_count(), "atom {a} out of range");
+        self.atom_of(a * self.atom_words)
+    }
+
+    /// Linear word address of element `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn word_of(&self, index: usize) -> usize {
+        assert!(index < self.n, "element {index} out of range");
+        self.base_word + index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimConfig;
+
+    fn cfg() -> PimConfig {
+        PimConfig::hbm2e(2)
+    }
+
+    #[test]
+    fn addresses_match_geometry() {
+        let l = PolyLayout::new(&cfg(), 512, 1024).unwrap(); // base = row 2
+        assert_eq!(l.atom_count(), 128);
+        assert_eq!(l.row_count(), 4);
+        assert_eq!(l.atom_of(0), AtomLoc { row: 2, col: 0 });
+        assert_eq!(l.atom_of(7), AtomLoc { row: 2, col: 0 });
+        assert_eq!(l.atom_of(8), AtomLoc { row: 2, col: 1 });
+        assert_eq!(l.atom_of(255), AtomLoc { row: 2, col: 31 });
+        assert_eq!(l.atom_of(256), AtomLoc { row: 3, col: 0 });
+        assert_eq!(l.atom(127), AtomLoc { row: 5, col: 31 });
+    }
+
+    #[test]
+    fn small_polynomial_in_one_atom() {
+        let l = PolyLayout::new(&cfg(), 8, 4).unwrap();
+        assert_eq!(l.atom_count(), 1);
+        assert_eq!(l.row_count(), 1);
+        assert_eq!(l.atom_of(3), AtomLoc { row: 0, col: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_regions() {
+        let c = cfg();
+        assert!(PolyLayout::new(&c, 0, 3).is_err(), "non power of two");
+        assert!(PolyLayout::new(&c, 0, 1).is_err(), "length 1");
+        assert!(PolyLayout::new(&c, 4, 8).is_err(), "unaligned base");
+        assert!(
+            PolyLayout::new(&c, 8, 512).is_err(),
+            "multi-atom base must be row-aligned"
+        );
+        let bank = c.geometry.bank_words();
+        assert!(PolyLayout::new(&c, bank - 256, 512).is_err(), "overflow");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn element_bounds_checked() {
+        let l = PolyLayout::new(&cfg(), 0, 8).unwrap();
+        l.atom_of(8);
+    }
+}

@@ -1,0 +1,826 @@
+//! In-order issue engine: logical command stream → timed schedule.
+//!
+//! The memory controller issues one command per memory-clock cycle on the
+//! shared command bus, respecting (i) DRAM bank timing via the dram-sim
+//! state machine, (ii) compute-unit occupancy, and (iii) atom-buffer
+//! hazards (a buffer can be refilled only after its previous contents were
+//! consumed or drained). Rows are managed lazily (open-page): `PRE`/`ACT`
+//! pairs are inserted exactly when a column command targets a different
+//! row, so the mapper's command *order* fully determines the activation
+//! count — which is how the paper's pipelining reduces activations
+//! (Fig. 6c) without any scheduler-side special case.
+//!
+//! Pipelining therefore needs no lookahead here: the mapper emits the
+//! paper's software-pipelined order, and in-order issue with per-resource
+//! earliest times produces the overlapped timeline of Fig. 6.
+//!
+//! [`schedule_parallel`] runs one program per bank with a *shared* command
+//! bus (banks have private rows, buffers and CUs, but commands serialize on
+//! the bus) — the paper's bank-level parallelism model (§VI.A, §VII).
+
+use crate::cmd::{BufId, PimCommand};
+use crate::config::PimConfig;
+use crate::mapper::Program;
+use crate::PimError;
+use dram_sim::bank::{BankCommand, BankCounters, BankTimer};
+use dram_sim::energy::{EnergyMeter, EnergyParams};
+use dram_sim::rank::RankTimer;
+use dram_sim::timing::ResolvedTiming;
+use dram_sim::validate::TraceEntry;
+use std::collections::BTreeSet;
+
+/// One scheduled command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Issue time (bus slot), ps.
+    pub at_ps: u64,
+    /// Time the command's effect completes (data valid / CU done), ps.
+    pub end_ps: u64,
+    /// The command.
+    pub cmd: PimCommand,
+}
+
+/// A fully timed single-bank schedule.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Events in issue order (including inserted `ACT`/`PRE`).
+    pub events: Vec<Event>,
+    /// Completion time of the whole schedule, ps.
+    pub end_ps: u64,
+    /// DRAM command counters (activations are the paper's key metric).
+    pub counters: BankCounters,
+    /// Energy tally.
+    pub energy: EnergyMeter,
+    /// Issue time of each *logical* program command (parallel to
+    /// `Program::commands`; inserted ACT/PRE excluded) — lets callers map
+    /// [`crate::mapper::StageMark`]s to wall-clock phases.
+    pub logical_issue_ps: Vec<u64>,
+}
+
+/// One phase of a schedule, resolved to wall-clock time (see
+/// [`Timeline::phase_breakdown`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSlice {
+    /// The mark's label.
+    pub label: String,
+    /// Phase start (issue of its first command), ps.
+    pub start_ps: u64,
+    /// Phase end (issue of the next phase's first command, or schedule
+    /// end), ps.
+    pub end_ps: u64,
+    /// Row activations issued within the phase window.
+    pub activations: u64,
+}
+
+impl PhaseSlice {
+    /// Phase span in nanoseconds.
+    pub fn span_ns(&self) -> f64 {
+        (self.end_ps - self.start_ps) as f64 / 1000.0
+    }
+}
+
+/// A multi-bank schedule (one timeline per bank, shared command bus).
+#[derive(Debug, Clone)]
+pub struct ParallelTimeline {
+    /// Per-bank timelines.
+    pub banks: Vec<Timeline>,
+    /// Completion of the slowest bank, ps.
+    pub end_ps: u64,
+}
+
+impl ParallelTimeline {
+    /// Latency of the slowest bank in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.end_ps as f64 / 1000.0
+    }
+
+    /// Full cross-bank trace for independent validation.
+    pub fn bank_trace(&self) -> Vec<TraceEntry> {
+        let mut all: Vec<TraceEntry> = self
+            .banks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, tl)| {
+                tl.bank_trace().into_iter().map(move |mut e| {
+                    e.bank = b as u32;
+                    e
+                })
+            })
+            .collect();
+        all.sort_by_key(|e| e.at_ps);
+        all
+    }
+}
+
+impl Timeline {
+    /// Schedule latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.end_ps as f64 / 1000.0
+    }
+
+    /// Schedule latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.end_ps as f64 / 1.0e6
+    }
+
+    /// Row activations issued.
+    pub fn activations(&self) -> u64 {
+        self.counters.acts
+    }
+
+    /// Buckets the schedule into the program's marked phases: each
+    /// [`crate::mapper::StageMark`] owns the window from its first
+    /// command's issue to the next mark's (or the schedule end). This is
+    /// the data behind the paper's "a bigger portion of runtime is
+    /// accounted for by inter-row mapping" argument (§VI.C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mark indexes past the logical command list (cannot
+    /// happen for mapper-produced programs).
+    pub fn phase_breakdown(&self, program: &crate::mapper::Program) -> Vec<PhaseSlice> {
+        let mut out = Vec::with_capacity(program.marks.len());
+        for (i, mark) in program.marks.iter().enumerate() {
+            let start_ps = self.logical_issue_ps[mark.first_command];
+            let end_ps = program
+                .marks
+                .get(i + 1)
+                .map(|next| self.logical_issue_ps[next.first_command])
+                .unwrap_or(self.end_ps);
+            let activations = self
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(e.cmd, PimCommand::Act { .. })
+                        && e.at_ps >= start_ps
+                        && e.at_ps < end_ps
+                })
+                .count() as u64;
+            out.push(PhaseSlice {
+                label: mark.label.clone(),
+                start_ps,
+                end_ps,
+                activations,
+            });
+        }
+        out
+    }
+
+    /// The DRAM-visible part of the schedule, for independent validation
+    /// with [`dram_sim::validate::validate_trace`].
+    pub fn bank_trace(&self) -> Vec<TraceEntry> {
+        self.events
+            .iter()
+            .filter_map(|e| {
+                let cmd = match e.cmd {
+                    PimCommand::Act { row } => BankCommand::Act { row },
+                    PimCommand::Pre => BankCommand::Pre,
+                    PimCommand::CuRead { col, .. } => BankCommand::Rd { col },
+                    PimCommand::CuWrite { col, .. } => BankCommand::Wr { col },
+                    PimCommand::Refresh => BankCommand::Ref,
+                    _ => return None,
+                };
+                Some(TraceEntry {
+                    at_ps: e.at_ps,
+                    bank: 0,
+                    cmd,
+                })
+            })
+            .collect()
+    }
+
+    /// Renders a Fig. 5/6-style two-track ASCII timing diagram of the
+    /// window `[from_ps, to_ps)`, one character per `step_ps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window or zero step.
+    pub fn render_ascii(&self, from_ps: u64, to_ps: u64, step_ps: u64) -> String {
+        assert!(step_ps > 0 && to_ps > from_ps, "empty render window");
+        let cols = ((to_ps - from_ps) / step_ps) as usize + 1;
+        let mut io = vec![b'.'; cols];
+        let mut cu = vec![b'.'; cols];
+        for e in &self.events {
+            if e.at_ps >= to_ps || e.end_ps <= from_ps {
+                continue;
+            }
+            let a = (e.at_ps.max(from_ps) - from_ps) / step_ps;
+            let b = ((e.end_ps.min(to_ps).saturating_sub(1)).max(e.at_ps.max(from_ps)) - from_ps)
+                / step_ps;
+            let track = if e.cmd.uses_cu() { &mut cu } else { &mut io };
+            let label = e.cmd.mnemonic().as_bytes();
+            for (k, slot) in (a..=b.min(cols as u64 - 1)).enumerate() {
+                track[slot as usize] = if k < label.len() { label[k] } else { b'=' };
+            }
+        }
+        format!(
+            "I/O |{}|\nCU  |{}|",
+            String::from_utf8_lossy(&io),
+            String::from_utf8_lossy(&cu)
+        )
+    }
+}
+
+/// Command-bus abstraction: grants one slot per memory cycle.
+trait Bus {
+    /// Claims the first available slot at or after `earliest_ps`.
+    fn claim(&mut self, earliest_ps: u64) -> u64;
+}
+
+/// Strictly monotonic bus: slots are granted in increasing order (the
+/// single-stream in-order model).
+struct MonotonicBus {
+    cycle_ps: u64,
+    next_free: u64,
+}
+
+impl Bus for MonotonicBus {
+    fn claim(&mut self, earliest_ps: u64) -> u64 {
+        let t = earliest_ps.max(self.next_free);
+        let slot = t.div_ceil(self.cycle_ps) * self.cycle_ps;
+        self.next_free = slot + self.cycle_ps;
+        slot
+    }
+}
+
+/// Slot-map bus: each claim takes the first *unoccupied* cycle ≥ earliest,
+/// so independent banks do not starve each other (multi-bank model).
+struct SlotBus {
+    cycle_ps: u64,
+    taken: BTreeSet<u64>,
+}
+
+impl Bus for SlotBus {
+    fn claim(&mut self, earliest_ps: u64) -> u64 {
+        let mut slot = earliest_ps.div_ceil(self.cycle_ps);
+        while self.taken.contains(&slot) {
+            slot += 1;
+        }
+        self.taken.insert(slot);
+        slot * self.cycle_ps
+    }
+}
+
+/// Per-bank scheduling state.
+struct Engine<'a> {
+    config: &'a PimConfig,
+    resolved: ResolvedTiming,
+    bank: BankTimer,
+    cu_free: u64,
+    buf_ready: Vec<u64>,
+    buf_busy: Vec<u64>,
+    open_row: Option<u32>,
+    events: Vec<Event>,
+    energy: EnergyMeter,
+    eparams: EnergyParams,
+    logical_issue_ps: Vec<u64>,
+    /// Next refresh deadline (ps); `u64::MAX` disables refresh.
+    next_ref_ps: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a PimConfig) -> Self {
+        let resolved = config.timing.resolve();
+        Self {
+            config,
+            resolved,
+            bank: BankTimer::new(resolved),
+            cu_free: 0,
+            buf_ready: vec![0; config.n_bufs],
+            buf_busy: vec![0; config.n_bufs],
+            open_row: None,
+            events: Vec::new(),
+            energy: EnergyMeter::new(),
+            eparams: EnergyParams::hbm2e_pim(),
+            logical_issue_ps: Vec::new(),
+            next_ref_ps: if config.refresh {
+                resolved.t_refi
+            } else {
+                u64::MAX
+            },
+        }
+    }
+
+    fn check_buf(&self, b: BufId) -> Result<usize, PimError> {
+        let i = b.0 as usize;
+        if i >= self.config.n_bufs {
+            return Err(PimError::BufferMisuse {
+                reason: format!("buffer {b} out of range for Nb={}", self.config.n_bufs),
+            });
+        }
+        Ok(i)
+    }
+
+    /// Opens `row`, inserting PRE/ACT as needed.
+    fn open(&mut self, row: u32, bus: &mut dyn Bus, rank: &mut RankTimer) -> Result<(), PimError> {
+        if self.open_row == Some(row) {
+            return Ok(());
+        }
+        if self.open_row.is_some() {
+            let e = self.bank.earliest_issue(BankCommand::Pre, 0)?;
+            let slot = bus.claim(e);
+            self.bank.issue_at(BankCommand::Pre, slot)?;
+            self.events.push(Event {
+                at_ps: slot,
+                end_ps: slot + self.resolved.t_rp,
+                cmd: PimCommand::Pre,
+            });
+        }
+        let e = self
+            .bank
+            .earliest_issue(BankCommand::Act { row }, 0)?
+            .max(rank.earliest_act(0));
+        let slot = bus.claim(e);
+        self.bank.issue_at(BankCommand::Act { row }, slot)?;
+        rank.record_act(slot);
+        self.energy.record_act(&self.eparams);
+        self.events.push(Event {
+            at_ps: slot,
+            end_ps: slot + self.resolved.t_rcd,
+            cmd: PimCommand::Act { row },
+        });
+        self.open_row = Some(row);
+        Ok(())
+    }
+
+    /// Issues one logical command (plus any row-management prefix),
+    /// recording its issue time for phase breakdowns.
+    fn issue(
+        &mut self,
+        cmd: &PimCommand,
+        bus: &mut dyn Bus,
+        rank: &mut RankTimer,
+    ) -> Result<(), PimError> {
+        // Refresh injection: when the deadline passed, close the row and
+        // refresh before the next command (open-bank refresh is illegal).
+        let now = self.events.last().map(|e| e.at_ps).unwrap_or(0);
+        if now >= self.next_ref_ps {
+            if self.open_row.is_some() {
+                self.issue_inner(&PimCommand::Pre, bus, rank)?;
+            }
+            self.issue_inner(&PimCommand::Refresh, bus, rank)?;
+            // Catch up in whole intervals (a long CU op may span several).
+            while self.next_ref_ps <= now {
+                self.next_ref_ps += self.resolved.t_refi;
+            }
+        }
+        self.issue_inner(cmd, bus, rank)?;
+        // The logical command's own event is the last one pushed (ACT/PRE
+        // prefixes come before it). A no-op PRE pushes nothing and
+        // inherits the previous command's time, which is exactly when it
+        // "happened".
+        let at = self.events.last().map(|e| e.at_ps).unwrap_or(0);
+        self.logical_issue_ps.push(at);
+        Ok(())
+    }
+
+    fn issue_inner(
+        &mut self,
+        cmd: &PimCommand,
+        bus: &mut dyn Bus,
+        rank: &mut RankTimer,
+    ) -> Result<(), PimError> {
+        match cmd {
+            PimCommand::Act { row } => self.open(*row, bus, rank)?,
+            PimCommand::Refresh => {
+                let e = self.bank.earliest_issue(BankCommand::Ref, 0)?;
+                let slot = bus.claim(e);
+                self.bank.issue_at(BankCommand::Ref, slot)?;
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: slot + self.resolved.t_rfc,
+                    cmd: PimCommand::Refresh,
+                });
+            }
+            PimCommand::Pre => {
+                if self.open_row.is_some() {
+                    let e = self.bank.earliest_issue(BankCommand::Pre, 0)?;
+                    let slot = bus.claim(e);
+                    self.bank.issue_at(BankCommand::Pre, slot)?;
+                    self.events.push(Event {
+                        at_ps: slot,
+                        end_ps: slot + self.resolved.t_rp,
+                        cmd: PimCommand::Pre,
+                    });
+                    self.open_row = None;
+                }
+            }
+            PimCommand::CuRead { row, col, buf } => {
+                let i = self.check_buf(*buf)?;
+                self.open(*row, bus, rank)?;
+                let e = self
+                    .bank
+                    .earliest_issue(BankCommand::Rd { col: *col }, self.buf_busy[i])?;
+                let slot = bus.claim(e);
+                self.bank.issue_at(BankCommand::Rd { col: *col }, slot)?;
+                self.energy.record_rd(&self.eparams);
+                let done = slot + self.resolved.cl;
+                self.buf_ready[i] = done;
+                self.buf_busy[i] = done;
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: done,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::CuWrite { row, col, buf } => {
+                let i = self.check_buf(*buf)?;
+                self.open(*row, bus, rank)?;
+                let e = self
+                    .bank
+                    .earliest_issue(BankCommand::Wr { col: *col }, self.buf_ready[i])?;
+                let slot = bus.claim(e);
+                self.bank.issue_at(BankCommand::Wr { col: *col }, slot)?;
+                self.energy.record_wr(&self.eparams);
+                let drained = slot + self.resolved.cl;
+                self.buf_busy[i] = drained;
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: drained,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::C1 { buf, .. } => {
+                let i = self.check_buf(*buf)?;
+                let ready = self.cu_free.max(self.buf_ready[i]);
+                let slot = bus.claim(ready);
+                let done = slot + self.config.c1_ps();
+                self.cu_free = done;
+                self.buf_ready[i] = done;
+                self.buf_busy[i] = done;
+                self.energy.record_c1(&self.eparams);
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: done,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::C2 { p, s, .. } => {
+                self.issue_two_buffer(cmd, *p, *s, self.config.c2_ps(), bus)?;
+            }
+            PimCommand::Pointwise { p, s } => {
+                self.issue_two_buffer(cmd, *p, *s, self.config.elementwise_ps(), bus)?;
+            }
+            PimCommand::Scale { buf, .. } => {
+                let i = self.check_buf(*buf)?;
+                let ready = self.cu_free.max(self.buf_ready[i]);
+                let slot = bus.claim(ready);
+                let done = slot + self.config.elementwise_ps();
+                self.cu_free = done;
+                self.buf_ready[i] = done;
+                self.buf_busy[i] = done;
+                self.energy.record_c2(&self.eparams);
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: done,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::RegLoad { buf, .. } | PimCommand::RegStore { buf, .. } => {
+                let i = self.check_buf(*buf)?;
+                let ready = self.cu_free.max(self.buf_ready[i]);
+                let slot = bus.claim(ready);
+                let done = slot + self.config.reg_move_ps();
+                self.cu_free = done;
+                if matches!(cmd, PimCommand::RegStore { .. }) {
+                    self.buf_ready[i] = done;
+                }
+                self.buf_busy[i] = self.buf_busy[i].max(done);
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: done,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::RegBu { .. } => {
+                let slot = bus.claim(self.cu_free);
+                let done = slot + self.config.reg_bu_ps();
+                self.cu_free = done;
+                self.energy.record_c2(&self.eparams);
+                self.events.push(Event {
+                    at_ps: slot,
+                    end_ps: done,
+                    cmd: cmd.clone(),
+                });
+            }
+            PimCommand::SetModulus { .. } | PimCommand::SetTwiddle { .. } => {
+                let beats = match cmd {
+                    PimCommand::SetTwiddle { beats } => *beats as u64,
+                    _ => self.config.cu.param_beats as u64,
+                };
+                // Broadcast beats occupy consecutive bus slots; the CU
+                // latches parameters when idle.
+                let mut slot = bus.claim(self.cu_free);
+                let first = slot;
+                for _ in 1..beats {
+                    slot = bus.claim(slot + 1);
+                }
+                self.cu_free = self.cu_free.max(slot + self.resolved.cycle_ps);
+                self.energy.record_param_beats(&self.eparams, beats);
+                self.events.push(Event {
+                    at_ps: first,
+                    end_ps: slot + self.resolved.cycle_ps,
+                    cmd: cmd.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn issue_two_buffer(
+        &mut self,
+        cmd: &PimCommand,
+        p: BufId,
+        s: BufId,
+        latency_ps: u64,
+        bus: &mut dyn Bus,
+    ) -> Result<(), PimError> {
+        let pi = self.check_buf(p)?;
+        let si = self.check_buf(s)?;
+        let ready = self.cu_free.max(self.buf_ready[pi]).max(self.buf_ready[si]);
+        let slot = bus.claim(ready);
+        let done = slot + latency_ps;
+        self.cu_free = done;
+        for i in [pi, si] {
+            self.buf_ready[i] = done;
+            self.buf_busy[i] = done;
+        }
+        self.energy.record_c2(&self.eparams);
+        self.events.push(Event {
+            at_ps: slot,
+            end_ps: done,
+            cmd: cmd.clone(),
+        });
+        Ok(())
+    }
+
+    fn finish(self) -> Timeline {
+        let end_ps = self.events.iter().map(|e| e.end_ps).max().unwrap_or(0);
+        Timeline {
+            events: self.events,
+            end_ps,
+            counters: self.bank.counters(),
+            energy: self.energy,
+            logical_issue_ps: self.logical_issue_ps,
+        }
+    }
+}
+
+/// Schedules a program on one bank.
+///
+/// # Errors
+///
+/// Propagates configuration and DRAM state errors; a correct mapper output
+/// never triggers the latter.
+pub fn schedule(config: &PimConfig, program: &Program) -> Result<Timeline, PimError> {
+    config.validate()?;
+    let resolved = config.timing.resolve();
+    let mut bus = MonotonicBus {
+        cycle_ps: resolved.cycle_ps,
+        next_free: 0,
+    };
+    let mut rank = RankTimer::new(&resolved);
+    let mut engine = Engine::new(config);
+    for cmd in &program.commands {
+        engine.issue(cmd, &mut bus, &mut rank)?;
+    }
+    Ok(engine.finish())
+}
+
+/// Schedules one program per bank over a shared command bus (bank-level
+/// parallelism). Banks round-robin for bus slots; each bank's stream stays
+/// in order.
+///
+/// # Errors
+///
+/// [`PimError::BadConfig`] when more programs than banks are supplied;
+/// otherwise as [`schedule`].
+pub fn schedule_parallel(
+    config: &PimConfig,
+    programs: &[Program],
+) -> Result<ParallelTimeline, PimError> {
+    config.validate()?;
+    if programs.len() > config.geometry.banks as usize {
+        return Err(PimError::BadConfig {
+            reason: format!(
+                "{} programs for {} banks",
+                programs.len(),
+                config.geometry.banks
+            ),
+        });
+    }
+    let resolved = config.timing.resolve();
+    let mut bus = SlotBus {
+        cycle_ps: resolved.cycle_ps,
+        taken: BTreeSet::new(),
+    };
+    // Banks share the rank: tRRD/tFAW couple their activations.
+    let mut rank = RankTimer::new(&resolved);
+    let mut engines: Vec<Engine> = programs.iter().map(|_| Engine::new(config)).collect();
+    let mut pcs = vec![0usize; programs.len()];
+    loop {
+        let mut progressed = false;
+        for (b, prog) in programs.iter().enumerate() {
+            if pcs[b] < prog.commands.len() {
+                engines[b].issue(&prog.commands[pcs[b]], &mut bus, &mut rank)?;
+                pcs[b] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let banks: Vec<Timeline> = engines.into_iter().map(Engine::finish).collect();
+    let end_ps = banks.iter().map(|t| t.end_ps).max().unwrap_or(0);
+    Ok(ParallelTimeline { banks, end_ps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PolyLayout;
+    use crate::mapper::{map_ntt, MapperOptions, NttParams};
+    use dram_sim::validate::validate_trace;
+
+    const Q: u32 = 2_013_265_921; // 15 * 2^27 + 1
+
+    fn program(c: &PimConfig, n: usize, opts: MapperOptions) -> Program {
+        let layout = PolyLayout::new(c, 0, n).unwrap();
+        let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+        map_ntt(c, &layout, &NttParams { q: Q, omega }, &opts).unwrap()
+    }
+
+    fn run(nb: usize, n: usize, opts: MapperOptions) -> (PimConfig, Timeline) {
+        let c = PimConfig::hbm2e(nb);
+        let prog = program(&c, n, opts);
+        let tl = schedule(&c, &prog).unwrap();
+        (c, tl)
+    }
+
+    #[test]
+    fn schedules_validate_against_independent_checker() {
+        for nb in [1usize, 2, 4, 6] {
+            for n in [8usize, 64, 256, 512] {
+                let (c, tl) = run(nb, n, MapperOptions::default());
+                validate_trace(c.timing.resolve(), c.geometry, &tl.bank_trace())
+                    .unwrap_or_else(|(i, e)| panic!("nb={nb} n={n}: entry {i}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn more_buffers_never_slower() {
+        let mut last = u64::MAX;
+        for nb in [1usize, 2, 4, 6] {
+            let (_, tl) = run(nb, 1024, MapperOptions::default());
+            assert!(
+                tl.end_ps <= last,
+                "nb={nb} slower than smaller nb: {} > {last}",
+                tl.end_ps
+            );
+            last = tl.end_ps;
+        }
+    }
+
+    #[test]
+    fn single_buffer_is_order_of_magnitude_slower() {
+        let (_, tl1) = run(1, 512, MapperOptions::default());
+        let (_, tl2) = run(2, 512, MapperOptions::default());
+        assert!(
+            tl1.end_ps > 5 * tl2.end_ps,
+            "Nb=1 {} vs Nb=2 {}",
+            tl1.end_ps,
+            tl2.end_ps
+        );
+    }
+
+    #[test]
+    fn intra_row_transform_uses_minimal_activations() {
+        // N = 256 fits in one row: exactly one activation.
+        let (_, tl) = run(2, 256, MapperOptions::default());
+        assert_eq!(tl.activations(), 1);
+    }
+
+    #[test]
+    fn grouping_reduces_activations() {
+        let base = MapperOptions {
+            group_same_row: false,
+            ..Default::default()
+        };
+        let (_, no_group) = run(4, 2048, base);
+        let (_, grouped) = run(4, 2048, MapperOptions::default());
+        assert!(
+            grouped.activations() < no_group.activations(),
+            "grouped {} !< ungrouped {}",
+            grouped.activations(),
+            no_group.activations()
+        );
+    }
+
+    #[test]
+    fn in_place_update_reduces_activations_and_time() {
+        let ablated = MapperOptions {
+            in_place_update: false,
+            ..Default::default()
+        };
+        let (_, no_ip) = run(2, 2048, ablated);
+        let (_, ip) = run(2, 2048, MapperOptions::default());
+        assert!(ip.activations() < no_ip.activations());
+        assert!(ip.end_ps < no_ip.end_ps);
+    }
+
+    #[test]
+    fn inter_row_activation_count_matches_model() {
+        // N = 1024 = 4R: stages 8 and 9 are inter-row; with Nb=2 the
+        // in-place write order costs ~2 ACTs per vector op.
+        let (_, tl) = run(2, 1024, MapperOptions::default());
+        let inter_row_ops = 2 * 64;
+        let acts = tl.activations() as usize;
+        assert!(acts >= inter_row_ops, "too few activations: {acts}");
+        // Phase 1 pays one ACT per row per stage pass (4 rows × 6 passes),
+        // the inter-row stages ~2 per vector op.
+        assert!(acts <= 4 * 6 + 2 * inter_row_ops + 4, "too many: {acts}");
+    }
+
+    #[test]
+    fn ascii_render_contains_both_tracks() {
+        let (_, tl) = run(2, 64, MapperOptions::default());
+        let pic = tl.render_ascii(0, tl.end_ps.min(200_000), 833);
+        assert!(pic.contains("I/O |"));
+        assert!(pic.contains("CU  |"));
+        assert!(pic.contains("RD") || pic.contains("AC"));
+    }
+
+    #[test]
+    fn energy_scales_with_work() {
+        let (_, small) = run(2, 256, MapperOptions::default());
+        let (_, large) = run(2, 4096, MapperOptions::default());
+        assert!(large.energy.total_pj > 10.0 * small.energy.total_pj);
+    }
+
+    #[test]
+    fn parallel_banks_scale_nearly_linearly() {
+        let c = PimConfig::hbm2e(2).with_banks(4);
+        let prog = program(&c, 1024, MapperOptions::default());
+        let single = schedule(&c, &prog).unwrap();
+        let four = schedule_parallel(&c, &vec![prog.clone(); 4]).unwrap();
+        // 4 NTTs in 4 banks should take well under 2x one NTT's time.
+        assert!(
+            four.end_ps < 2 * single.end_ps,
+            "4-bank {} vs 1-bank {}",
+            four.end_ps,
+            single.end_ps
+        );
+        // And the combined trace must be globally legal.
+        validate_trace(c.timing.resolve(), c.geometry, &four.bank_trace())
+            .unwrap_or_else(|(i, e)| panic!("entry {i}: {e}"));
+    }
+
+    #[test]
+    fn refresh_adds_small_overhead_and_stays_legal() {
+        let n = 8192; // long enough to span several tREFI windows
+        let base = PimConfig::hbm2e(2);
+        let with_ref = base.with_refresh(true);
+        let prog = program(&base, n, MapperOptions::default());
+        let plain = schedule(&base, &prog).unwrap();
+        let refreshed = schedule(&with_ref, &prog).unwrap();
+        assert!(refreshed.counters.refreshes > 0, "refreshes must fire");
+        assert!(refreshed.end_ps > plain.end_ps);
+        let overhead = refreshed.end_ps as f64 / plain.end_ps as f64;
+        assert!(
+            overhead < 1.15,
+            "refresh should cost a few percent, got {overhead:.3}x"
+        );
+        // The refreshed trace is still protocol-legal.
+        validate_trace(
+            with_ref.timing.resolve(),
+            with_ref.geometry,
+            &refreshed.bank_trace(),
+        )
+        .unwrap_or_else(|(i, e)| panic!("entry {i}: {e}"));
+    }
+
+    #[test]
+    fn refresh_does_not_change_results() {
+        use crate::sim::FunctionalSim;
+        let c = PimConfig::hbm2e(2).with_refresh(true);
+        let prog = program(&c, 512, MapperOptions::default());
+        let mut sim = FunctionalSim::new(&c).unwrap();
+        let data: Vec<u32> = (0..512u32).collect();
+        sim.load_words(0, &data);
+        sim.execute(&prog).unwrap();
+        // Scheduling with refresh injection must not disturb values
+        // (refresh restores the row buffer, never data).
+        let _ = schedule(&c, &prog).unwrap();
+        let out = sim.read_region_at(prog.final_base, 512);
+        assert_eq!(out.len(), 512);
+    }
+
+    #[test]
+    fn parallel_rejects_too_many_programs() {
+        let c = PimConfig::hbm2e(2); // 1 bank
+        let prog = program(&c, 256, MapperOptions::default());
+        assert!(schedule_parallel(&c, &vec![prog; 2]).is_err());
+    }
+}

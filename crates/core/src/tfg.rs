@@ -1,0 +1,126 @@
+//! On-the-fly twiddle factor generation (paper §IV.A, after Aysu et al.).
+//!
+//! Storing `N` twiddles would defeat the area budget, so the CU generates
+//! them multiplicatively: a generator register starts at `ω0` and is
+//! multiplied by a step `rω` per butterfly lane. Both values are kept in
+//! **Montgomery form**, which buys two things:
+//!
+//! 1. the generator update `ω ← ω·rω` is a single REDC multiply, and
+//! 2. the butterfly's `ModMult` of plain-form *data* by the Montgomery-form
+//!    *twiddle* yields a plain-form product in one REDC
+//!    (`REDC(x · (ωR)) = x·ω mod q`) — no conversions ever touch the
+//!    data path.
+//!
+//! The memory controller computes `(ω0, rω)` per command from the host
+//! parameters; [`TwiddleGen`] is the hardware-side register pair.
+
+use modmath::montgomery::Montgomery32;
+
+/// The twiddle generator register pair of one compute command.
+#[derive(Debug, Clone, Copy)]
+pub struct TwiddleGen {
+    mont: Montgomery32,
+    current_mont: u32,
+    step_mont: u32,
+}
+
+impl TwiddleGen {
+    /// Seeds the generator with Montgomery-form `ω0` and step `rω`.
+    pub fn new(mont: Montgomery32, omega0_mont: u32, r_omega_mont: u32) -> Self {
+        Self {
+            mont,
+            current_mont: omega0_mont,
+            step_mont: r_omega_mont,
+        }
+    }
+
+    /// The current twiddle (Montgomery form) — what the butterfly consumes.
+    pub fn current(&self) -> u32 {
+        self.current_mont
+    }
+
+    /// Advances `ω ← ω·rω` (one REDC multiply).
+    pub fn step(&mut self) {
+        self.current_mont = self.mont.mul(self.current_mont, self.step_mont);
+    }
+
+    /// Returns the current twiddle and advances — the per-lane pattern of
+    /// Algorithm 2's inner loop.
+    pub fn next_twiddle(&mut self) -> u32 {
+        let t = self.current_mont;
+        self.step();
+        t
+    }
+}
+
+/// Memory-controller helper: converts plain-form parameters into the
+/// Montgomery-form values broadcast to the bank.
+///
+/// # Example
+///
+/// ```
+/// use modmath::montgomery::Montgomery32;
+/// use ntt_pim_core::tfg::{params_to_mont, TwiddleGen};
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let mont = Montgomery32::new(7681)?;
+/// let tw = params_to_mont(&mont, 3383, 1);
+/// let mut gen = TwiddleGen::new(mont, tw.omega0_mont, tw.r_omega_mont);
+/// // Plain data multiplied by the Montgomery-form twiddle in one REDC:
+/// let product = mont.redc(5u64 * gen.next_twiddle() as u64);
+/// assert_eq!(product as u64, 5 * 3383 % 7681);
+/// # Ok(())
+/// # }
+/// ```
+pub fn params_to_mont(mont: &Montgomery32, omega0: u32, r_omega: u32) -> crate::cmd::TwiddleParams {
+    crate::cmd::TwiddleParams {
+        omega0_mont: mont.to_mont(omega0),
+        r_omega_mont: mont.to_mont(r_omega),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::arith::{mul_mod, pow_mod};
+
+    const Q: u32 = 7681;
+
+    #[test]
+    fn generates_geometric_sequence() {
+        let mont = Montgomery32::new(Q).unwrap();
+        let omega0 = 17u32;
+        let r = 62u32;
+        let tw = params_to_mont(&mont, omega0, r);
+        let mut gen = TwiddleGen::new(mont, tw.omega0_mont, tw.r_omega_mont);
+        for l in 0..20u64 {
+            let expect = mul_mod(
+                omega0 as u64,
+                pow_mod(r as u64, l, Q as u64),
+                Q as u64,
+            ) as u32;
+            let got = mont.from_mont(gen.next_twiddle());
+            assert_eq!(got, expect, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn montgomery_twiddle_times_plain_data_is_one_redc() {
+        let mont = Montgomery32::new(Q).unwrap();
+        let tw = params_to_mont(&mont, 1234, 1);
+        let gen = TwiddleGen::new(mont, tw.omega0_mont, tw.r_omega_mont);
+        for data in [0u32, 1, 7680, 4000] {
+            let prod = mont.redc(data as u64 * gen.current() as u64);
+            assert_eq!(prod as u64, data as u64 * 1234 % Q as u64);
+        }
+    }
+
+    #[test]
+    fn unit_step_freezes_generator() {
+        let mont = Montgomery32::new(Q).unwrap();
+        let tw = params_to_mont(&mont, 99, 1);
+        let mut gen = TwiddleGen::new(mont, tw.omega0_mont, tw.r_omega_mont);
+        let first = gen.next_twiddle();
+        assert_eq!(gen.next_twiddle(), first);
+    }
+}

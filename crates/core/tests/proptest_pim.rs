@@ -1,0 +1,163 @@
+//! Property-based tests of the PIM model: for arbitrary polynomial
+//! lengths, buffer counts, mapper options, and inputs, the mapped command
+//! stream must (1) compute exactly the reference transform and (2) yield
+//! a schedule that passes the independent DRAM-protocol validator.
+
+use dram_sim::validate::validate_trace;
+use modmath::bitrev::bitrev_permute;
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::layout::PolyLayout;
+use ntt_pim_core::mapper::{map_ntt, Dataflow, MapperOptions, NttParams};
+use ntt_pim_core::sched::schedule;
+use ntt_pim_core::sim::FunctionalSim;
+use proptest::prelude::*;
+
+const Q: u32 = 2_013_265_921; // 15 * 2^27 + 1
+
+fn reference_ntt(x: &[u64], w: u64, q: u64) -> Vec<u64> {
+    // O(N log N) reference via the ntt-ref plan seeded with a matching ψ.
+    let n = x.len();
+    let psi0 = modmath::prime::root_of_unity(2 * n as u64, q).unwrap();
+    // Find e with psi0^(2e)... simpler: the device and mapper both use
+    // root_of_unity(n), which equals psi0^2 exactly when both come from the
+    // same generator search — assert and reuse.
+    let field = modmath::prime::NttField::with_psi(n, q, psi0).unwrap();
+    assert_eq!(field.root_of_unity(), w, "same derivation path");
+    let plan = ntt_ref::plan::NttPlan::new(field);
+    let mut v = x.to_vec();
+    plan.forward(&mut v);
+    v
+}
+
+fn random_poly(n: usize, seed: u64) -> Vec<u32> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % Q as u64) as u32
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: map → execute == reference NTT, for any
+    /// (N, Nb, options) combination, and the schedule is protocol-legal.
+    #[test]
+    fn mapped_ntt_is_correct_and_schedulable(
+        log_n in 2u32..=11,
+        nb in prop::sample::select(vec![2usize, 3, 4, 6, 8]),
+        in_place in any::<bool>(),
+        grouping in any::<bool>(),
+        dif in any::<bool>(),
+        refresh in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let config = PimConfig::hbm2e(nb).with_refresh(refresh);
+        let layout = PolyLayout::new(&config, 0, n).unwrap();
+        let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+        let opts = MapperOptions {
+            dataflow: if dif { Dataflow::DifToBitrev } else { Dataflow::DitFromBitrev },
+            inverse: false,
+            in_place_update: in_place,
+            group_same_row: grouping,
+        };
+        let program = map_ntt(&config, &layout, &NttParams { q: Q, omega }, &opts).unwrap();
+
+        // (1) Functional equivalence.
+        let poly = random_poly(n, seed);
+        let mut sim = FunctionalSim::new(&config).unwrap();
+        let mut image: Vec<u32> = poly.clone();
+        if !dif {
+            bitrev_permute(&mut image);
+        }
+        sim.load_words(0, &image);
+        sim.execute(&program).unwrap();
+        let mut got = sim.read_region_at(program.final_base, n);
+        if dif {
+            bitrev_permute(&mut got);
+        }
+        let expect = reference_ntt(
+            &poly.iter().map(|&v| v as u64).collect::<Vec<_>>(),
+            omega as u64,
+            Q as u64,
+        );
+        for i in 0..n {
+            prop_assert_eq!(got[i] as u64, expect[i], "element {}", i);
+        }
+
+        // (2) Protocol legality, checked by the independent validator.
+        let timeline = schedule(&config, &program).unwrap();
+        validate_trace(config.timing.resolve(), config.geometry, &timeline.bank_trace())
+            .map_err(|(i, e)| TestCaseError::fail(format!("trace entry {i}: {e}")))?;
+
+        // (3) Sanity: latency positive and monotone with N handled elsewhere.
+        prop_assert!(timeline.end_ps > 0);
+    }
+
+    /// Forward-then-inverse through the device equals the identity for
+    /// arbitrary inputs and buffer counts.
+    #[test]
+    fn device_roundtrip(
+        log_n in 2u32..=10,
+        nb in prop::sample::select(vec![2usize, 4, 6]),
+        seed in any::<u64>(),
+    ) {
+        use ntt_pim_core::device::{NttDirection, PimDevice};
+        let n = 1usize << log_n;
+        let mut dev = PimDevice::new(PimConfig::hbm2e(nb)).unwrap();
+        let poly = random_poly(n, seed);
+        let mut h = dev.load_polynomial_bitrev(0, &poly, Q).unwrap();
+        dev.ntt_in_place(&mut h, NttDirection::Forward).unwrap();
+        dev.ntt_in_place(&mut h, NttDirection::Inverse).unwrap();
+        prop_assert_eq!(dev.read_polynomial(&h).unwrap(), poly);
+    }
+
+    /// Scale-then-unscale through the device is the identity (the TFG's
+    /// geometric generator and its inverse cancel).
+    #[test]
+    fn scale_unscale_roundtrip(
+        log_n in 2u32..=9,
+        seed in any::<u64>(),
+        r in 2u64..1000,
+    ) {
+        use ntt_pim_core::mapper::map_scale;
+        let n = 1usize << log_n;
+        let config = PimConfig::hbm2e(2);
+        let layout = PolyLayout::new(&config, 0, n).unwrap();
+        let poly = random_poly(n, seed);
+        let r = (r % (Q as u64 - 2) + 2) as u32;
+        let r_inv = modmath::arith::inv_mod(r as u64, Q as u64).unwrap() as u32;
+        let mut sim = FunctionalSim::new(&config).unwrap();
+        sim.load_words(0, &poly);
+        sim.execute(&map_scale(&config, &layout, Q, 1, r).unwrap()).unwrap();
+        sim.execute(&map_scale(&config, &layout, Q, 1, r_inv).unwrap()).unwrap();
+        prop_assert_eq!(sim.read_region(&layout), poly);
+    }
+
+    /// More buffers never hurt latency (for the same mapping options).
+    #[test]
+    fn buffers_monotone(log_n in 4u32..=11) {
+        let n = 1usize << log_n;
+        let omega = modmath::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
+        let mut last = u64::MAX;
+        for nb in [2usize, 4, 6, 8] {
+            let config = PimConfig::hbm2e(nb);
+            let layout = PolyLayout::new(&config, 0, n).unwrap();
+            let program = map_ntt(
+                &config,
+                &layout,
+                &NttParams { q: Q, omega },
+                &MapperOptions::default(),
+            )
+            .unwrap();
+            let tl = schedule(&config, &program).unwrap();
+            prop_assert!(tl.end_ps <= last, "nb={} regressed", nb);
+            last = tl.end_ps;
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Cycle-level DRAM bank simulator — the DRAMsim3 substitute of the
+//! NTT-PIM reproduction.
+//!
+//! The paper evaluates NTT-PIM with "an in-house PIM simulator, which
+//! consists of a front-end driver and DRAMsim3 working in tandem"
+//! (§VI.A). This crate is the DRAMsim3 side of that pair: a deterministic,
+//! command-accurate model of a DRAM bank with
+//!
+//! * the timing constraints of the paper's Table I (CL, tCCD, tRP, tRAS,
+//!   tRCD, tWR at 1200 MHz HBM2E) enforced by a per-bank state machine
+//!   ([`bank::BankTimer`]),
+//! * functional storage ([`storage::BankStorage`]) so command streams can
+//!   be executed for *values*, not just times,
+//! * a shared command bus and multi-bank chip ([`chip`]) for bank-level
+//!   parallelism studies, and
+//! * per-command energy accounting ([`energy`]).
+//!
+//! Times are modeled in integer **picoseconds** so that mixed clock domains
+//! (DRAM latency fixed in nanoseconds, compute-unit latency scaling with
+//! clock frequency — the paper's Fig. 8 experiment) compose exactly.
+//!
+//! Traces serialize to a textual format ([`trace`]) for inspection and
+//! replay, mirroring the paper's trace-driven methodology (its Fig. 1).
+//!
+//! An independent trace validator ([`validate::validate_trace`]) replays
+//! finished schedules against fresh state machines; the PIM scheduler's
+//! tests use it so that the component that *builds* schedules is never the
+//! component that *checks* them.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_sim::timing::TimingParams;
+//! use dram_sim::bank::{BankCommand, BankTimer};
+//!
+//! # fn main() -> Result<(), dram_sim::TimingError> {
+//! let t = TimingParams::hbm2e();
+//! let mut bank = BankTimer::new(t.resolve());
+//! let t0 = bank.earliest_issue(BankCommand::Act { row: 7 }, 0)?;
+//! bank.issue_at(BankCommand::Act { row: 7 }, t0)?;
+//! // A column read must wait tRCD after the activation.
+//! let t1 = bank.earliest_issue(BankCommand::Rd { col: 0 }, t0)?;
+//! assert_eq!(t1 - t0, t.resolve().t_rcd);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod chip;
+pub mod rank;
+pub mod energy;
+pub mod stats;
+pub mod storage;
+pub mod timing;
+pub mod trace;
+pub mod validate;
+
+mod error;
+
+pub use error::TimingError;

@@ -1,0 +1,73 @@
+//! Aggregate command-stream statistics.
+
+use crate::bank::BankCounters;
+
+/// Summary of one simulated command stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Per-kind command counts.
+    pub counters: BankCounters,
+    /// Issue time of the first command (ps).
+    pub start_ps: u64,
+    /// Completion time of the stream (ps) — last command issue plus its
+    /// latency, as reported by the producer.
+    pub end_ps: u64,
+}
+
+impl TraceStats {
+    /// Total wall-clock span in picoseconds.
+    pub fn span_ps(&self) -> u64 {
+        self.end_ps.saturating_sub(self.start_ps)
+    }
+
+    /// Span in nanoseconds.
+    pub fn span_ns(&self) -> f64 {
+        self.span_ps() as f64 / 1000.0
+    }
+
+    /// Span in microseconds.
+    pub fn span_us(&self) -> f64 {
+        self.span_ps() as f64 / 1.0e6
+    }
+
+    /// Row-buffer hit rate among column commands (0 when there were none).
+    pub fn row_hit_rate(&self) -> f64 {
+        let cols = self.counters.reads + self.counters.writes;
+        if cols == 0 {
+            0.0
+        } else {
+            self.counters.row_hits as f64 / cols as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_and_rates() {
+        let s = TraceStats {
+            counters: BankCounters {
+                acts: 2,
+                pres: 2,
+                reads: 6,
+                writes: 2,
+                refreshes: 0,
+                row_hits: 6,
+            },
+            start_ps: 1000,
+            end_ps: 11_000,
+        };
+        assert_eq!(s.span_ps(), 10_000);
+        assert!((s.span_ns() - 10.0).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_safe() {
+        let s = TraceStats::default();
+        assert_eq!(s.span_ps(), 0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+}

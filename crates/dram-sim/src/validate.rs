@@ -1,0 +1,214 @@
+//! Independent trace validation.
+//!
+//! The PIM scheduler in `ntt-pim-core` *constructs* command timelines; this
+//! module *checks* finished timelines by replaying them through fresh
+//! [`BankTimer`]s and a fresh bus-occupancy map. Scheduler tests use it so
+//! the checker shares no code (and no bugs) with the producer, per the
+//! verification strategy in DESIGN.md.
+
+use crate::bank::{BankCommand, BankTimer};
+use crate::rank::RankTimer;
+use crate::timing::{Geometry, ResolvedTiming};
+use crate::TimingError;
+use std::collections::HashSet;
+
+/// One timestamped command of a finished schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Issue time in picoseconds.
+    pub at_ps: u64,
+    /// Target bank.
+    pub bank: u32,
+    /// The command.
+    pub cmd: BankCommand,
+}
+
+/// Replays `trace` and returns the index and cause of the first violation.
+///
+/// Checks, in order, for every entry:
+///
+/// 1. addresses are within `geometry`,
+/// 2. the shared command bus carries at most one command per cycle slot and
+///    commands are slot-aligned,
+/// 3. the per-bank timing constraints of [`BankTimer`] hold, and
+/// 4. rank-level activation limits (tRRD / tFAW) hold across banks.
+///
+/// Entries must be sorted by `at_ps` (ties broken arbitrarily but
+/// distinct slots enforced); unsorted traces are reported as bus
+/// conflicts or `TooEarly` violations, never silently accepted.
+///
+/// # Errors
+///
+/// `Err((index, cause))` identifies the first offending entry.
+pub fn validate_trace(
+    timing: ResolvedTiming,
+    geometry: Geometry,
+    trace: &[TraceEntry],
+) -> Result<(), (usize, TimingError)> {
+    let mut banks: Vec<BankTimer> = (0..geometry.banks)
+        .map(|_| BankTimer::new(timing))
+        .collect();
+    let mut rank = RankTimer::new(&timing);
+    let mut bus_slots: HashSet<u64> = HashSet::with_capacity(trace.len());
+    for (i, e) in trace.iter().enumerate() {
+        // 1. Addresses.
+        if e.bank >= geometry.banks {
+            return Err((
+                i,
+                TimingError::AddressOutOfRange {
+                    what: "bank",
+                    value: e.bank as u64,
+                    limit: geometry.banks as u64,
+                },
+            ));
+        }
+        let addr_err = match e.cmd {
+            BankCommand::Act { row } if row >= geometry.rows_per_bank => {
+                Some(TimingError::AddressOutOfRange {
+                    what: "row",
+                    value: row as u64,
+                    limit: geometry.rows_per_bank as u64,
+                })
+            }
+            BankCommand::Rd { col } | BankCommand::Wr { col }
+                if col >= geometry.cols_per_row =>
+            {
+                Some(TimingError::AddressOutOfRange {
+                    what: "column",
+                    value: col as u64,
+                    limit: geometry.cols_per_row as u64,
+                })
+            }
+            _ => None,
+        };
+        if let Some(err) = addr_err {
+            return Err((i, err));
+        }
+        // 2. Bus occupancy and alignment.
+        if e.at_ps % timing.cycle_ps != 0 {
+            return Err((i, TimingError::BusConflict { at_ps: e.at_ps }));
+        }
+        if !bus_slots.insert(e.at_ps) {
+            return Err((i, TimingError::BusConflict { at_ps: e.at_ps }));
+        }
+        // 3. Bank timing.
+        if let Err(err) = banks[e.bank as usize].issue_at(e.cmd, e.at_ps) {
+            return Err((i, err));
+        }
+        // 4. Rank-level activation limits.
+        if let BankCommand::Act { .. } = e.cmd {
+            if !rank.is_legal(e.at_ps) {
+                return Err((
+                    i,
+                    TimingError::TooEarly {
+                        cmd: "ACT (rank tRRD/tFAW)",
+                        at_ps: e.at_ps,
+                        earliest_ps: rank.earliest_act(0),
+                    },
+                ));
+            }
+            rank.record_act(e.at_ps);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::TimingParams;
+
+    const C: u64 = 833;
+
+    fn setup() -> (ResolvedTiming, Geometry) {
+        (
+            TimingParams::hbm2e().resolve(),
+            Geometry::hbm2e_single_bank(),
+        )
+    }
+
+    fn entry(at_cycles: u64, cmd: BankCommand) -> TraceEntry {
+        TraceEntry {
+            at_ps: at_cycles * C,
+            bank: 0,
+            cmd,
+        }
+    }
+
+    #[test]
+    fn accepts_legal_trace() {
+        let (t, g) = setup();
+        let trace = vec![
+            entry(0, BankCommand::Act { row: 3 }),
+            entry(14, BankCommand::Rd { col: 0 }),
+            entry(16, BankCommand::Rd { col: 1 }),
+            entry(18, BankCommand::Wr { col: 0 }),
+            entry(64, BankCommand::Pre),
+            entry(78, BankCommand::Act { row: 4 }),
+        ];
+        validate_trace(t, g, &trace).expect("legal trace");
+    }
+
+    #[test]
+    fn rejects_trcd_violation() {
+        let (t, g) = setup();
+        let trace = vec![
+            entry(0, BankCommand::Act { row: 3 }),
+            entry(13, BankCommand::Rd { col: 0 }),
+        ];
+        let (i, err) = validate_trace(t, g, &trace).unwrap_err();
+        assert_eq!(i, 1);
+        assert!(matches!(err, TimingError::TooEarly { cmd: "RD", .. }));
+    }
+
+    #[test]
+    fn rejects_bus_double_booking() {
+        let (t, mut g) = setup();
+        g.banks = 2;
+        let trace = vec![
+            TraceEntry {
+                at_ps: 0,
+                bank: 0,
+                cmd: BankCommand::Act { row: 0 },
+            },
+            TraceEntry {
+                at_ps: 0,
+                bank: 1,
+                cmd: BankCommand::Act { row: 0 },
+            },
+        ];
+        let (i, err) = validate_trace(t, g, &trace).unwrap_err();
+        assert_eq!(i, 1);
+        assert!(matches!(err, TimingError::BusConflict { .. }));
+    }
+
+    #[test]
+    fn rejects_unaligned_issue() {
+        let (t, g) = setup();
+        let trace = vec![TraceEntry {
+            at_ps: 5, // not a multiple of the cycle
+            bank: 0,
+            cmd: BankCommand::Act { row: 0 },
+        }];
+        assert!(validate_trace(t, g, &trace).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_addresses() {
+        let (t, g) = setup();
+        let trace = vec![entry(0, BankCommand::Act { row: 1 << 20 })];
+        let (_, err) = validate_trace(t, g, &trace).unwrap_err();
+        assert!(matches!(
+            err,
+            TimingError::AddressOutOfRange { what: "row", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_read_without_activate() {
+        let (t, g) = setup();
+        let trace = vec![entry(0, BankCommand::Rd { col: 0 })];
+        let (_, err) = validate_trace(t, g, &trace).unwrap_err();
+        assert!(matches!(err, TimingError::RowNotOpen { .. }));
+    }
+}

@@ -1,0 +1,299 @@
+//! Textbook BFV-style encryption (toy; see the crate warning).
+//!
+//! Implements key generation, encryption, decryption, homomorphic
+//! addition/subtraction, and ciphertext-by-plaintext multiplication —
+//! enough to generate realistic NTT traffic (every operation is built on
+//! negacyclic polynomial products). Full ciphertext-ciphertext
+//! multiplication with relinearization is out of scope (it needs tensored
+//! moduli and key switching, none of which changes the NTT call pattern
+//! this crate exists to produce).
+
+use crate::params::RlweParams;
+use crate::rns::RnsPoly;
+use crate::sampler;
+use crate::FheError;
+
+/// Secret key: a ternary polynomial `s`.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    s: RnsPoly,
+}
+
+/// Public key: `(b, a)` with `b = -(a·s + e)`.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    b: RnsPoly,
+    a: RnsPoly,
+}
+
+/// A BFV ciphertext `(c0, c1)` with `c0 + c1·s ≈ Δ·m`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    c0: RnsPoly,
+    c1: RnsPoly,
+}
+
+impl Ciphertext {
+    /// Computes `c0 + c1·s` — the decryption inner product, exposed for
+    /// noise analysis ([`crate::noise`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates RNS arithmetic errors.
+    pub fn inner_product(
+        &self,
+        params: &RlweParams,
+        sk: &SecretKey,
+    ) -> Result<RnsPoly, FheError> {
+        self.c0.add(&self.c1.mul(&sk.s, params)?, params)
+    }
+}
+
+/// Key generation with an explicit seed.
+///
+/// # Errors
+///
+/// Propagates RNS arithmetic errors (parameter mismatches cannot occur
+/// here in practice).
+pub fn keygen(params: &RlweParams, seed: u64) -> Result<(SecretKey, PublicKey), FheError> {
+    let n = params.n();
+    // Sample small polynomials once; encode the *signed* values per
+    // modulus (q-1 representing -1 must be per-q, so sample in signed form
+    // first).
+    let s_signed = signed_ternary(n, seed);
+    let e_signed = signed_cbd(n, 2, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let s = encode_signed(params, &s_signed);
+    let e = encode_signed(params, &e_signed);
+    let a = uniform_rns(params, seed ^ 0x5851_f42d_4c95_7f2d);
+    // b = -(a·s + e)
+    let as_ = a.mul(&s, params)?;
+    let b = RnsPoly::zero(params).sub(&as_.add(&e, params)?, params)?;
+    Ok((SecretKey { s }, PublicKey { b, a }))
+}
+
+/// Encrypts a plaintext polynomial (coefficients `< t`).
+///
+/// # Errors
+///
+/// [`FheError::BadParams`] for out-of-range plaintext coefficients.
+pub fn encrypt(
+    params: &RlweParams,
+    pk: &PublicKey,
+    m: &[u64],
+    seed: u64,
+) -> Result<Ciphertext, FheError> {
+    if m.len() != params.n() || m.iter().any(|&c| c >= params.t()) {
+        return Err(FheError::BadParams {
+            reason: "plaintext must have N coefficients below t".into(),
+        });
+    }
+    let n = params.n();
+    let u = encode_signed(params, &signed_ternary(n, seed));
+    let e1 = encode_signed(params, &signed_cbd(n, 2, seed ^ 0xa076_1d64_78bd_642f));
+    let e2 = encode_signed(params, &signed_cbd(n, 2, seed ^ 0xe703_7ed1_a0b4_28db));
+    // Δ·m encoded with full-width coefficients.
+    let delta = params.delta();
+    let dm: Vec<u128> = m.iter().map(|&c| delta * c as u128).collect();
+    let dm = RnsPoly::encode(params, &dm);
+    let c0 = pk.b.mul(&u, params)?.add(&e1, params)?.add(&dm, params)?;
+    let c1 = pk.a.mul(&u, params)?.add(&e2, params)?;
+    Ok(Ciphertext { c0, c1 })
+}
+
+/// Decrypts a ciphertext, rounding `(t/q)·(c0 + c1·s)` per coefficient.
+///
+/// # Errors
+///
+/// Propagates RNS errors.
+pub fn decrypt(params: &RlweParams, sk: &SecretKey, ct: &Ciphertext) -> Result<Vec<u64>, FheError> {
+    let inner = ct.inner_product(params, sk)?;
+    let wide = inner.reconstruct(params)?;
+    let q = params.q_full();
+    let t = params.t() as u128;
+    Ok(wide
+        .into_iter()
+        .map(|c| {
+            // round(t*c/q) mod t, with the multiplication split to avoid
+            // overflowing u128 (c < q < 2^124, t small).
+            let scaled = (c / q) * t + ((c % q) * t + q / 2) / q;
+            (scaled % t) as u64
+        })
+        .collect())
+}
+
+/// Homomorphic addition.
+///
+/// # Errors
+///
+/// [`FheError::ParamMismatch`] on mismatched ciphertexts.
+pub fn add(params: &RlweParams, x: &Ciphertext, y: &Ciphertext) -> Result<Ciphertext, FheError> {
+    Ok(Ciphertext {
+        c0: x.c0.add(&y.c0, params)?,
+        c1: x.c1.add(&y.c1, params)?,
+    })
+}
+
+/// Homomorphic subtraction.
+///
+/// # Errors
+///
+/// [`FheError::ParamMismatch`] on mismatched ciphertexts.
+pub fn sub(params: &RlweParams, x: &Ciphertext, y: &Ciphertext) -> Result<Ciphertext, FheError> {
+    Ok(Ciphertext {
+        c0: x.c0.sub(&y.c0, params)?,
+        c1: x.c1.sub(&y.c1, params)?,
+    })
+}
+
+/// Ciphertext-by-plaintext multiplication (`pt` coefficients `< t`,
+/// treated as a small signless polynomial).
+///
+/// # Errors
+///
+/// [`FheError::BadParams`] for out-of-range plaintext coefficients.
+pub fn mul_plain(
+    params: &RlweParams,
+    ct: &Ciphertext,
+    pt: &[u64],
+) -> Result<Ciphertext, FheError> {
+    if pt.len() != params.n() || pt.iter().any(|&c| c >= params.t()) {
+        return Err(FheError::BadParams {
+            reason: "plaintext must have N coefficients below t".into(),
+        });
+    }
+    let p = RnsPoly::encode_small(params, pt);
+    Ok(Ciphertext {
+        c0: ct.c0.mul(&p, params)?,
+        c1: ct.c1.mul(&p, params)?,
+    })
+}
+
+fn signed_ternary(n: usize, seed: u64) -> Vec<i64> {
+    sampler::ternary(n, 3, seed)
+        .into_iter()
+        .map(|c| match c {
+            0 => 0,
+            1 => 1,
+            _ => -1,
+        })
+        .collect()
+}
+
+fn signed_cbd(n: usize, eta: u32, seed: u64) -> Vec<i64> {
+    let big = 1u64 << 32;
+    sampler::centered_binomial(n, big, eta, seed)
+        .into_iter()
+        .map(|c| {
+            if c > big / 2 {
+                c as i64 - big as i64
+            } else {
+                c as i64
+            }
+        })
+        .collect()
+}
+
+fn encode_signed(params: &RlweParams, signed: &[i64]) -> RnsPoly {
+    let q = params.q_full();
+    let wide: Vec<u128> = signed
+        .iter()
+        .map(|&c| {
+            if c >= 0 {
+                c as u128 % q
+            } else {
+                q - ((-c) as u128 % q)
+            }
+        })
+        .collect();
+    RnsPoly::encode(params, &wide)
+}
+
+fn uniform_rns(params: &RlweParams, seed: u64) -> RnsPoly {
+    // Independent uniform residues per modulus are exactly uniform mod q
+    // by CRT.
+    let mut poly = RnsPoly::zero(params);
+    for (i, &q) in params.moduli().iter().enumerate() {
+        poly.set_residues(i, sampler::uniform(params.n(), q, seed ^ (i as u64) << 32));
+    }
+    poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RlweParams {
+        RlweParams::new(256, 2, 16).unwrap()
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let p = params();
+        let (sk, pk) = keygen(&p, 1).unwrap();
+        let m = sampler::plaintext(p.n(), p.t(), 2);
+        let ct = encrypt(&p, &pk, &m, 3).unwrap();
+        assert_eq!(decrypt(&p, &sk, &ct).unwrap(), m);
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let p = params();
+        let (sk, pk) = keygen(&p, 10).unwrap();
+        let m1 = sampler::plaintext(p.n(), p.t(), 11);
+        let m2 = sampler::plaintext(p.n(), p.t(), 12);
+        let ct = add(
+            &p,
+            &encrypt(&p, &pk, &m1, 13).unwrap(),
+            &encrypt(&p, &pk, &m2, 14).unwrap(),
+        )
+        .unwrap();
+        let got = decrypt(&p, &sk, &ct).unwrap();
+        for i in 0..p.n() {
+            assert_eq!(got[i], (m1[i] + m2[i]) % p.t());
+        }
+    }
+
+    #[test]
+    fn homomorphic_subtraction() {
+        let p = params();
+        let (sk, pk) = keygen(&p, 20).unwrap();
+        let m1 = sampler::plaintext(p.n(), p.t(), 21);
+        let m2 = sampler::plaintext(p.n(), p.t(), 22);
+        let ct = sub(
+            &p,
+            &encrypt(&p, &pk, &m1, 23).unwrap(),
+            &encrypt(&p, &pk, &m2, 24).unwrap(),
+        )
+        .unwrap();
+        let got = decrypt(&p, &sk, &ct).unwrap();
+        for i in 0..p.n() {
+            assert_eq!(got[i], (m1[i] + p.t() - m2[i]) % p.t());
+        }
+    }
+
+    #[test]
+    fn plaintext_multiplication_by_monomial() {
+        // Multiplying by X rotates coefficients negacyclically; small
+        // noise growth keeps decryption exact.
+        let p = params();
+        let (sk, pk) = keygen(&p, 30).unwrap();
+        let m = sampler::plaintext(p.n(), p.t(), 31);
+        let mut x = vec![0u64; p.n()];
+        x[1] = 1;
+        let ct = mul_plain(&p, &encrypt(&p, &pk, &m, 32).unwrap(), &x).unwrap();
+        let got = decrypt(&p, &sk, &ct).unwrap();
+        // X·m: coefficient i+1 = m[i]; constant term = -m[N-1] = t - m.
+        assert_eq!(got[0], (p.t() - m[p.n() - 1]) % p.t());
+        for i in 1..p.n() {
+            assert_eq!(got[i], m[i - 1]);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_plaintext() {
+        let p = params();
+        let (_, pk) = keygen(&p, 40).unwrap();
+        let bad = vec![p.t(); p.n()];
+        assert!(encrypt(&p, &pk, &bad, 41).is_err());
+    }
+}

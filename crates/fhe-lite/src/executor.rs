@@ -1,0 +1,243 @@
+//! PIM offload of the FHE NTT workload.
+//!
+//! An RNS polynomial's per-modulus forward NTTs are independent — the
+//! "FHE applications can naturally run multiple NTT functions using
+//! multiple banks" workload of the paper's §VI.A and conclusion. The
+//! executor places one residue polynomial per bank, runs the batch over
+//! the shared command bus, checks values against the CPU reference, and
+//! reports the speedup over running the same work through a single bank.
+
+use crate::params::RlweParams;
+use crate::rns::RnsPoly;
+use crate::FheError;
+use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::device::{PimDevice, StoredOrder};
+
+/// Timing summary of one batched offload.
+#[derive(Debug, Clone)]
+pub struct OffloadReport {
+    /// Latency of the bank-parallel batch (slowest bank), ns.
+    pub batch_ns: f64,
+    /// Sum of the same transforms run one-at-a-time in one bank, ns.
+    pub sequential_ns: f64,
+    /// Number of NTTs executed.
+    pub transforms: usize,
+}
+
+impl OffloadReport {
+    /// Bank-parallel speedup (the paper expects near-linear in banks).
+    pub fn speedup(&self) -> f64 {
+        self.sequential_ns / self.batch_ns
+    }
+}
+
+/// Runs the forward NTT of every RNS component of `poly` on PIM, one bank
+/// per component, verifying functional equality with the CPU transform.
+///
+/// The device must have at least `poly.components()` banks; residue
+/// moduli must fit the 32-bit datapath (guaranteed by [`RlweParams`]).
+///
+/// # Errors
+///
+/// Propagates PIM errors; [`FheError::BadParams`] when the device has too
+/// few banks.
+pub fn ntt_all_components(
+    params: &RlweParams,
+    poly: &RnsPoly,
+    config: &PimConfig,
+) -> Result<OffloadReport, FheError> {
+    let k = poly.components();
+    if (config.geometry.banks as usize) < k {
+        return Err(FheError::BadParams {
+            reason: format!("need {k} banks, device has {}", config.geometry.banks),
+        });
+    }
+    let mut dev = PimDevice::new(*config)?;
+    let mut handles = Vec::with_capacity(k);
+    for i in 0..k {
+        let q = params.moduli()[i] as u32;
+        let coeffs: Vec<u32> = poly.residues(i).iter().map(|&c| c as u32).collect();
+        handles.push(dev.load_in_bank(i, 0, &coeffs, q, StoredOrder::BitReversed)?);
+    }
+    let batch = dev.ntt_batch(&mut handles)?;
+
+    // Functional check against the CPU reference (cyclic forward NTT with
+    // the same ω the device derives).
+    for (i, h) in handles.iter().enumerate() {
+        let got = dev.read_polynomial(h)?;
+        let q = params.moduli()[i];
+        let omega = modmath::prime::root_of_unity(params.n() as u64, q)?;
+        let expect = direct_ntt(poly.residues(i), omega, q);
+        if let Some(idx) = got
+            .iter()
+            .zip(&expect)
+            .position(|(&a, &b)| a as u64 != b)
+        {
+            return Err(FheError::Pim(ntt_pim_core::PimError::VerificationFailed {
+                index: idx,
+                got: got[idx],
+                expected: expect[idx] as u32,
+            }));
+        }
+    }
+
+    // Sequential reference: same transforms one bank at a time.
+    let mut sequential_ns = 0.0;
+    for i in 0..k {
+        let q = params.moduli()[i] as u32;
+        let mut single = PimDevice::new(PimConfig { geometry: { let mut g = config.geometry; g.banks = 1; g }, ..*config })?;
+        let coeffs: Vec<u32> = poly.residues(i).iter().map(|&c| c as u32).collect();
+        let h = single.load_polynomial_bitrev(0, &coeffs, q)?;
+        let rep = single.ntt(&h, ntt_pim_core::device::NttDirection::Forward)?;
+        sequential_ns += rep.latency_ns();
+    }
+    Ok(OffloadReport {
+        batch_ns: batch.latency_ns,
+        sequential_ns,
+        transforms: k,
+    })
+}
+
+/// Multiplies two RNS polynomials entirely on PIM: one negacyclic product
+/// per modulus, one modulus per bank, batched over the shared command bus.
+/// The full FHE ring multiplication of the paper's Eq. (1), on-device.
+///
+/// Returns the product (replacing nothing in the inputs) and the batch
+/// timing report.
+///
+/// # Errors
+///
+/// [`FheError::BadParams`] with too few banks; PIM errors otherwise.
+pub fn polymul_all_components(
+    params: &RlweParams,
+    a: &RnsPoly,
+    b: &RnsPoly,
+    config: &PimConfig,
+) -> Result<(RnsPoly, ntt_pim_core::device::BatchReport), FheError> {
+    let k = a.components();
+    if b.components() != k {
+        return Err(FheError::ParamMismatch);
+    }
+    if (config.geometry.banks as usize) < k {
+        return Err(FheError::BadParams {
+            reason: format!("need {k} banks, device has {}", config.geometry.banks),
+        });
+    }
+    let n = params.n();
+    let mut dev = PimDevice::new(*config)?;
+    let mut pairs = Vec::with_capacity(k);
+    for i in 0..k {
+        let q = params.moduli()[i] as u32;
+        let ra: Vec<u32> = a.residues(i).iter().map(|&c| c as u32).collect();
+        let rb: Vec<u32> = b.residues(i).iter().map(|&c| c as u32).collect();
+        let ha = dev.load_in_bank(i, 0, &ra, q, StoredOrder::Natural)?;
+        let hb = dev.load_in_bank(i, n.max(256), &rb, q, StoredOrder::Natural)?;
+        pairs.push((ha, hb));
+    }
+    let report = dev.polymul_batch(&pairs)?;
+    let mut out = RnsPoly::zero(params);
+    for (i, (ha, _)) in pairs.iter().enumerate() {
+        let got = dev.read_polynomial(ha)?;
+        out.set_residues(i, got.into_iter().map(u64::from).collect());
+    }
+    Ok((out, report))
+}
+
+fn direct_ntt(x: &[u64], omega: u64, q: u64) -> Vec<u64> {
+    let n = x.len();
+    // O(N²) would be slow for large N; use the iterative reference via a
+    // plan seeded with the matching root. ψ with ψ² = ω is needed by the
+    // plan; find one by taking a 2N-th root whose square is ω.
+    let psi = matching_psi(n, omega, q);
+    let field = modmath::prime::NttField::with_psi(n, q, psi).expect("validated params");
+    let plan = ntt_ref::plan::NttPlan::new(field);
+    let mut v = x.to_vec();
+    plan.forward(&mut v);
+    v
+}
+
+/// Finds a primitive 2N-th root ψ with ψ² = ω. Writing ω = ψ0^e for a
+/// primitive 2N-th root ψ0, the exponent e is even (ω has order N), and
+/// the two square roots of ω are ψ0^(e/2) and ψ0^(e/2 + N); at least one
+/// has full order 2N.
+fn matching_psi(n: usize, omega: u64, q: u64) -> u64 {
+    let psi0 = modmath::prime::root_of_unity(2 * n as u64, q).expect("2N | q-1");
+    let mut p = 1u64;
+    for e in 0..(2 * n as u64) {
+        if p == omega {
+            debug_assert_eq!(e % 2, 0, "ω of order N has an even discrete log");
+            let mut psi = modmath::arith::pow_mod(psi0, e / 2, q);
+            if !modmath::prime::is_primitive_root_of_unity(psi, 2 * n as u64, q) {
+                psi = modmath::arith::pow_mod(psi0, e / 2 + n as u64, q);
+            }
+            return psi;
+        }
+        p = modmath::arith::mul_mod(p, psi0, q);
+    }
+    unreachable!("ω is a power of any primitive 2N-th root")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler;
+
+    #[test]
+    fn batched_offload_is_faster_than_sequential() {
+        let params = RlweParams::new(256, 3, 16).unwrap();
+        let mut poly = RnsPoly::zero(&params);
+        for i in 0..3 {
+            poly.set_residues(
+                i,
+                sampler::uniform(256, params.moduli()[i], 42 + i as u64),
+            );
+        }
+        let config = PimConfig::hbm2e(2).with_banks(4);
+        let report = ntt_all_components(&params, &poly, &config).unwrap();
+        assert_eq!(report.transforms, 3);
+        assert!(
+            report.speedup() > 2.0,
+            "3 banks should be >2x sequential, got {:.2}",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn too_few_banks_rejected() {
+        let params = RlweParams::new(64, 2, 16).unwrap();
+        let poly = RnsPoly::zero(&params);
+        let config = PimConfig::hbm2e(2); // 1 bank
+        assert!(ntt_all_components(&params, &poly, &config).is_err());
+    }
+
+    #[test]
+    fn on_device_rns_multiplication_matches_cpu() {
+        let params = RlweParams::new(256, 2, 16).unwrap();
+        let mut a = RnsPoly::zero(&params);
+        let mut b = RnsPoly::zero(&params);
+        for i in 0..2 {
+            a.set_residues(i, sampler::uniform(256, params.moduli()[i], 1 + i as u64));
+            b.set_residues(i, sampler::uniform(256, params.moduli()[i], 9 + i as u64));
+        }
+        let config = PimConfig::hbm2e(4).with_banks(2);
+        let (got, report) = polymul_all_components(&params, &a, &b, &config).unwrap();
+        assert!(report.latency_ns > 0.0);
+        let expect = a.mul(&b, &params).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matching_psi_squares_to_omega() {
+        for n in [64usize, 256] {
+            let q = modmath::prime::find_ntt_prime(2 * n as u64, 31).unwrap();
+            let omega = modmath::prime::root_of_unity(n as u64, q).unwrap();
+            let psi = matching_psi(n, omega, q);
+            assert_eq!(modmath::arith::mul_mod(psi, psi, q), omega);
+            assert!(modmath::prime::is_primitive_root_of_unity(
+                psi,
+                2 * n as u64,
+                q
+            ));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! A deliberately small RLWE/BFV layer providing the FHE workload that
+//! motivates NTT-PIM (paper §I–II: "we target Fully Homomorphic
+//! Encryption, where the most important function is NTT").
+//!
+//! **Not secure, not constant-time, toy parameters** — the point is the
+//! *NTT call pattern*: every encrypt/decrypt/multiply is a handful of
+//! negacyclic polynomial products, each of which is NTTs plus pointwise
+//! work, and with RNS (residue number system) representation those NTTs
+//! are independent per modulus — exactly the bank-level parallelism the
+//! paper's conclusion anticipates. [`executor`] maps that pattern onto
+//! [`ntt_pim_core::device::PimDevice`].
+//!
+//! Modules: [`params`] (parameter sets), [`sampler`] (seeded uniform /
+//! ternary / centered-binomial), [`rns`] (RNS polynomials with CRT
+//! reconstruction), [`bfv`] (textbook BFV-style encrypt / decrypt /
+//! homomorphic add / plaintext multiply), [`noise`] (noise-budget
+//! analysis), [`executor`] (PIM offload).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfv;
+pub mod executor;
+pub mod noise;
+pub mod params;
+pub mod rns;
+pub mod sampler;
+
+mod error;
+
+pub use error::FheError;

@@ -1,0 +1,121 @@
+//! Noise-budget measurement for the toy BFV scheme.
+//!
+//! BFV decryption computes `c0 + c1·s = Δ·m + e` and succeeds while
+//! `|e| < Δ/2`. The *noise budget* — how many bits of headroom remain —
+//! is the quantity FHE applications track to decide when they must stop
+//! (or bootstrap): every homomorphic operation spends some of it. The
+//! workload implication for PIM is that deeper circuits mean more
+//! polynomial products per useful result, i.e. even more NTTs.
+
+use crate::bfv::{Ciphertext, SecretKey};
+use crate::params::RlweParams;
+use crate::FheError;
+
+/// Noise measurement of one ciphertext against the secret key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseReport {
+    /// Largest absolute noise value across coefficients.
+    pub max_noise: u128,
+    /// The decryption bound `Δ/2`; decryption fails at or above it.
+    pub bound: u128,
+    /// Remaining budget in bits: `log2(bound / max_noise)` (0 when
+    /// exhausted).
+    pub budget_bits: f64,
+}
+
+impl NoiseReport {
+    /// Whether the ciphertext still decrypts correctly.
+    pub fn decryptable(&self) -> bool {
+        self.max_noise < self.bound
+    }
+}
+
+/// Measures the exact noise of `ct` (requires the secret key; this is a
+/// *debug/analysis* facility, as in real FHE libraries).
+///
+/// # Errors
+///
+/// Propagates RNS reconstruction errors.
+pub fn measure(
+    params: &RlweParams,
+    sk: &SecretKey,
+    ct: &Ciphertext,
+    m: &[u64],
+) -> Result<NoiseReport, FheError> {
+    let inner = ct.inner_product(params, sk)?;
+    let wide = inner.reconstruct(params)?;
+    let q = params.q_full();
+    let delta = params.delta();
+    let mut max_noise: u128 = 0;
+    for (i, &c) in wide.iter().enumerate() {
+        // e = (c0 + c1 s) - Δ·m  (centered representative).
+        let expected = delta * m[i] as u128 % q;
+        let diff = if c >= expected { c - expected } else { c + q - expected };
+        let centered = diff.min(q - diff);
+        max_noise = max_noise.max(centered);
+    }
+    let bound = delta / 2;
+    let budget_bits = if max_noise == 0 {
+        (bound as f64).log2()
+    } else if max_noise >= bound {
+        0.0
+    } else {
+        (bound as f64 / max_noise as f64).log2()
+    };
+    Ok(NoiseReport {
+        max_noise,
+        bound,
+        budget_bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfv;
+    use crate::sampler;
+
+    fn setup() -> (RlweParams, SecretKey, crate::bfv::PublicKey) {
+        let p = RlweParams::new(256, 2, 16).unwrap();
+        let (sk, pk) = bfv::keygen(&p, 7).unwrap();
+        (p, sk, pk)
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_large_budget() {
+        let (p, sk, pk) = setup();
+        let m = sampler::plaintext(p.n(), p.t(), 1);
+        let ct = bfv::encrypt(&p, &pk, &m, 2).unwrap();
+        let r = measure(&p, &sk, &ct, &m).unwrap();
+        assert!(r.decryptable());
+        assert!(r.budget_bits > 20.0, "budget {:.1} bits", r.budget_bits);
+    }
+
+    #[test]
+    fn operations_consume_budget() {
+        let (p, sk, pk) = setup();
+        let m = sampler::plaintext(p.n(), p.t(), 3);
+        let ct = bfv::encrypt(&p, &pk, &m, 4).unwrap();
+        let fresh = measure(&p, &sk, &ct, &m).unwrap();
+
+        // Addition roughly doubles noise (one bit of budget).
+        let sum = bfv::add(&p, &ct, &ct).unwrap();
+        let m2: Vec<u64> = m.iter().map(|&x| 2 * x % p.t()).collect();
+        let after_add = measure(&p, &sk, &sum, &m2).unwrap();
+        assert!(after_add.max_noise >= fresh.max_noise);
+        assert!(after_add.budget_bits <= fresh.budget_bits);
+
+        // Plaintext multiplication costs substantially more.
+        let pt = sampler::plaintext(p.n(), p.t(), 5);
+        let prod = bfv::mul_plain(&p, &ct, &pt).unwrap();
+        let mprod = {
+            // m * pt in R_t (negacyclic).
+            let a: Vec<u64> = m.clone();
+            let b: Vec<u64> = pt.clone();
+            ntt_ref::naive::negacyclic_convolution(&a, &b, p.t())
+        };
+        let after_mul = measure(&p, &sk, &prod, &mprod).unwrap();
+        assert!(after_mul.budget_bits < fresh.budget_bits);
+        assert!(after_mul.decryptable(), "toy parameters keep one level");
+    }
+}

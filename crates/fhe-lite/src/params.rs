@@ -1,0 +1,162 @@
+//! RLWE parameter sets.
+
+use crate::FheError;
+use modmath::prime::{find_ntt_prime, NttField};
+use ntt_ref::plan::NttPlan;
+
+/// Parameters of the ring `R_q = Z_q[X]/(X^N + 1)` with `q = Π qᵢ` in RNS
+/// form, plus a plaintext modulus `t`.
+///
+/// Every RNS prime satisfies `qᵢ ≡ 1 (mod 2N)` (negacyclic NTT support)
+/// and `qᵢ < 2³¹` (the PIM datapath's 32-bit words).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fhe_lite::FheError> {
+/// let p = fhe_lite::params::RlweParams::new(1024, 2, 16)?;
+/// assert_eq!(p.n(), 1024);
+/// assert_eq!(p.moduli().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RlweParams {
+    n: usize,
+    moduli: Vec<u64>,
+    plans: Vec<NttPlan>,
+    t: u64,
+}
+
+impl RlweParams {
+    /// Builds a parameter set with `k` distinct ~30-bit RNS primes.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::BadParams`] for a non-power-of-two `n`, `k == 0`,
+    /// `t < 2`, or when not enough primes exist.
+    pub fn new(n: usize, k: usize, t: u64) -> Result<Self, FheError> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(FheError::BadParams {
+                reason: format!("ring degree {n} must be a power of two >= 4"),
+            });
+        }
+        if k == 0 {
+            return Err(FheError::BadParams {
+                reason: "at least one RNS modulus is required".into(),
+            });
+        }
+        if t < 2 {
+            return Err(FheError::BadParams {
+                reason: "plaintext modulus must be at least 2".into(),
+            });
+        }
+        let mut moduli = Vec::with_capacity(k);
+        let mut plans = Vec::with_capacity(k);
+        let mut last: Option<u64> = None;
+        while moduli.len() < k {
+            // The first prime is the largest below 2^31 (PIM datapath
+            // bound); subsequent ones walk downward so all are distinct.
+            let q = match last {
+                None => find_ntt_prime(2 * n as u64, 31)?,
+                Some(prev) => next_prime_below(prev, 2 * n as u64)?,
+            };
+            let field = NttField::new(n, q)?;
+            plans.push(NttPlan::new(field));
+            moduli.push(q);
+            last = Some(q);
+        }
+        Ok(Self {
+            n,
+            moduli,
+            plans,
+            t,
+        })
+    }
+
+    /// Ring degree `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The RNS prime moduli.
+    pub fn moduli(&self) -> &[u64] {
+        &self.moduli
+    }
+
+    /// Per-modulus negacyclic NTT plans.
+    pub fn plans(&self) -> &[NttPlan] {
+        &self.plans
+    }
+
+    /// Plaintext modulus `t`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// The composite modulus `q = Π qᵢ` as `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product overflows 128 bits (more than four ~30-bit
+    /// primes — beyond the toy scheme's scope).
+    pub fn q_full(&self) -> u128 {
+        self.moduli
+            .iter()
+            .fold(1u128, |acc, &q| acc.checked_mul(q as u128).expect("q fits"))
+    }
+
+    /// `Δ = floor(q / t)`, the BFV plaintext scaling factor.
+    pub fn delta(&self) -> u128 {
+        self.q_full() / self.t as u128
+    }
+}
+
+fn next_prime_below(prev: u64, multiple: u64) -> Result<u64, FheError> {
+    let mut k = (prev - 1) / multiple;
+    while k > 1 {
+        k -= 1;
+        let cand = k * multiple + 1;
+        if modmath::prime::is_prime(cand) {
+            return Ok(cand);
+        }
+    }
+    Err(FheError::BadParams {
+        reason: format!("no further primes = 1 mod {multiple} below {prev}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_distinct_ntt_primes() {
+        let p = RlweParams::new(1024, 3, 16).unwrap();
+        assert_eq!(p.moduli().len(), 3);
+        for w in p.moduli().windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+        for &q in p.moduli() {
+            assert!(modmath::prime::is_prime(q));
+            assert_eq!((q - 1) % 2048, 0);
+            assert!(q < 1 << 31);
+        }
+    }
+
+    #[test]
+    fn delta_and_q_consistent() {
+        let p = RlweParams::new(256, 2, 16).unwrap();
+        let q = p.q_full();
+        assert_eq!(q, p.moduli()[0] as u128 * p.moduli()[1] as u128);
+        assert!(p.delta() * 16 <= q);
+        assert!((p.delta() + 1) * 16 > q);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(RlweParams::new(100, 1, 16).is_err());
+        assert!(RlweParams::new(256, 0, 16).is_err());
+        assert!(RlweParams::new(256, 1, 1).is_err());
+    }
+}

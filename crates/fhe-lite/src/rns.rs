@@ -1,0 +1,251 @@
+//! RNS (residue number system) polynomials over `R_q = Z_q[X]/(X^N + 1)`.
+//!
+//! A coefficient vector mod `q = Π qᵢ` is held as its residues mod each
+//! `qᵢ`; ring operations act per-residue (and per-residue multiplication
+//! is a negacyclic NTT product — the independent-NTT workload the PIM
+//! executor fans out across banks). CRT reconstruction recovers the full
+//! coefficients for decryption-side rounding.
+
+use crate::params::RlweParams;
+use crate::FheError;
+use modmath::arith::{add_mod, inv_mod, mul_mod, sub_mod};
+
+/// A polynomial in RNS form: `residues[i][j]` = coefficient `j` mod `qᵢ`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    residues: Vec<Vec<u64>>,
+}
+
+impl RnsPoly {
+    /// Encodes full-range coefficients (`< q`) into RNS form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != params.n()`.
+    pub fn encode(params: &RlweParams, coeffs: &[u128]) -> Self {
+        assert_eq!(coeffs.len(), params.n(), "length mismatch");
+        let residues = params
+            .moduli()
+            .iter()
+            .map(|&q| coeffs.iter().map(|&c| (c % q as u128) as u64).collect())
+            .collect();
+        Self { residues }
+    }
+
+    /// Encodes small (already reduced per-modulus-agnostic) coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != params.n()`.
+    pub fn encode_small(params: &RlweParams, coeffs: &[u64]) -> Self {
+        let wide: Vec<u128> = coeffs.iter().map(|&c| c as u128).collect();
+        Self::encode(params, &wide)
+    }
+
+    /// The zero polynomial.
+    pub fn zero(params: &RlweParams) -> Self {
+        Self {
+            residues: params
+                .moduli()
+                .iter()
+                .map(|_| vec![0u64; params.n()])
+                .collect(),
+        }
+    }
+
+    /// Residues for modulus index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn residues(&self, i: usize) -> &[u64] {
+        &self.residues[i]
+    }
+
+    /// Number of RNS components.
+    pub fn components(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Replaces component `i` (used by the PIM offload path, which
+    /// computes per-modulus products on-device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the length differs.
+    pub fn set_residues(&mut self, i: usize, data: Vec<u64>) {
+        assert_eq!(data.len(), self.residues[i].len(), "length mismatch");
+        self.residues[i] = data;
+    }
+
+    /// Coefficient-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::ParamMismatch`] on component-count mismatch.
+    pub fn add(&self, other: &Self, params: &RlweParams) -> Result<Self, FheError> {
+        self.zip(other, params, add_mod)
+    }
+
+    /// Coefficient-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::ParamMismatch`] on component-count mismatch.
+    pub fn sub(&self, other: &Self, params: &RlweParams) -> Result<Self, FheError> {
+        self.zip(other, params, sub_mod)
+    }
+
+    /// Negacyclic product via per-modulus NTTs.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::ParamMismatch`] on component-count mismatch.
+    pub fn mul(&self, other: &Self, params: &RlweParams) -> Result<Self, FheError> {
+        if self.components() != other.components()
+            || self.components() != params.moduli().len()
+        {
+            return Err(FheError::ParamMismatch);
+        }
+        let residues = params
+            .plans()
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                ntt_ref::poly::mul_negacyclic(plan, &self.residues[i], &other.residues[i])
+            })
+            .collect();
+        Ok(Self { residues })
+    }
+
+    /// CRT reconstruction of the full coefficients in `[0, q)`.
+    ///
+    /// Uses Garner's mixed-radix algorithm; supports up to four ~31-bit
+    /// moduli within `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::ParamMismatch`] on component-count mismatch.
+    pub fn reconstruct(&self, params: &RlweParams) -> Result<Vec<u128>, FheError> {
+        if self.components() != params.moduli().len() {
+            return Err(FheError::ParamMismatch);
+        }
+        let moduli = params.moduli();
+        let n = params.n();
+        // Precompute mixed-radix constants: inv[i][j] = qⱼ⁻¹ mod qᵢ (j<i).
+        let mut out = vec![0u128; n];
+        for c in 0..n {
+            // Garner: v₀ = r₀; vᵢ = (rᵢ - partial) * Πq_j⁻¹ mod qᵢ.
+            let mut mixed = Vec::with_capacity(moduli.len());
+            for (i, &qi) in moduli.iter().enumerate() {
+                let mut v = self.residues[i][c] % qi;
+                for (j, &mj) in mixed.iter().enumerate().take(i) {
+                    // v = (v - mj) / qj mod qi
+                    let qj = moduli[j];
+                    let inv = inv_mod(qj % qi, qi).expect("distinct primes are coprime");
+                    v = mul_mod(sub_mod(v, mj % qi, qi), inv, qi);
+                }
+                mixed.push(v);
+            }
+            // Value = Σ mixedᵢ · Π_{j<i} qⱼ.
+            let mut value: u128 = 0;
+            let mut radix: u128 = 1;
+            for (i, &m) in mixed.iter().enumerate() {
+                value += m as u128 * radix;
+                radix *= moduli[i] as u128;
+            }
+            out[c] = value;
+        }
+        Ok(out)
+    }
+
+    fn zip(
+        &self,
+        other: &Self,
+        params: &RlweParams,
+        f: fn(u64, u64, u64) -> u64,
+    ) -> Result<Self, FheError> {
+        if self.components() != other.components()
+            || self.components() != params.moduli().len()
+        {
+            return Err(FheError::ParamMismatch);
+        }
+        let residues = self
+            .residues
+            .iter()
+            .zip(&other.residues)
+            .zip(params.moduli())
+            .map(|((a, b), &q)| a.iter().zip(b).map(|(&x, &y)| f(x, y, q)).collect())
+            .collect();
+        Ok(Self { residues })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> RlweParams {
+        RlweParams::new(64, 2, 16).unwrap()
+    }
+
+    #[test]
+    fn encode_reconstruct_roundtrip() {
+        let p = params();
+        let q = p.q_full();
+        let coeffs: Vec<u128> = (0..64u128).map(|i| (i * 12345678901 + 7) % q).collect();
+        let poly = RnsPoly::encode(&p, &coeffs);
+        assert_eq!(poly.reconstruct(&p).unwrap(), coeffs);
+    }
+
+    #[test]
+    fn add_matches_wide_arithmetic() {
+        let p = params();
+        let q = p.q_full();
+        let a: Vec<u128> = (0..64u128).map(|i| (i * 99991 + 5) % q).collect();
+        let b: Vec<u128> = (0..64u128).map(|i| (i * 77777 + 3) % q).collect();
+        let ra = RnsPoly::encode(&p, &a);
+        let rb = RnsPoly::encode(&p, &b);
+        let sum = ra.add(&rb, &p).unwrap().reconstruct(&p).unwrap();
+        for i in 0..64 {
+            assert_eq!(sum[i], (a[i] + b[i]) % q);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_negacyclic_per_modulus() {
+        let p = params();
+        let a: Vec<u64> = (0..64).map(|i| i * 3 + 1).collect();
+        let b: Vec<u64> = (0..64).map(|i| i + 2).collect();
+        let ra = RnsPoly::encode_small(&p, &a);
+        let rb = RnsPoly::encode_small(&p, &b);
+        let prod = ra.mul(&rb, &p).unwrap();
+        for (i, &q) in p.moduli().iter().enumerate() {
+            let am: Vec<u64> = a.iter().map(|&x| x % q).collect();
+            let bm: Vec<u64> = b.iter().map(|&x| x % q).collect();
+            let expect = ntt_ref::naive::negacyclic_convolution(&am, &bm, q);
+            assert_eq!(prod.residues(i), expect.as_slice(), "modulus {q}");
+        }
+    }
+
+    #[test]
+    fn mismatched_components_rejected() {
+        let p2 = params();
+        let p3 = RlweParams::new(64, 3, 16).unwrap();
+        let a = RnsPoly::zero(&p2);
+        let b = RnsPoly::zero(&p3);
+        assert!(a.add(&b, &p2).is_err());
+        assert!(a.reconstruct(&p3).is_err());
+    }
+
+    #[test]
+    fn three_component_reconstruction() {
+        let p = RlweParams::new(64, 3, 16).unwrap();
+        let q = p.q_full();
+        let coeffs: Vec<u128> = (0..64u128)
+            .map(|i| (q - 1 - i * 1_000_000_007) % q)
+            .collect();
+        let poly = RnsPoly::encode(&p, &coeffs);
+        assert_eq!(poly.reconstruct(&p).unwrap(), coeffs);
+    }
+}

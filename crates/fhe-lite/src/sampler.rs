@@ -1,0 +1,97 @@
+//! Seeded polynomial samplers (uniform, ternary, centered binomial).
+//!
+//! Deterministic by construction: every sampler takes an explicit seed, so
+//! experiments and tests reproduce bit-for-bit. (A real implementation
+//! would use an OS CSPRNG — this layer is a workload generator, not a
+//! cryptosystem.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples a uniform polynomial with coefficients in `[0, q)`.
+pub fn uniform(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..q)).collect()
+}
+
+/// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`,
+/// represented mod `q` (so `-1 ↦ q-1`).
+pub fn ternary(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match rng.gen_range(0..3u8) {
+            0 => 0,
+            1 => 1,
+            _ => q - 1,
+        })
+        .collect()
+}
+
+/// Samples a centered binomial polynomial with parameter `eta`
+/// (coefficients in `[-eta, eta]`, represented mod `q`).
+pub fn centered_binomial(n: usize, q: u64, eta: u32, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut acc: i64 = 0;
+            for _ in 0..eta {
+                acc += rng.gen_range(0..2i64) - rng.gen_range(0..2i64);
+            }
+            if acc >= 0 {
+                acc as u64
+            } else {
+                q - (-acc) as u64
+            }
+        })
+        .collect()
+}
+
+/// Samples a plaintext polynomial with coefficients in `[0, t)`.
+pub fn plaintext(n: usize, t: u64, seed: u64) -> Vec<u64> {
+    uniform(n, t, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 1_000_003;
+
+    #[test]
+    fn samplers_are_deterministic() {
+        assert_eq!(uniform(64, Q, 7), uniform(64, Q, 7));
+        assert_ne!(uniform(64, Q, 7), uniform(64, Q, 8));
+        assert_eq!(ternary(64, Q, 1), ternary(64, Q, 1));
+        assert_eq!(
+            centered_binomial(64, Q, 2, 3),
+            centered_binomial(64, Q, 2, 3)
+        );
+    }
+
+    #[test]
+    fn ranges_respected() {
+        for &c in &uniform(512, Q, 1) {
+            assert!(c < Q);
+        }
+        for &c in &ternary(512, Q, 2) {
+            assert!(c == 0 || c == 1 || c == Q - 1);
+        }
+        for &c in &centered_binomial(512, Q, 2, 3) {
+            assert!(c <= 2 || c >= Q - 2);
+        }
+        for &c in &plaintext(512, 16, 4) {
+            assert!(c < 16);
+        }
+    }
+
+    #[test]
+    fn binomial_is_centered() {
+        let v = centered_binomial(4096, Q, 2, 5);
+        let sum: i64 = v
+            .iter()
+            .map(|&c| if c > Q / 2 { c as i64 - Q as i64 } else { c as i64 })
+            .sum();
+        // Mean should be near zero: |sum| < n/8 with overwhelming margin.
+        assert!(sum.unsigned_abs() < 512, "sum {sum}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Barrett reduction for `u64` moduli.
+//!
+//! Barrett reduction trades Montgomery's form conversions for one
+//! precomputed reciprocal; the reference NTTs use it for twiddle-table
+//! construction where values live in plain form, and the CRT code in
+//! `fhe-lite` uses it for cross-modulus reductions of arbitrary 64-bit
+//! values.
+
+use crate::Error;
+
+/// Barrett context for a modulus `2 <= q < 2^63`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), modmath::Error> {
+/// let b = modmath::barrett::Barrett64::new(998_244_353)?;
+/// assert_eq!(b.mul(998_244_352, 998_244_352), 1);
+/// assert_eq!(b.reduce(u64::MAX as u128), u64::MAX % 998_244_353);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Barrett64 {
+    q: u64,
+    /// `floor(2^128 / q)` truncated to 128 bits (the top bit of the true
+    /// quotient is absent only when `q == 1`, which is rejected).
+    mu_hi: u64,
+    mu_lo: u64,
+}
+
+impl Barrett64 {
+    /// Creates a context for `2 <= q < 2^63`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadModulus`] if `q < 2` or `q >= 2^63`.
+    pub fn new(q: u64) -> Result<Self, Error> {
+        if q < 2 {
+            return Err(Error::BadModulus {
+                q,
+                reason: "modulus must be at least 2",
+            });
+        }
+        if q >= 1 << 63 {
+            return Err(Error::BadModulus {
+                q,
+                reason: "modulus must fit in 63 bits",
+            });
+        }
+        // mu = floor((2^128 - 1) / q); for q >= 2 this equals floor(2^128/q)
+        // unless q divides 2^128, impossible for q with an odd factor and
+        // close enough for the powers of two we accept (error absorbed by
+        // the final correction loop).
+        let mu = u128::MAX / q as u128;
+        Ok(Self {
+            q,
+            mu_hi: (mu >> 64) as u64,
+            mu_lo: mu as u64,
+        })
+    }
+
+    /// The modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// Reduces a full 128-bit value modulo `q`.
+    #[inline]
+    pub fn reduce(&self, x: u128) -> u64 {
+        // Estimate the quotient with the high 128 bits of x * mu.
+        let x_hi = (x >> 64) as u64;
+        let x_lo = x as u64;
+        // x * mu = (x_hi*2^64 + x_lo) * (mu_hi*2^64 + mu_lo); we need bits
+        // [128..) of the 256-bit product.
+        let lo_lo = x_lo as u128 * self.mu_lo as u128;
+        let lo_hi = x_lo as u128 * self.mu_hi as u128;
+        let hi_lo = x_hi as u128 * self.mu_lo as u128;
+        let hi_hi = x_hi as u128 * self.mu_hi as u128;
+        let mid = (lo_lo >> 64) + (lo_hi & 0xffff_ffff_ffff_ffff) + (hi_lo & 0xffff_ffff_ffff_ffff);
+        let q_est = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+        let mut r = x.wrapping_sub(q_est.wrapping_mul(self.q as u128)) as u128;
+        // The estimate is at most 2 short.
+        while r >= self.q as u128 {
+            r -= self.q as u128;
+        }
+        r as u64
+    }
+
+    /// Multiplies two residues modulo `q`.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce(a as u128 * b as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Barrett64::new(0).is_err());
+        assert!(Barrett64::new(1).is_err());
+        assert!(Barrett64::new(1 << 63).is_err());
+    }
+
+    #[test]
+    fn reduce_matches_rem_for_edge_values() {
+        for q in [2u64, 3, 7681, 998_244_353, (1 << 62) + 1, (1 << 63) - 1] {
+            let b = Barrett64::new(q).unwrap();
+            for x in [
+                0u128,
+                1,
+                q as u128 - 1,
+                q as u128,
+                q as u128 + 1,
+                u64::MAX as u128,
+                u128::MAX,
+                (q as u128) * (q as u128) - 1,
+            ] {
+                assert_eq!(b.reduce(x) as u128, x % q as u128, "q={q} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_matches_widening() {
+        let q = (1u64 << 61) - 1; // Mersenne 61 (prime)
+        let b = Barrett64::new(q).unwrap();
+        let vals = [0u64, 1, 2, q - 1, q / 2, 0xdead_beef_cafe];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(b.mul(x, y), crate::arith::mul_mod(x, y, q));
+            }
+        }
+    }
+}

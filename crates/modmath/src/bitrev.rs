@@ -1,0 +1,129 @@
+//! Bit-reversal permutation helpers.
+//!
+//! The paper assumes bit reversal is performed by host software (its §II.B:
+//! "bit reversal is performed by software running on a CPU, which is a
+//! common assumption in previous PIM approaches"), so these routines belong
+//! to the *driver* side of the system and are shared by the reference NTTs
+//! and the PIM host interface.
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// # Panics
+///
+/// Panics if `bits > 64` or if `x` has bits set at or above position `bits`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(modmath::bitrev::bit_reverse(0b0011, 4), 0b1100);
+/// assert_eq!(modmath::bitrev::bit_reverse(1, 3), 4);
+/// ```
+#[inline]
+pub fn bit_reverse(x: u64, bits: u32) -> u64 {
+    assert!(bits <= 64, "cannot reverse more than 64 bits");
+    if bits == 0 {
+        assert_eq!(x, 0, "value {x} does not fit in 0 bits");
+        return 0;
+    }
+    assert!(
+        bits == 64 || x < (1u64 << bits),
+        "value {x} does not fit in {bits} bits"
+    );
+    x.reverse_bits() >> (64 - bits)
+}
+
+/// Applies the bit-reversal permutation to a power-of-two-length slice
+/// in place, swapping element `i` with element `bit_reverse(i)`.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (the empty slice is
+/// rejected too).
+///
+/// # Example
+///
+/// ```
+/// let mut v = vec![0, 1, 2, 3, 4, 5, 6, 7];
+/// modmath::bitrev::bitrev_permute(&mut v);
+/// assert_eq!(v, vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// ```
+pub fn bitrev_permute<T>(data: &mut [T]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i as u64, bits) as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// Returns the bit-reversal permutation of `0..n` as an index vector.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+pub fn bitrev_indices(n: usize) -> Vec<usize> {
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let bits = n.trailing_zeros();
+    (0..n).map(|i| bit_reverse(i as u64, bits) as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involution() {
+        for bits in 1..=16u32 {
+            for x in 0..(1u64 << bits.min(10)) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_full_width() {
+        assert_eq!(bit_reverse(1, 64), 1 << 63);
+        assert_eq!(bit_reverse(u64::MAX, 64), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn reverse_rejects_oversized_value() {
+        bit_reverse(8, 3);
+    }
+
+    #[test]
+    fn permute_is_involution() {
+        let orig: Vec<u32> = (0..64).collect();
+        let mut v = orig.clone();
+        bitrev_permute(&mut v);
+        assert_ne!(v, orig);
+        bitrev_permute(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn permute_singleton_is_identity() {
+        let mut v = [42];
+        bitrev_permute(&mut v);
+        assert_eq!(v, [42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn permute_rejects_non_power_of_two() {
+        let mut v = [1, 2, 3];
+        bitrev_permute(&mut v);
+    }
+
+    #[test]
+    fn indices_match_permutation() {
+        let idx = bitrev_indices(16);
+        let mut v: Vec<usize> = (0..16).collect();
+        bitrev_permute(&mut v);
+        assert_eq!(idx, v);
+    }
+}

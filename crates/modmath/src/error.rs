@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The modulus is unusable (zero, one, or even where an odd modulus is
+    /// required, e.g. by Montgomery reduction).
+    BadModulus {
+        /// The offending modulus.
+        q: u64,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A value was not invertible modulo `q` (it shares a factor with `q`).
+    NotInvertible {
+        /// The non-invertible value.
+        value: u64,
+        /// The modulus.
+        q: u64,
+    },
+    /// No root of unity of the requested order exists in the field.
+    NoRootOfUnity {
+        /// Requested order.
+        order: u64,
+        /// The modulus.
+        q: u64,
+    },
+    /// Prime search exhausted its candidate range.
+    PrimeSearchExhausted {
+        /// Requested bit width.
+        bits: u32,
+        /// Required divisor of `q - 1`.
+        multiple: u64,
+    },
+    /// A transform length was not a power of two or was out of range.
+    BadLength {
+        /// The offending length.
+        n: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadModulus { q, reason } => write!(f, "bad modulus {q}: {reason}"),
+            Error::NotInvertible { value, q } => {
+                write!(f, "{value} is not invertible modulo {q}")
+            }
+            Error::NoRootOfUnity { order, q } => {
+                write!(f, "no root of unity of order {order} modulo {q}")
+            }
+            Error::PrimeSearchExhausted { bits, multiple } => write!(
+                f,
+                "no {bits}-bit prime q with q = 1 (mod {multiple}) in search range"
+            ),
+            Error::BadLength { n, reason } => write!(f, "bad transform length {n}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,44 @@
+//! Modular arithmetic substrate for the NTT-PIM reproduction.
+//!
+//! This crate provides the finite-field machinery that both the software
+//! reference NTTs ([`ntt-ref`]) and the hardware compute-unit model
+//! ([`ntt-pim-core`]) are built on:
+//!
+//! * plain widening modular arithmetic ([`arith`]),
+//! * Montgomery reduction in 32-bit and 64-bit flavours ([`montgomery`]) —
+//!   the paper's CU uses Montgomery multiplication (its reference \[23\]),
+//! * Barrett reduction for moduli that are not NTT-internal ([`barrett`]),
+//! * deterministic primality testing and NTT-friendly prime search
+//!   ([`prime`]), and
+//! * bit-reversal permutation helpers ([`bitrev`]).
+//!
+//! # Example
+//!
+//! ```
+//! use modmath::prime::NttField;
+//!
+//! # fn main() -> Result<(), modmath::Error> {
+//! // A 32-bit field that supports length-1024 cyclic NTTs.
+//! let field = NttField::with_bits(1024, 30)?;
+//! let w = field.root_of_unity();
+//! assert_eq!(modmath::arith::pow_mod(w, 1024, field.modulus()), 1);
+//! assert_ne!(modmath::arith::pow_mod(w, 512, field.modulus()), 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ntt-ref`]: ../ntt_ref/index.html
+//! [`ntt-pim-core`]: ../ntt_pim_core/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod barrett;
+pub mod bitrev;
+pub mod montgomery;
+pub mod prime;
+
+mod error;
+
+pub use error::Error;

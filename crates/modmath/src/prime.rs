@@ -1,0 +1,438 @@
+//! Primality testing, NTT-friendly prime search, and roots of unity.
+//!
+//! A length-`N` cyclic NTT over `Z_q` needs a primitive `N`-th root of unity,
+//! which exists iff `N | q - 1`; the negacyclic (X^N + 1) variant needs a
+//! primitive `2N`-th root. [`NttField`] bundles a prime with a validated
+//! root so the rest of the system cannot construct an inconsistent
+//! transform.
+
+use crate::arith::{gcd, inv_mod, mul_mod, pow_mod};
+use crate::Error;
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// Uses the 7-witness set proven sufficient for `n < 3.3 * 10^24`
+/// (Sinclair/"Jaeschke-style" bases {2, 325, 9375, 28178, 450775, 9780504,
+/// 1795265022}).
+///
+/// # Example
+///
+/// ```
+/// assert!(modmath::prime::is_prime(2_013_265_921)); // 15 * 2^27 + 1
+/// assert!(!modmath::prime::is_prime(2_013_265_923));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let d = n - 1;
+    let s = d.trailing_zeros();
+    let d = d >> s;
+    'witness: for a in [2u64, 325, 9375, 28178, 450775, 9780504, 1795265022] {
+        let a = a % n;
+        if a == 0 {
+            continue;
+        }
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod multiple)`.
+///
+/// This is the standard way to pick an NTT modulus: `multiple = 2N` admits
+/// both cyclic and negacyclic length-`N` transforms.
+///
+/// # Errors
+///
+/// Returns [`Error::PrimeSearchExhausted`] if no such prime exists below
+/// `2^bits`, and [`Error::BadModulus`] for nonsensical inputs
+/// (`bits < 2`, `bits > 63`, or `multiple == 0`).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), modmath::Error> {
+/// let q = modmath::prime::find_ntt_prime(2048, 30)?;
+/// assert!(modmath::prime::is_prime(q));
+/// assert_eq!((q - 1) % 2048, 0);
+/// assert!(q < 1 << 30);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_ntt_prime(multiple: u64, bits: u32) -> Result<u64, Error> {
+    if !(2..=63).contains(&bits) {
+        return Err(Error::BadModulus {
+            q: 0,
+            reason: "bit width must be between 2 and 63",
+        });
+    }
+    if multiple == 0 {
+        return Err(Error::BadModulus {
+            q: 0,
+            reason: "multiple must be non-zero",
+        });
+    }
+    let limit = 1u64 << bits;
+    // Largest k with k*multiple + 1 < 2^bits.
+    let mut k = (limit - 2) / multiple;
+    while k > 0 {
+        let cand = k * multiple + 1;
+        if is_prime(cand) {
+            return Ok(cand);
+        }
+        k -= 1;
+    }
+    Err(Error::PrimeSearchExhausted { bits, multiple })
+}
+
+/// Factors `n` by trial division (adequate for `q - 1` of ≤ 63-bit primes
+/// used in tests and parameter setup; not a general-purpose factorizer).
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut push = |p: u64, e: u32| {
+        if e > 0 {
+            out.push((p, e));
+        }
+    };
+    let mut e = 0;
+    while n % 2 == 0 {
+        n /= 2;
+        e += 1;
+    }
+    push(2, e);
+    let mut p = 3u64;
+    while p.saturating_mul(p) <= n {
+        let mut e = 0;
+        while n % p == 0 {
+            n /= p;
+            e += 1;
+        }
+        push(p, e);
+        p += 2;
+    }
+    if n > 1 {
+        push(n, 1);
+    }
+    out
+}
+
+/// Finds the smallest generator of the multiplicative group of `Z_q`
+/// (`q` prime).
+///
+/// # Errors
+///
+/// Returns [`Error::BadModulus`] when `q` is not prime.
+pub fn primitive_root(q: u64) -> Result<u64, Error> {
+    if !is_prime(q) {
+        return Err(Error::BadModulus {
+            q,
+            reason: "primitive roots are searched for prime moduli only",
+        });
+    }
+    if q == 2 {
+        return Ok(1);
+    }
+    let phi = q - 1;
+    let factors = factorize(phi);
+    'cand: for g in 2..q {
+        for &(p, _) in &factors {
+            if pow_mod(g, phi / p, q) == 1 {
+                continue 'cand;
+            }
+        }
+        return Ok(g);
+    }
+    unreachable!("every prime field has a generator")
+}
+
+/// Computes a primitive `order`-th root of unity modulo prime `q`.
+///
+/// # Errors
+///
+/// Returns [`Error::NoRootOfUnity`] when `order` does not divide `q - 1`,
+/// and propagates [`Error::BadModulus`] for non-prime `q`.
+pub fn root_of_unity(order: u64, q: u64) -> Result<u64, Error> {
+    if order == 0 || (q - 1) % order != 0 {
+        return Err(Error::NoRootOfUnity { order, q });
+    }
+    let g = primitive_root(q)?;
+    let w = pow_mod(g, (q - 1) / order, q);
+    debug_assert!(is_primitive_root_of_unity(w, order, q));
+    Ok(w)
+}
+
+/// Checks that `w` is a *primitive* `order`-th root of unity mod `q`:
+/// `w^order == 1` and `w^(order/p) != 1` for every prime `p | order`.
+pub fn is_primitive_root_of_unity(w: u64, order: u64, q: u64) -> bool {
+    if order == 0 || pow_mod(w, order, q) != 1 {
+        return false;
+    }
+    factorize(order)
+        .iter()
+        .all(|&(p, _)| pow_mod(w, order / p, q) != 1)
+}
+
+/// A prime field prepared for length-`n` NTTs (cyclic and negacyclic).
+///
+/// Bundles the modulus with validated roots: `psi` is a primitive `2n`-th
+/// root of unity and `omega = psi^2` the primitive `n`-th root, exactly the
+/// `(N, p, q, …)` parameter block the paper's host passes to the memory
+/// controller (its Fig. 1).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), modmath::Error> {
+/// let f = modmath::prime::NttField::with_bits(256, 28)?;
+/// assert_eq!(f.n(), 256);
+/// assert!(modmath::prime::is_prime(f.modulus()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NttField {
+    n: usize,
+    q: u64,
+    psi: u64,
+    omega: u64,
+}
+
+impl NttField {
+    /// Builds a field from an explicit prime and transform length.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BadLength`] if `n` is not a power of two `>= 2`.
+    /// * [`Error::BadModulus`] if `q` is not prime.
+    /// * [`Error::NoRootOfUnity`] if `2n` does not divide `q - 1`.
+    pub fn new(n: usize, q: u64) -> Result<Self, Error> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::BadLength {
+                n,
+                reason: "transform length must be a power of two >= 2",
+            });
+        }
+        let psi = root_of_unity(2 * n as u64, q)?;
+        let omega = mul_mod(psi, psi, q);
+        Ok(Self { n, q, psi, omega })
+    }
+
+    /// Builds a field from an explicit primitive `2n`-th root of unity.
+    ///
+    /// Decompositions such as the four-step NTT need sub-transforms whose
+    /// root is a *specific* power of the parent root, not whichever root
+    /// the search in [`Self::new`] happens to find; this constructor admits
+    /// exactly that.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::BadLength`] if `n` is not a power of two `>= 2`.
+    /// * [`Error::BadModulus`] if `q` is not prime.
+    /// * [`Error::NoRootOfUnity`] if `psi` is not a primitive `2n`-th root
+    ///   of unity modulo `q`.
+    pub fn with_psi(n: usize, q: u64, psi: u64) -> Result<Self, Error> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::BadLength {
+                n,
+                reason: "transform length must be a power of two >= 2",
+            });
+        }
+        if !is_prime(q) {
+            return Err(Error::BadModulus {
+                q,
+                reason: "modulus must be prime",
+            });
+        }
+        if !is_primitive_root_of_unity(psi, 2 * n as u64, q) {
+            return Err(Error::NoRootOfUnity {
+                order: 2 * n as u64,
+                q,
+            });
+        }
+        let omega = mul_mod(psi, psi, q);
+        Ok(Self { n, q, psi, omega })
+    }
+
+    /// Builds a field by searching for the largest suitable prime under
+    /// `2^bits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the prime search and validation errors of [`Self::new`]
+    /// and [`find_ntt_prime`].
+    pub fn with_bits(n: usize, bits: u32) -> Result<Self, Error> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::BadLength {
+                n,
+                reason: "transform length must be a power of two >= 2",
+            });
+        }
+        let q = find_ntt_prime(2 * n as u64, bits)?;
+        Self::new(n, q)
+    }
+
+    /// The transform length `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The prime modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.q
+    }
+
+    /// A primitive `N`-th root of unity (`ω`), for cyclic transforms.
+    #[inline]
+    pub fn root_of_unity(&self) -> u64 {
+        self.omega
+    }
+
+    /// A primitive `2N`-th root of unity (`ψ`, with `ψ² = ω`), for
+    /// negacyclic transforms.
+    #[inline]
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// `ω⁻¹`, the twiddle base of the inverse transform.
+    pub fn root_of_unity_inv(&self) -> u64 {
+        inv_mod(self.omega, self.q).expect("root of unity is invertible")
+    }
+
+    /// `ψ⁻¹`.
+    pub fn psi_inv(&self) -> u64 {
+        inv_mod(self.psi, self.q).expect("root of unity is invertible")
+    }
+
+    /// `N⁻¹ mod q`, the inverse-transform scaling factor.
+    pub fn n_inv(&self) -> u64 {
+        inv_mod(self.n as u64, self.q).expect("n < q and q prime")
+    }
+}
+
+/// Returns `true` when `a` and `b` are coprime.
+pub fn coprime(a: u64, b: u64) -> bool {
+    gcd(a, b) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 17, 7681, 12289, 998_244_353];
+        let composites = [0u64, 1, 4, 6, 9, 15, 7680, 12288, 998_244_351];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn strong_pseudoprimes_rejected() {
+        // Carmichael numbers and classic 2-SPRP values.
+        for c in [561u64, 1105, 1729, 2047, 3215031751, 3825123056546413051] {
+            assert!(!is_prime(c), "{c} must be rejected");
+        }
+    }
+
+    #[test]
+    fn large_primes_accepted() {
+        for p in [
+            (1u64 << 61) - 1,         // Mersenne M61
+            0xffff_ffff_0000_0001u64, // Goldilocks (2^64 - 2^32 + 1)
+        ] {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        // A found NTT prime is actually prime and satisfies the congruence.
+        let q = find_ntt_prime(1 << 17, 61).unwrap();
+        assert!(is_prime(q));
+        assert_eq!((q - 1) % (1 << 17), 0);
+    }
+
+    #[test]
+    fn ntt_prime_search_finds_known_values() {
+        // The classic NewHope prime appears for its parameter set
+        // (12289 = 6 * 2048 + 1 is the largest such prime below 2^14).
+        let q = find_ntt_prime(2 * 1024, 14).unwrap();
+        assert_eq!(q, 12289);
+        let q = find_ntt_prime(512, 13).unwrap();
+        assert_eq!((q - 1) % 512, 0);
+        assert!(find_ntt_prime(1 << 40, 13).is_err());
+    }
+
+    #[test]
+    fn primitive_root_of_7681() {
+        let g = primitive_root(7681).unwrap();
+        assert_eq!(g, 17);
+        assert!(primitive_root(7680).is_err());
+    }
+
+    #[test]
+    fn factorize_roundtrip() {
+        for n in [1u64, 2, 12, 7680, 12288, 2146435072, 999_999_937] {
+            let f = factorize(n);
+            let back: u64 = f.iter().map(|&(p, e)| p.pow(e)).product();
+            assert_eq!(back, n);
+            for &(p, _) in &f {
+                assert!(is_prime(p), "factor {p} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn roots_of_unity_have_exact_order() {
+        let q = 7681;
+        for order in [2u64, 4, 256, 512] {
+            let w = root_of_unity(order, q).unwrap();
+            assert!(is_primitive_root_of_unity(w, order, q));
+            assert!(!is_primitive_root_of_unity(w, order * 2, q));
+        }
+        assert!(root_of_unity(7, 7681).is_err()); // 7 does not divide 7680
+    }
+
+    #[test]
+    fn field_invariants() {
+        let f = NttField::with_bits(1024, 31).unwrap();
+        let q = f.modulus();
+        assert_eq!(mul_mod(f.psi(), f.psi(), q), f.root_of_unity());
+        assert_eq!(pow_mod(f.psi(), 1024, q), q - 1, "psi^N = -1 (negacyclic)");
+        assert_eq!(mul_mod(f.n_inv(), 1024 % q, q), 1);
+        assert_eq!(
+            mul_mod(f.root_of_unity(), f.root_of_unity_inv(), q),
+            1
+        );
+    }
+
+    #[test]
+    fn field_rejects_bad_lengths() {
+        assert!(NttField::new(3, 7681).is_err());
+        assert!(NttField::new(0, 7681).is_err());
+        assert!(NttField::new(1, 7681).is_err());
+        assert!(NttField::new(256, 7680).is_err()); // not prime
+    }
+}

@@ -1,0 +1,186 @@
+//! The row-centric blocked decomposition of the DIT transform — the
+//! software mirror of the paper's mapping (§III–IV).
+//!
+//! Over bit-reversed input, the first `log B` DIT stages of a size-`N`
+//! transform touch only *contiguous* blocks of `B` elements (all data
+//! dependence is within a block), so they can be computed as `N/B`
+//! independent block-local passes — the paper's "vertical partitioning"
+//! (its Fig. 4). The remaining `log N − log B` stages cross blocks but are
+//! vectorized: every butterfly group spans at least `B` consecutive lanes.
+//!
+//! [`forward_blocked`] executes exactly that schedule with an explicit
+//! block-local working buffer of `B` words standing in for the row buffer,
+//! and returns transfer statistics that validate the paper's §III.A
+//! data-movement analysis: total traffic `O(N + N·(log N − log B))`.
+
+use crate::plan::NttPlan;
+use modmath::arith::{add_mod, mul_mod, sub_mod};
+
+/// Transfer statistics from one blocked transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockedStats {
+    /// Words loaded from the backing array into the block buffer.
+    pub words_loaded: usize,
+    /// Words stored back from the block buffer.
+    pub words_stored: usize,
+    /// Number of block-local passes (the paper's `N/B` independent blocks).
+    pub block_passes: usize,
+    /// Number of cross-block stages executed element-by-element.
+    pub cross_stages: usize,
+}
+
+/// Forward cyclic NTT (natural in/out) computed with the row-centric
+/// blocked schedule using a working set of `block` words.
+///
+/// Numerically identical to [`NttPlan::forward`]; additionally returns the
+/// traffic statistics of the decomposition.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`, if `block` is not a power of two,
+/// or if `block < 2`.
+pub fn forward_blocked(plan: &NttPlan, data: &mut [u64], block: usize) -> BlockedStats {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    assert!(
+        block.is_power_of_two() && block >= 2,
+        "block size must be a power of two >= 2"
+    );
+    let block = block.min(n);
+    let q = plan.modulus();
+    let mut stats = BlockedStats::default();
+
+    modmath::bitrev::bitrev_permute(data);
+
+    // Phase 1: block-local stages through an explicit local buffer
+    // (the row-buffer stand-in).
+    let log_block = block.trailing_zeros();
+    let mut local = vec![0u64; block];
+    for blk in 0..n / block {
+        let base = blk * block;
+        local.copy_from_slice(&data[base..base + block]);
+        stats.words_loaded += block;
+        for s in 0..log_block {
+            let m = 1usize << s;
+            let tws = plan.dit_stage_twiddles(s, false);
+            for k in (0..block).step_by(2 * m) {
+                for j in 0..m {
+                    let t = mul_mod(local[k + j + m], tws[j], q);
+                    let u = local[k + j];
+                    local[k + j] = add_mod(u, t, q);
+                    local[k + j + m] = sub_mod(u, t, q);
+                }
+            }
+        }
+        data[base..base + block].copy_from_slice(&local);
+        stats.words_stored += block;
+        stats.block_passes += 1;
+    }
+
+    // Phase 2: cross-block stages, processed stage by stage; every element
+    // is re-loaded and re-stored once per stage (the paper's O(N) per-stage
+    // traffic when the input exceeds local memory).
+    for s in log_block..plan.log_n() {
+        let m = 1usize << s;
+        let tws = plan.dit_stage_twiddles(s, false);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                let t = mul_mod(data[k + j + m], tws[j], q);
+                let u = data[k + j];
+                data[k + j] = add_mod(u, t, q);
+                data[k + j + m] = sub_mod(u, t, q);
+            }
+        }
+        stats.words_loaded += n;
+        stats.words_stored += n;
+        stats.cross_stages += 1;
+    }
+    stats
+}
+
+/// The paper's §III.A data-transfer bound: `N + N·(log N − log B)` words
+/// each way when `N > B`, or `N` when the input fits in the buffer.
+pub fn predicted_words_each_way(n: usize, block: usize) -> usize {
+    let block = block.min(n);
+    let cross = n.trailing_zeros() - block.trailing_zeros();
+    n + n * cross as usize
+}
+
+/// Compute-to-data-transfer ratio of the blocked schedule, in butterflies
+/// per word moved (one way) — the paper's CDR metric.
+pub fn compute_to_transfer_ratio(n: usize, block: usize) -> f64 {
+    let ops = (n / 2) * n.trailing_zeros() as usize;
+    ops as f64 / predicted_words_each_way(n, block) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::prime::NttField;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 24).expect("field exists"))
+    }
+
+    #[test]
+    fn matches_plain_forward_for_all_block_sizes() {
+        let p = plan(256);
+        let q = p.modulus();
+        let x: Vec<u64> = (0..256u64).map(|i| (i * 41 + 11) % q).collect();
+        let mut expect = x.clone();
+        p.forward(&mut expect);
+        for block in [2usize, 8, 16, 64, 256] {
+            let mut got = x.clone();
+            forward_blocked(&p, &mut got, block);
+            assert_eq!(got, expect, "block={block}");
+        }
+    }
+
+    #[test]
+    fn oversized_block_clamps_to_n() {
+        let p = plan(16);
+        let q = p.modulus();
+        let x: Vec<u64> = (0..16u64).map(|i| (i + 1) % q).collect();
+        let mut expect = x.clone();
+        p.forward(&mut expect);
+        let mut got = x;
+        let stats = forward_blocked(&p, &mut got, 1024);
+        assert_eq!(got, expect);
+        assert_eq!(stats.cross_stages, 0);
+        assert_eq!(stats.block_passes, 1);
+    }
+
+    #[test]
+    fn traffic_matches_paper_bound() {
+        for (n, block) in [(1024usize, 256usize), (4096, 256), (64, 8)] {
+            let p = plan(n);
+            let mut x: Vec<u64> = (0..n as u64).collect();
+            let stats = forward_blocked(&p, &mut x, block);
+            assert_eq!(stats.words_loaded, predicted_words_each_way(n, block));
+            assert_eq!(stats.words_stored, predicted_words_each_way(n, block));
+            assert_eq!(stats.block_passes, n / block);
+            assert_eq!(
+                stats.cross_stages as u32,
+                n.trailing_zeros() - block.trailing_zeros()
+            );
+        }
+    }
+
+    #[test]
+    fn cdr_is_bounded_by_log_n() {
+        // CDR = O(log N / (1 + log(N/M))) <= O(log N), equality at M = N.
+        let full = compute_to_transfer_ratio(4096, 4096);
+        assert!((full - 6.0).abs() < 1e-9); // (N/2 * 12) / N = 6
+        let partial = compute_to_transfer_ratio(4096, 256);
+        assert!(partial < full);
+        assert!(partial > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_block() {
+        let p = plan(16);
+        let mut x = vec![0u64; 16];
+        forward_blocked(&p, &mut x, 3);
+    }
+}

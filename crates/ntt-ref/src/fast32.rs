@@ -1,0 +1,193 @@
+//! Optimized 32-bit CPU NTT with a Montgomery datapath — the *strong*
+//! software baseline.
+//!
+//! The plain [`crate::plan::NttPlan`] multiplies through 128-bit widening,
+//! which is convenient but leaves CPU performance on the table. This plan
+//! mirrors what a tuned software NTT (and the PIM CU itself) does: keep
+//! twiddles in Montgomery form so every butterfly multiply is a single
+//! 32×32→64 multiply plus one REDC. Used by the experiment harness to make
+//! the "x86 (measured)" comparison as honest as possible.
+
+use modmath::bitrev::bitrev_permute;
+use modmath::montgomery::Montgomery32;
+use modmath::prime::NttField;
+
+/// A prepared length-`N` forward/inverse NTT over a `< 2³¹` prime with a
+/// Montgomery-form twiddle table.
+///
+/// # Example
+///
+/// ```
+/// use modmath::prime::NttField;
+/// use ntt_ref::fast32::Fast32Plan;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let field = NttField::new(256, 12289)?;
+/// let plan = Fast32Plan::new(&field)?;
+/// let mut data: Vec<u32> = (0..256).collect();
+/// let orig = data.clone();
+/// plan.forward(&mut data);
+/// plan.inverse(&mut data);
+/// assert_eq!(data, orig);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fast32Plan {
+    mont: Montgomery32,
+    n: usize,
+    log_n: u32,
+    /// Per-stage twiddle tables in Montgomery form (forward).
+    tw: Vec<Vec<u32>>,
+    /// Same for ω⁻¹ (inverse).
+    tw_inv: Vec<Vec<u32>>,
+    /// `N⁻¹` in Montgomery form.
+    n_inv_mont: u32,
+}
+
+impl Fast32Plan {
+    /// Builds the tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`modmath::Error`] when the field's modulus exceeds the
+    /// 32-bit datapath (`q ≥ 2³¹`).
+    pub fn new(field: &NttField) -> Result<Self, modmath::Error> {
+        let q64 = field.modulus();
+        if q64 >= 1 << 31 {
+            return Err(modmath::Error::BadModulus {
+                q: q64,
+                reason: "fast32 plan requires q < 2^31",
+            });
+        }
+        let q = q64 as u32;
+        let mont = Montgomery32::new(q)?;
+        let n = field.n();
+        let log_n = n.trailing_zeros();
+        let build = |w: u64| -> Vec<Vec<u32>> {
+            (0..log_n)
+                .map(|s| {
+                    let m = 1usize << s;
+                    let step =
+                        modmath::arith::pow_mod(w, (n >> (s + 1)) as u64, q64) as u32;
+                    let step_mont = mont.to_mont(step);
+                    let mut tws = Vec::with_capacity(m);
+                    let mut cur = mont.one();
+                    for _ in 0..m {
+                        tws.push(cur);
+                        cur = mont.mul(cur, step_mont);
+                    }
+                    tws
+                })
+                .collect()
+        };
+        let n_inv = modmath::arith::inv_mod(n as u64, q64)? as u32;
+        Ok(Self {
+            mont,
+            n,
+            log_n,
+            tw: build(field.root_of_unity()),
+            tw_inv: build(field.root_of_unity_inv()),
+            n_inv_mont: mont.to_mont(n_inv),
+        })
+    }
+
+    /// Transform length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> u32 {
+        self.mont.modulus()
+    }
+
+    /// Forward cyclic NTT, natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn forward(&self, data: &mut [u32]) {
+        assert_eq!(data.len(), self.n, "length mismatch");
+        bitrev_permute(data);
+        self.dit(data, false);
+    }
+
+    /// Inverse cyclic NTT, natural order in and out, with `N⁻¹` scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn inverse(&self, data: &mut [u32]) {
+        assert_eq!(data.len(), self.n, "length mismatch");
+        bitrev_permute(data);
+        self.dit(data, true);
+        for x in data.iter_mut() {
+            // Plain value times Montgomery-form N⁻¹: one REDC.
+            *x = self.mont.redc(*x as u64 * self.n_inv_mont as u64);
+        }
+    }
+
+    fn dit(&self, data: &mut [u32], inverse: bool) {
+        let mont = &self.mont;
+        let tables = if inverse { &self.tw_inv } else { &self.tw };
+        for s in 0..self.log_n {
+            let m = 1usize << s;
+            let tws = &tables[s as usize];
+            for k in (0..self.n).step_by(2 * m) {
+                for j in 0..m {
+                    // Plain data × Montgomery twiddle → plain product.
+                    let t = mont.redc(data[k + j + m] as u64 * tws[j] as u64);
+                    let u = data[k + j];
+                    data[k + j] = mont.add(u, t);
+                    data[k + j + m] = mont.sub(u, t);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::NttPlan;
+
+    fn field(n: usize) -> NttField {
+        NttField::with_bits(n, 30).expect("field exists")
+    }
+
+    #[test]
+    fn matches_u64_plan() {
+        for n in [4usize, 64, 1024] {
+            let f = field(n);
+            let fast = Fast32Plan::new(&f).unwrap();
+            let slow = NttPlan::new(f);
+            let q = slow.modulus();
+            let data64: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % q).collect();
+            let mut a: Vec<u32> = data64.iter().map(|&x| x as u32).collect();
+            let mut b = data64;
+            fast.forward(&mut a);
+            slow.forward(&mut b);
+            assert!(a.iter().zip(&b).all(|(&x, &y)| x as u64 == y), "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = field(512);
+        let plan = Fast32Plan::new(&f).unwrap();
+        let q = plan.modulus();
+        let orig: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(2654435761) % q).collect();
+        let mut v = orig.clone();
+        plan.forward(&mut v);
+        plan.inverse(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn rejects_oversized_modulus() {
+        // A 62-bit field cannot use the 32-bit datapath.
+        let f = NttField::with_bits(64, 40).unwrap();
+        assert!(Fast32Plan::new(&f).is_err());
+    }
+}

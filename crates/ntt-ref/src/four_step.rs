@@ -1,0 +1,111 @@
+//! Four-step (Bailey) NTT decomposition.
+//!
+//! Splits a size-`N = N₁·N₂` transform into column transforms, a twiddle
+//! scaling, row transforms, and a transpose. Included as the standard
+//! cache-oblivious alternative the PIM mapping competes against (it moves
+//! the whole array four times — more DRAM traffic than the row-centric
+//! schedule, which is the quantitative point of the paper's §III.A).
+
+use crate::plan::NttPlan;
+use modmath::arith::{mul_mod, pow_mod};
+use modmath::prime::NttField;
+
+/// Forward cyclic NTT, natural order in and out, four-step dataflow.
+///
+/// `rows` must divide `plan.n()` and both factors must be powers of two
+/// `>= 2`.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an invalid factorization.
+pub fn forward(plan: &NttPlan, data: &mut [u64], rows: usize) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    assert!(
+        rows.is_power_of_two() && rows >= 2 && n % rows == 0 && n / rows >= 2,
+        "invalid four-step factorization: {rows} x {}",
+        n / rows
+    );
+    let cols = n / rows;
+    let q = plan.modulus();
+    let w = plan.field().root_of_unity();
+
+    // Sub-transforms need their own fields sharing q and compatible roots:
+    // ω_rows = ω^cols, ω_cols = ω^rows.
+    let col_plan = sub_plan(plan.field(), rows, cols);
+    let row_plan = sub_plan(plan.field(), cols, rows);
+
+    // Step 1: transform each column (stride = cols in row-major layout).
+    let mut scratch = vec![0u64; rows.max(cols)];
+    for c in 0..cols {
+        for r in 0..rows {
+            scratch[r] = data[r * cols + c];
+        }
+        col_plan.forward(&mut scratch[..rows]);
+        for r in 0..rows {
+            data[r * cols + c] = scratch[r];
+        }
+    }
+    // Step 2: twiddle scaling by ω^(r*c).
+    for r in 0..rows {
+        let wr = pow_mod(w, r as u64, q);
+        let mut tw = 1u64;
+        for c in 0..cols {
+            data[r * cols + c] = mul_mod(data[r * cols + c], tw, q);
+            tw = mul_mod(tw, wr, q);
+        }
+    }
+    // Step 3: transform each row.
+    for r in 0..rows {
+        row_plan.forward(&mut data[r * cols..(r + 1) * cols]);
+    }
+    // Step 4: transpose — output index k = k1 + k2*rows for input (r=k1, c=k2).
+    let copy = data.to_vec();
+    for r in 0..rows {
+        for c in 0..cols {
+            data[c * rows + r] = copy[r * cols + c];
+        }
+    }
+}
+
+fn sub_plan(field: &NttField, n_sub: usize, power: usize) -> NttPlan {
+    let q = field.modulus();
+    // The four-step identity needs ω_sub = ω^power exactly (not whichever
+    // root a fresh search would find). ψ^power is the matching primitive
+    // 2·n_sub-th root with (ψ^power)² = ω^power.
+    let psi_sub = pow_mod(field.psi(), power as u64, q);
+    let sub = NttField::with_psi(n_sub, q, psi_sub)
+        .expect("a power of a primitive root is primitive for the sub-length");
+    NttPlan::new(sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 24).expect("field exists"))
+    }
+
+    #[test]
+    fn matches_naive_square_and_rectangular() {
+        for (n, rows) in [(16usize, 4usize), (64, 8), (64, 4), (256, 16), (128, 8)] {
+            let p = plan(n);
+            let q = p.modulus();
+            let x: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 5) % q).collect();
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x.clone();
+            forward(&p, &mut got, rows);
+            assert_eq!(got, expect, "n={n} rows={rows}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid four-step factorization")]
+    fn rejects_degenerate_factorization() {
+        let p = plan(16);
+        let mut x = vec![0u64; 16];
+        forward(&p, &mut x, 16); // cols would be 1
+    }
+}

@@ -1,0 +1,168 @@
+//! In-place iterative radix-2 transforms: Cooley–Tukey DIT and
+//! Gentleman–Sande DIF.
+//!
+//! The DIT graph here is the *hardware-relevant* one: bit-reversed input,
+//! natural output, butterfly spans growing 1, 2, 4, …, `N/2`, and within
+//! every butterfly group the twiddles form the geometric sequence
+//! `1, rω, rω², …` that the paper's Algorithm 2 generates on the fly
+//! (`ω ← ω·rω`). The PIM mapping in `ntt-pim-core` slices exactly this
+//! stage structure into the intra-atom / intra-row / inter-row regimes.
+
+use crate::plan::NttPlan;
+use modmath::arith::{add_mod, mul_mod, sub_mod};
+
+/// Cooley–Tukey DIT butterfly stages over data already in bit-reversed
+/// order; produces natural order. No scaling is applied (callers of the
+/// inverse must scale by `N⁻¹`).
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn dit_from_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    let q = plan.modulus();
+    for s in 0..plan.log_n() {
+        let m = 1usize << s; // butterfly span
+        let tws = plan.dit_stage_twiddles(s, inverse);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                // CT butterfly: multiply the odd leg *before* add/sub.
+                let t = mul_mod(data[k + j + m], tws[j], q);
+                let u = data[k + j];
+                data[k + j] = add_mod(u, t, q);
+                data[k + j + m] = sub_mod(u, t, q);
+            }
+        }
+    }
+}
+
+/// Gentleman–Sande DIF butterfly stages over natural-order data; produces
+/// bit-reversed order. No scaling is applied.
+///
+/// The butterfly is the paper's Fig. 3 shape: `(a, b) → (a + b, (a − b)·ω)`
+/// (multiply *after* subtract).
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn dif_to_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    let q = plan.modulus();
+    // DIF runs the DIT stages mirrored: spans N/2, N/4, ..., 1.
+    for s in (0..plan.log_n()).rev() {
+        let m = 1usize << s;
+        let tws = plan.dit_stage_twiddles(s, inverse);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                let u = data[k + j];
+                let v = data[k + j + m];
+                data[k + j] = add_mod(u, v, q);
+                data[k + j + m] = mul_mod(sub_mod(u, v, q), tws[j], q);
+            }
+        }
+    }
+}
+
+/// Forward NTT natural→natural via the DIF graph (bit reversal *after* the
+/// butterflies instead of before). Numerically identical to
+/// [`NttPlan::forward`]; exists to document and test the graph duality the
+/// PIM inverse path uses.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn forward_via_dif(plan: &NttPlan, data: &mut [u64]) {
+    dif_to_bitrev(plan, data, false);
+    modmath::bitrev::bitrev_permute(data);
+}
+
+/// Inverse NTT natural→natural via the DIF graph, including `N⁻¹` scaling.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn inverse_via_dif(plan: &NttPlan, data: &mut [u64]) {
+    dif_to_bitrev(plan, data, true);
+    modmath::bitrev::bitrev_permute(data);
+    let q = plan.modulus();
+    let n_inv = plan.n_inv();
+    for x in data.iter_mut() {
+        *x = mul_mod(*x, n_inv, q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use modmath::prime::NttField;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 26).expect("field exists"))
+    }
+
+    fn ramp(n: usize, q: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 97 + 13) % q).collect()
+    }
+
+    #[test]
+    fn dit_matches_naive_all_sizes() {
+        for n in [2usize, 4, 8, 16, 32, 128, 512] {
+            let p = plan(n);
+            let x = ramp(n, p.modulus());
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x.clone();
+            p.forward(&mut got);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dif_matches_dit() {
+        for n in [2usize, 8, 64, 256] {
+            let p = plan(n);
+            let x = ramp(n, p.modulus());
+            let mut a = x.clone();
+            p.forward(&mut a);
+            let mut b = x.clone();
+            forward_via_dif(&p, &mut b);
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_via_dif_matches_plan_inverse() {
+        let p = plan(64);
+        let x = ramp(64, p.modulus());
+        let mut a = x.clone();
+        p.forward(&mut a);
+        let mut b = a.clone();
+        p.inverse(&mut a);
+        inverse_via_dif(&p, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a, x);
+    }
+
+    #[test]
+    fn dif_then_pointwise_then_dit_needs_no_bitrev() {
+        // The classic trick: DIF forward (bitrev output), pointwise multiply
+        // in bit-reversed order, DIT inverse (bitrev input) — no explicit
+        // permutation anywhere. This is what an FHE pipeline would run.
+        let p = plan(32);
+        let q = p.modulus();
+        let a = ramp(32, q);
+        let b: Vec<u64> = (0..32u64).map(|i| (i * i * 5 + 1) % q).collect();
+        let mut ta = a.clone();
+        let mut tb = b.clone();
+        dif_to_bitrev(&p, &mut ta, false);
+        dif_to_bitrev(&p, &mut tb, false);
+        let mut prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        dit_from_bitrev(&p, &mut prod, true);
+        for x in prod.iter_mut() {
+            *x = mul_mod(*x, p.n_inv(), q);
+        }
+        assert_eq!(prod, naive::cyclic_convolution(&a, &b, q));
+    }
+}

@@ -1,0 +1,68 @@
+//! Reference (CPU) implementations of the number-theoretic transform.
+//!
+//! This crate plays two roles in the NTT-PIM reproduction:
+//!
+//! 1. **Golden models.** Every hardware-mapped transform in
+//!    [`ntt-pim-core`] is checked against these software implementations,
+//!    starting from the naive O(N²) DFT ([`naive`]) that anchors the whole
+//!    chain of trust.
+//! 2. **The "x86 CPU" baseline.** The paper's Figs. 7–8 and Table III
+//!    compare PIM latency against a software NTT; [`baseline`] times the
+//!    iterative transform on the host machine.
+//!
+//! Implemented dataflows (all radix-2, power-of-two lengths):
+//!
+//! * [`iterative`] — the classic in-place Cooley–Tukey DIT (bit-reversed
+//!   input → natural output) and Gentleman–Sande DIF (natural → bit-reversed),
+//!   forward and inverse. The DIT graph with its geometric per-group twiddle
+//!   sequences is exactly what the PIM compute unit executes.
+//! * [`blocked`] — the same DIT transform reorganized into the paper's
+//!   row-centric decomposition (§III.A): independent block-local stages
+//!   followed by cross-block stages. This is the software mirror of the
+//!   intra-row / inter-row mapping split.
+//! * [`pease`] — constant-geometry dataflow (paper §II.B's discussion of
+//!   parallel FFT algorithms \[17\]).
+//! * [`stockham`] — self-sorting dataflow \[18\].
+//! * [`four_step`] — cache-friendly four-step decomposition (extension).
+//! * [`fast32`] — a Montgomery-datapath 32-bit plan, the *tuned* software
+//!   baseline used for honest measured-CPU comparisons.
+//! * [`radix4`] — mixed radix-4/2 DIT, the classic compute-bound
+//!   optimization the memory-bound PIM mapping deliberately skips.
+//! * [`naive`] — O(N²) evaluation, the ground truth.
+//! * [`poly`] — cyclic and negacyclic polynomial multiplication built on the
+//!   transforms, exercising the convolution theorem end to end.
+//!
+//! # Example
+//!
+//! ```
+//! use modmath::prime::NttField;
+//! use ntt_ref::plan::NttPlan;
+//!
+//! # fn main() -> Result<(), modmath::Error> {
+//! let field = NttField::with_bits(8, 13)?;
+//! let plan = NttPlan::new(field);
+//! let mut data = vec![1, 2, 3, 4, 5, 6, 7, 8];
+//! let original = data.clone();
+//! plan.forward(&mut data);
+//! plan.inverse(&mut data);
+//! assert_eq!(data, original);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`ntt-pim-core`]: ../ntt_pim_core/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod blocked;
+pub mod fast32;
+pub mod four_step;
+pub mod iterative;
+pub mod naive;
+pub mod pease;
+pub mod plan;
+pub mod poly;
+pub mod radix4;
+pub mod stockham;

@@ -1,0 +1,213 @@
+//! Naive O(N²) transforms — the ground truth every fast path is tested
+//! against.
+
+use modmath::arith::{mul_mod, pow_mod};
+use modmath::prime::NttField;
+
+/// Evaluates `X[k] = Σ_n x[n]·ω^(nk) mod q` directly.
+///
+/// # Panics
+///
+/// Panics if `input.len() != field.n()`.
+///
+/// # Example
+///
+/// ```
+/// use modmath::prime::NttField;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let f = NttField::with_bits(4, 13)?;
+/// let x = vec![1, 0, 0, 0];
+/// // The transform of a delta is the all-ones vector.
+/// assert_eq!(ntt_ref::naive::ntt(&f, &x), vec![1, 1, 1, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ntt(field: &NttField, input: &[u64]) -> Vec<u64> {
+    transform(field, input, field.root_of_unity(), 1)
+}
+
+/// Evaluates the inverse transform `x[n] = N⁻¹·Σ_k X[k]·ω^(-nk) mod q`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != field.n()`.
+pub fn intt(field: &NttField, input: &[u64]) -> Vec<u64> {
+    transform(field, input, field.root_of_unity_inv(), field.n_inv())
+}
+
+/// Negacyclic forward transform: `X[k] = Σ_n x[n]·ψ^n·ω^(nk)`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != field.n()`.
+pub fn ntt_negacyclic(field: &NttField, input: &[u64]) -> Vec<u64> {
+    let q = field.modulus();
+    let psi = field.psi();
+    let mut weighted = Vec::with_capacity(input.len());
+    let mut p = 1u64;
+    for &x in input {
+        weighted.push(mul_mod(x, p, q));
+        p = mul_mod(p, psi, q);
+    }
+    ntt(field, &weighted)
+}
+
+/// Negacyclic inverse transform (with all scaling applied).
+///
+/// # Panics
+///
+/// Panics if `input.len() != field.n()`.
+pub fn intt_negacyclic(field: &NttField, input: &[u64]) -> Vec<u64> {
+    let q = field.modulus();
+    let psi_inv = field.psi_inv();
+    let mut out = intt(field, input);
+    let mut p = 1u64;
+    for x in out.iter_mut() {
+        *x = mul_mod(*x, p, q);
+        p = mul_mod(p, psi_inv, q);
+    }
+    out
+}
+
+/// Schoolbook cyclic convolution (`Z_q[X]/(X^N - 1)`), for convolution-
+/// theorem tests.
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+pub fn cyclic_convolution(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths differ");
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i + j) % n;
+            out[k] = modmath::arith::add_mod(out[k], mul_mod(a[i], b[j], q), q);
+        }
+    }
+    out
+}
+
+/// Schoolbook negacyclic convolution (`Z_q[X]/(X^N + 1)`).
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+pub fn negacyclic_convolution(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths differ");
+    let n = a.len();
+    let mut out = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let prod = mul_mod(a[i], b[j], q);
+            if i + j < n {
+                out[i + j] = modmath::arith::add_mod(out[i + j], prod, q);
+            } else {
+                let k = i + j - n; // X^N = -1 wraps with a sign flip
+                out[k] = modmath::arith::sub_mod(out[k], prod, q);
+            }
+        }
+    }
+    out
+}
+
+fn transform(field: &NttField, input: &[u64], w: u64, scale: u64) -> Vec<u64> {
+    let n = field.n();
+    assert_eq!(input.len(), n, "length mismatch");
+    let q = field.modulus();
+    (0..n)
+        .map(|k| {
+            let mut acc = 0u64;
+            for (i, &x) in input.iter().enumerate() {
+                let tw = pow_mod(w, (i * k) as u64, q);
+                acc = modmath::arith::add_mod(acc, mul_mod(x, tw, q), q);
+            }
+            mul_mod(acc, scale, q)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use modmath::arith::add_mod;
+
+    fn field(n: usize) -> NttField {
+        NttField::with_bits(n, 20).expect("field exists")
+    }
+
+    #[test]
+    fn delta_transforms_to_ones() {
+        let f = field(8);
+        let mut x = vec![0u64; 8];
+        x[0] = 1;
+        assert_eq!(ntt(&f, &x), vec![1; 8]);
+    }
+
+    #[test]
+    fn ones_transform_to_scaled_delta() {
+        let f = field(8);
+        let x = vec![1u64; 8];
+        let mut expect = vec![0u64; 8];
+        expect[0] = 8;
+        assert_eq!(ntt(&f, &x), expect);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = field(16);
+        let x: Vec<u64> = (0..16).map(|i| (i * 31 + 5) % f.modulus()).collect();
+        assert_eq!(intt(&f, &ntt(&f, &x)), x);
+        assert_eq!(intt_negacyclic(&f, &ntt_negacyclic(&f, &x)), x);
+    }
+
+    #[test]
+    fn linearity() {
+        let f = field(8);
+        let q = f.modulus();
+        let a: Vec<u64> = (0..8).map(|i| (i * 3 + 1) % q).collect();
+        let b: Vec<u64> = (0..8).map(|i| (i * i) % q).collect();
+        let sum: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| add_mod(x, y, q)).collect();
+        let ta = ntt(&f, &a);
+        let tb = ntt(&f, &b);
+        let tsum = ntt(&f, &sum);
+        for k in 0..8 {
+            assert_eq!(tsum[k], add_mod(ta[k], tb[k], q));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_cyclic() {
+        let f = field(8);
+        let q = f.modulus();
+        let a: Vec<u64> = (0..8).map(|i| (7 * i + 2) % q).collect();
+        let b: Vec<u64> = (0..8).map(|i| (5 * i + 1) % q).collect();
+        let ta = ntt(&f, &a);
+        let tb = ntt(&f, &b);
+        let prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        assert_eq!(intt(&f, &prod), cyclic_convolution(&a, &b, q));
+    }
+
+    #[test]
+    fn convolution_theorem_negacyclic() {
+        let f = field(8);
+        let q = f.modulus();
+        let a: Vec<u64> = (0..8).map(|i| (11 * i + 3) % q).collect();
+        let b: Vec<u64> = (0..8).map(|i| (13 * i + 7) % q).collect();
+        let ta = ntt_negacyclic(&f, &a);
+        let tb = ntt_negacyclic(&f, &b);
+        let prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        assert_eq!(intt_negacyclic(&f, &prod), negacyclic_convolution(&a, &b, q));
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // (X^(N-1))² = X^(2N-2) = -X^(N-2) in Z_q[X]/(X^N+1).
+        let q = field(4).modulus();
+        let mut a = vec![0u64; 4];
+        a[3] = 1;
+        let c = negacyclic_convolution(&a, &a, q);
+        assert_eq!(c, vec![0, 0, q - 1, 0]);
+    }
+}

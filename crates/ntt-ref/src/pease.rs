@@ -1,0 +1,112 @@
+//! Pease constant-geometry NTT.
+//!
+//! Every stage applies butterflies to the same index pattern — pairs
+//! `(i, i + N/2)` written to `(2i, 2i + 1)` — which is why the paper's §II.B
+//! notes Pease \[17\] "is well suited for FPGAs and ASICs due to its regular
+//! structure" but needs `log N` shuffles when mapped onto a memory
+//! hierarchy (the implicit perfect shuffle between stages), making it a
+//! poor fit for PIM row buffers compared to recursive Cooley–Tukey.
+
+use crate::plan::NttPlan;
+use modmath::arith::{add_mod, mul_mod, sub_mod};
+
+/// Forward cyclic NTT, natural order in and out, Pease dataflow.
+///
+/// Internally double-buffered (the constant geometry cannot run in place);
+/// the final bit-reversal is folded into a copy back into `data`.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn forward(plan: &NttPlan, data: &mut [u64]) {
+    transform(plan, data, false);
+}
+
+/// Inverse cyclic NTT, natural order in and out, including `N⁻¹` scaling.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn inverse(plan: &NttPlan, data: &mut [u64]) {
+    transform(plan, data, true);
+    let q = plan.modulus();
+    let n_inv = plan.n_inv();
+    for x in data.iter_mut() {
+        *x = mul_mod(*x, n_inv, q);
+    }
+}
+
+fn transform(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    let q = plan.modulus();
+    let log_n = plan.log_n();
+    let mut cur = data.to_vec();
+    let mut next = vec![0u64; n];
+    let half = n / 2;
+    for s in 0..log_n {
+        // DIF stage s (spans shrinking) in constant geometry: after s
+        // perfect shuffles, the butterfly at physical pair (i, i + N/2)
+        // needs twiddle ω^((i >> s) · 2^s) — the DIT-table entry of stage
+        // (L-1-s) at index (i >> s).
+        let table = plan.dit_stage_twiddles(log_n - 1 - s, inverse);
+        for i in 0..half {
+            let a = cur[i];
+            let b = cur[i + half];
+            let w = table[i >> s];
+            next[2 * i] = add_mod(a, b, q);
+            next[2 * i + 1] = mul_mod(sub_mod(a, b, q), w, q);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    // Constant-geometry DIF leaves the result bit-reversed.
+    modmath::bitrev::bitrev_permute(&mut cur);
+    data.copy_from_slice(&cur);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use modmath::prime::NttField;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 24).expect("field exists"))
+    }
+
+    #[test]
+    fn matches_naive() {
+        for n in [2usize, 4, 8, 32, 256] {
+            let p = plan(n);
+            let q = p.modulus();
+            let x: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 2) % q).collect();
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x.clone();
+            forward(&p, &mut got);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = plan(64);
+        let q = p.modulus();
+        let x: Vec<u64> = (0..64u64).map(|i| (i * 3 + 9) % q).collect();
+        let mut v = x.clone();
+        forward(&p, &mut v);
+        inverse(&p, &mut v);
+        assert_eq!(v, x);
+    }
+
+    #[test]
+    fn agrees_with_iterative() {
+        let p = plan(128);
+        let q = p.modulus();
+        let x: Vec<u64> = (0..128u64).map(|i| (i * i + 17) % q).collect();
+        let mut a = x.clone();
+        p.forward(&mut a);
+        let mut b = x;
+        forward(&p, &mut b);
+        assert_eq!(a, b);
+    }
+}

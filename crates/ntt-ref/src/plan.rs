@@ -1,0 +1,297 @@
+//! Precomputed transform plans (twiddle tables and scaling constants).
+//!
+//! A [`NttPlan`] owns everything a length-`N` transform over `Z_q` needs:
+//! per-stage twiddle tables for the DIT and DIF graphs (forward and
+//! inverse), the `ψ` power tables for negacyclic weighting, and `N⁻¹`.
+//! The per-stage *step* values ([`NttPlan::dit_stage_step`]) are the same
+//! `rω` parameters the PIM memory controller feeds the hardware twiddle
+//! factor generator, so the plan doubles as the MC's parameter source.
+
+use modmath::arith::{mul_mod, pow_mod};
+use modmath::bitrev::bitrev_permute;
+use modmath::prime::NttField;
+
+/// A prepared length-`N` NTT over `Z_q`.
+///
+/// # Example
+///
+/// ```
+/// use modmath::prime::NttField;
+/// use ntt_ref::plan::NttPlan;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let plan = NttPlan::new(NttField::with_bits(16, 17)?);
+/// let mut v: Vec<u64> = (0..16).collect();
+/// let orig = v.clone();
+/// plan.forward(&mut v);
+/// assert_ne!(v, orig);
+/// plan.inverse(&mut v);
+/// assert_eq!(v, orig);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NttPlan {
+    field: NttField,
+    log_n: u32,
+    /// `dit_tw[s][j] = ω^(j * n / 2^(s+1))` for stage `s` (0-indexed), the
+    /// twiddles of one butterfly group (all groups share them).
+    dit_tw: Vec<Vec<u64>>,
+    /// Same tables for `ω⁻¹` (inverse transform).
+    dit_tw_inv: Vec<Vec<u64>>,
+    /// `ψ^i` for negacyclic pre-weighting.
+    psi_pows: Vec<u64>,
+    /// `ψ⁻ⁱ` for negacyclic post-weighting.
+    psi_inv_pows: Vec<u64>,
+    n_inv: u64,
+}
+
+impl NttPlan {
+    /// Builds the tables for a validated field.
+    pub fn new(field: NttField) -> Self {
+        let n = field.n();
+        let q = field.modulus();
+        let log_n = n.trailing_zeros();
+        let build = |w: u64| -> Vec<Vec<u64>> {
+            (0..log_n)
+                .map(|s| {
+                    let m = 1usize << s; // butterfly span at stage s
+                    let step = pow_mod(w, (n >> (s + 1)) as u64, q);
+                    let mut tws = Vec::with_capacity(m);
+                    let mut cur = 1u64;
+                    for _ in 0..m {
+                        tws.push(cur);
+                        cur = mul_mod(cur, step, q);
+                    }
+                    tws
+                })
+                .collect()
+        };
+        let w = field.root_of_unity();
+        let w_inv = field.root_of_unity_inv();
+        let psi = field.psi();
+        let psi_inv = field.psi_inv();
+        let mut psi_pows = Vec::with_capacity(n);
+        let mut psi_inv_pows = Vec::with_capacity(n);
+        let (mut p, mut pi) = (1u64, 1u64);
+        for _ in 0..n {
+            psi_pows.push(p);
+            psi_inv_pows.push(pi);
+            p = mul_mod(p, psi, q);
+            pi = mul_mod(pi, psi_inv, q);
+        }
+        Self {
+            field,
+            log_n,
+            dit_tw: build(w),
+            dit_tw_inv: build(w_inv),
+            psi_pows,
+            psi_inv_pows,
+            n_inv: field.n_inv(),
+        }
+    }
+
+    /// The underlying field parameters.
+    #[inline]
+    pub fn field(&self) -> &NttField {
+        &self.field
+    }
+
+    /// Transform length `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.field.n()
+    }
+
+    /// `log2(N)`, the stage count.
+    #[inline]
+    pub fn log_n(&self) -> u32 {
+        self.log_n
+    }
+
+    /// The modulus `q`.
+    #[inline]
+    pub fn modulus(&self) -> u64 {
+        self.field.modulus()
+    }
+
+    /// `N⁻¹ mod q`.
+    #[inline]
+    pub fn n_inv(&self) -> u64 {
+        self.n_inv
+    }
+
+    /// Twiddle table of DIT stage `s` (0-indexed): `2^s` entries shared by
+    /// every butterfly group of the stage.
+    #[inline]
+    pub fn dit_stage_twiddles(&self, s: u32, inverse: bool) -> &[u64] {
+        if inverse {
+            &self.dit_tw_inv[s as usize]
+        } else {
+            &self.dit_tw[s as usize]
+        }
+    }
+
+    /// The geometric step `rω = ω^(N / 2^(s+1))` of DIT stage `s` — the
+    /// value the PIM twiddle factor generator multiplies by per butterfly.
+    #[inline]
+    pub fn dit_stage_step(&self, s: u32, inverse: bool) -> u64 {
+        let table = self.dit_stage_twiddles(s, inverse);
+        if table.len() >= 2 {
+            table[1]
+        } else {
+            // Stage 0 has a single unit twiddle; its step is irrelevant but
+            // defined as ω^(N/2) = -1 for consistency with the formula.
+            let w = if inverse {
+                self.field.root_of_unity_inv()
+            } else {
+                self.field.root_of_unity()
+            };
+            pow_mod(w, (self.n() >> 1) as u64, self.modulus())
+        }
+    }
+
+    /// `ψ^i` table (negacyclic pre-weighting).
+    #[inline]
+    pub fn psi_pows(&self) -> &[u64] {
+        &self.psi_pows
+    }
+
+    /// `ψ⁻ⁱ` table (negacyclic post-weighting).
+    #[inline]
+    pub fn psi_inv_pows(&self) -> &[u64] {
+        &self.psi_inv_pows
+    }
+
+    /// Forward cyclic NTT, natural order in and out.
+    ///
+    /// Performs the software bit-reversal the paper assigns to the CPU,
+    /// then the DIT butterfly stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn forward(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n(), "length mismatch");
+        bitrev_permute(data);
+        crate::iterative::dit_from_bitrev(self, data, false);
+    }
+
+    /// Inverse cyclic NTT, natural order in and out (includes `N⁻¹` scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn inverse(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n(), "length mismatch");
+        bitrev_permute(data);
+        crate::iterative::dit_from_bitrev(self, data, true);
+        let q = self.modulus();
+        for x in data.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+
+    /// Forward negacyclic NTT (for `Z_q[X]/(X^N + 1)`), natural order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn forward_negacyclic(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n(), "length mismatch");
+        let q = self.modulus();
+        for (x, p) in data.iter_mut().zip(&self.psi_pows) {
+            *x = mul_mod(*x, *p, q);
+        }
+        self.forward(data);
+    }
+
+    /// Inverse negacyclic NTT, natural order (includes all scaling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()`.
+    pub fn inverse_negacyclic(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n(), "length mismatch");
+        self.inverse(data);
+        let q = self.modulus();
+        for (x, p) in data.iter_mut().zip(&self.psi_inv_pows) {
+            *x = mul_mod(*x, *p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 31).expect("field exists"))
+    }
+
+    #[test]
+    fn stage_twiddles_are_geometric() {
+        let p = plan(64);
+        let q = p.modulus();
+        for s in 0..p.log_n() {
+            let tws = p.dit_stage_twiddles(s, false);
+            assert_eq!(tws.len(), 1 << s);
+            assert_eq!(tws[0], 1);
+            let step = p.dit_stage_step(s, false);
+            for j in 1..tws.len() {
+                assert_eq!(tws[j], mul_mod(tws[j - 1], step, q), "s={s} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn last_stage_step_is_primitive_root() {
+        let p = plan(32);
+        // Stage log_n - 1 has step ω^(N / 2^log_n) = ω.
+        assert_eq!(
+            p.dit_stage_step(p.log_n() - 1, false),
+            p.field().root_of_unity()
+        );
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [2usize, 4, 8, 64, 256, 1024] {
+            let p = plan(n);
+            let q = p.modulus();
+            let mut v: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+            let orig = v.clone();
+            p.forward(&mut v);
+            p.inverse(&mut v);
+            assert_eq!(v, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn negacyclic_roundtrip() {
+        let p = plan(128);
+        let q = p.modulus();
+        let mut v: Vec<u64> = (0..128u64).map(|i| (i * i + 1) % q).collect();
+        let orig = v.clone();
+        p.forward_negacyclic(&mut v);
+        p.inverse_negacyclic(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn forward_rejects_wrong_length() {
+        let p = plan(8);
+        let mut v = vec![0u64; 4];
+        p.forward(&mut v);
+    }
+
+    #[test]
+    fn psi_tables_are_inverses() {
+        let p = plan(16);
+        let q = p.modulus();
+        for i in 0..16 {
+            assert_eq!(mul_mod(p.psi_pows()[i], p.psi_inv_pows()[i], q), 1);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Polynomial arithmetic in `Z_q[X]/(X^N ± 1)` built on the fast
+//! transforms — the operation FHE actually needs (paper Eq. (1):
+//! `a∗b = NTT⁻¹(NTT(a) ⊙ NTT(b))`).
+
+use crate::plan::NttPlan;
+use modmath::arith::{add_mod, mul_mod, sub_mod};
+
+/// Pointwise (Hadamard) product of two equal-length residue vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn pointwise(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths differ");
+    a.iter().zip(b).map(|(&x, &y)| mul_mod(x, y, q)).collect()
+}
+
+/// Coefficient-wise sum.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn add(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths differ");
+    a.iter().zip(b).map(|(&x, &y)| add_mod(x, y, q)).collect()
+}
+
+/// Coefficient-wise difference.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sub(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operand lengths differ");
+    a.iter().zip(b).map(|(&x, &y)| sub_mod(x, y, q)).collect()
+}
+
+/// Cyclic polynomial product in `Z_q[X]/(X^N - 1)` via three transforms.
+///
+/// # Panics
+///
+/// Panics if either operand's length differs from `plan.n()`.
+///
+/// # Example
+///
+/// ```
+/// use modmath::prime::NttField;
+/// use ntt_ref::plan::NttPlan;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let plan = NttPlan::new(NttField::with_bits(4, 13)?);
+/// // (1 + X) * (1 + X) = 1 + 2X + X²
+/// let c = ntt_ref::poly::mul_cyclic(&plan, &[1, 1, 0, 0], &[1, 1, 0, 0]);
+/// assert_eq!(c, vec![1, 2, 1, 0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn mul_cyclic(plan: &NttPlan, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let q = plan.modulus();
+    let mut ta = a.to_vec();
+    let mut tb = b.to_vec();
+    plan.forward(&mut ta);
+    plan.forward(&mut tb);
+    let mut prod = pointwise(&ta, &tb, q);
+    plan.inverse(&mut prod);
+    prod
+}
+
+/// Negacyclic polynomial product in `Z_q[X]/(X^N + 1)` — the RLWE ring.
+///
+/// # Panics
+///
+/// Panics if either operand's length differs from `plan.n()`.
+pub fn mul_negacyclic(plan: &NttPlan, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let q = plan.modulus();
+    let mut ta = a.to_vec();
+    let mut tb = b.to_vec();
+    plan.forward_negacyclic(&mut ta);
+    plan.forward_negacyclic(&mut tb);
+    let mut prod = pointwise(&ta, &tb, q);
+    plan.inverse_negacyclic(&mut prod);
+    prod
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use modmath::prime::NttField;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 24).expect("field exists"))
+    }
+
+    #[test]
+    fn cyclic_matches_schoolbook() {
+        let p = plan(32);
+        let q = p.modulus();
+        let a: Vec<u64> = (0..32u64).map(|i| (i * 3 + 1) % q).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| (i * i + 2) % q).collect();
+        assert_eq!(mul_cyclic(&p, &a, &b), naive::cyclic_convolution(&a, &b, q));
+    }
+
+    #[test]
+    fn negacyclic_matches_schoolbook() {
+        let p = plan(32);
+        let q = p.modulus();
+        let a: Vec<u64> = (0..32u64).map(|i| (i * 5 + 3) % q).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| (i * 7 + 4) % q).collect();
+        assert_eq!(
+            mul_negacyclic(&p, &a, &b),
+            naive::negacyclic_convolution(&a, &b, q)
+        );
+    }
+
+    #[test]
+    fn multiply_by_one_is_identity() {
+        let p = plan(16);
+        let q = p.modulus();
+        let a: Vec<u64> = (0..16u64).map(|i| (i + 9) % q).collect();
+        let mut one = vec![0u64; 16];
+        one[0] = 1;
+        assert_eq!(mul_cyclic(&p, &a, &one), a);
+        assert_eq!(mul_negacyclic(&p, &a, &one), a);
+    }
+
+    #[test]
+    fn mul_by_x_rotates_with_sign_in_negacyclic_ring() {
+        let p = plan(8);
+        let q = p.modulus();
+        let a: Vec<u64> = (1..=8u64).collect();
+        let mut x = vec![0u64; 8];
+        x[1] = 1;
+        let c = mul_negacyclic(&p, &a, &x);
+        // X·(a0..a7) = -a7 + a0·X + ... + a6·X^7
+        let mut expect = vec![q - 8];
+        expect.extend_from_slice(&a[..7]);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn ring_ops_are_commutative_and_distributive() {
+        let p = plan(16);
+        let q = p.modulus();
+        let a: Vec<u64> = (0..16u64).map(|i| (i * 11 + 1) % q).collect();
+        let b: Vec<u64> = (0..16u64).map(|i| (i * 13 + 5) % q).collect();
+        let c: Vec<u64> = (0..16u64).map(|i| (i * 17 + 7) % q).collect();
+        assert_eq!(mul_negacyclic(&p, &a, &b), mul_negacyclic(&p, &b, &a));
+        let left = mul_negacyclic(&p, &a, &add(&b, &c, q));
+        let right = add(
+            &mul_negacyclic(&p, &a, &b),
+            &mul_negacyclic(&p, &a, &c),
+            q,
+        );
+        assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,132 @@
+//! Radix-4 NTT — the standard throughput optimization on CPUs and ASICs.
+//!
+//! A radix-4 butterfly consumes four inputs per step and halves the stage
+//! count, trading multiplies for adds. Included to demonstrate that the
+//! PIM mapping's radix-2 choice is *architectural*, not accidental: a
+//! radix-4 vector op would need four atom buffers live per butterfly,
+//! doubling the buffer file for a compute-bound win the memory-bound bank
+//! cannot cash (the paper's CDR analysis, §III.A). The software version
+//! here quantifies the ceiling.
+//!
+//! Works on power-of-four lengths directly; for `N = 2·4^k` a final
+//! radix-2 stage completes the transform.
+
+use crate::plan::NttPlan;
+use modmath::arith::{add_mod, mul_mod, pow_mod, sub_mod};
+use modmath::bitrev::bitrev_permute;
+
+/// Forward cyclic NTT, natural order in and out, mixed radix-4/2 DIT.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn forward(plan: &NttPlan, data: &mut [u64]) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    let q = plan.modulus();
+    // The radix-4 DIT graph consumes the *digit-reversed* input; compose
+    // from the radix-2 bit reversal for simplicity (cost excluded from
+    // any timing claims — this is a reference implementation).
+    bitrev_permute(data);
+
+    // i = sqrt(-1) mod q: ω_4 = ω^(N/4).
+    let im = pow_mod(plan.field().root_of_unity(), (n / 4) as u64, q);
+    let mut s = 0u32; // radix-2 stage index (span 2^s)
+    // Leading radix-2 stage when log2(n) is odd.
+    if plan.log_n() % 2 == 1 {
+        radix2_stage(plan, data, s);
+        s += 1;
+    }
+    while s < plan.log_n() {
+        // One radix-4 stage = radix-2 stages s and s+1 fused.
+        let m = 1usize << s; // quarter-span
+        let tws = plan.dit_stage_twiddles(s + 1, false); // table of 2^(s+1)
+        for k in (0..n).step_by(4 * m) {
+            for j in 0..m {
+                // Twiddles for the three non-trivial legs: ω^j2, ω^j1, ω^j3
+                // where the fused indices come from the two radix-2 stages.
+                let w1 = tws[j]; // stage s+1 twiddle at j
+                let w2 = mul_mod(w1, w1, q); // = stage s twiddle at j
+                let w3 = mul_mod(w2, w1, q);
+                let a = data[k + j];
+                let b = mul_mod(data[k + j + m], w2, q);
+                let c = mul_mod(data[k + j + 2 * m], w1, q);
+                let d = mul_mod(data[k + j + 3 * m], w3, q);
+                // Radix-4 DIT butterfly.
+                let t0 = add_mod(a, b, q);
+                let t1 = sub_mod(a, b, q);
+                let t2 = add_mod(c, d, q);
+                let t3 = mul_mod(sub_mod(c, d, q), im, q);
+                data[k + j] = add_mod(t0, t2, q);
+                data[k + j + m] = add_mod(t1, t3, q);
+                data[k + j + 2 * m] = sub_mod(t0, t2, q);
+                data[k + j + 3 * m] = sub_mod(t1, t3, q);
+            }
+        }
+        s += 2;
+    }
+}
+
+fn radix2_stage(plan: &NttPlan, data: &mut [u64], s: u32) {
+    let n = plan.n();
+    let q = plan.modulus();
+    let m = 1usize << s;
+    let tws = plan.dit_stage_twiddles(s, false);
+    for k in (0..n).step_by(2 * m) {
+        for j in 0..m {
+            let t = mul_mod(data[k + j + m], tws[j], q);
+            let u = data[k + j];
+            data[k + j] = add_mod(u, t, q);
+            data[k + j + m] = sub_mod(u, t, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use modmath::prime::NttField;
+
+    fn plan(n: usize) -> NttPlan {
+        NttPlan::new(NttField::with_bits(n, 26).expect("field exists"))
+    }
+
+    #[test]
+    fn matches_naive_power_of_four_lengths() {
+        for n in [4usize, 16, 64, 256, 1024] {
+            let p = plan(n);
+            let q = p.modulus();
+            let x: Vec<u64> = (0..n as u64).map(|i| (i * 19 + 7) % q).collect();
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x;
+            forward(&p, &mut got);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_odd_log_lengths() {
+        for n in [8usize, 32, 128, 512, 2048] {
+            let p = plan(n);
+            let q = p.modulus();
+            let x: Vec<u64> = (0..n as u64).map(|i| (i * 3 + 11) % q).collect();
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x;
+            forward(&p, &mut got);
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_plan() {
+        let p = plan(4096);
+        let q = p.modulus();
+        let x: Vec<u64> = (0..4096u64).map(|i| (i * i + 5) % q).collect();
+        let mut a = x.clone();
+        p.forward(&mut a);
+        let mut b = x;
+        forward(&p, &mut b);
+        assert_eq!(a, b);
+    }
+}

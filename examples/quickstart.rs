@@ -1,0 +1,61 @@
+//! Quickstart: run one NTT on the PIM device and inspect the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ntt_pim::core::config::PimConfig;
+use ntt_pim::core::device::{NttDirection, PimDevice};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The paper's evaluation bank: HBM2E timing, Nb = 2 atom buffers.
+    let mut device = PimDevice::new(PimConfig::hbm2e(2))?;
+
+    // Host side: an NTT-friendly prime and a polynomial. The paper's host
+    // performs bit reversal in software; `load_polynomial_bitrev` does
+    // exactly that before the DMA.
+    let n = 1024usize;
+    let q = ntt_pim::math::prime::find_ntt_prime(2 * n as u64, 31)? as u32;
+    let poly: Vec<u32> = (0..n as u32).map(|i| (i * 2654435761u32) % q).collect();
+    let mut handle = device.load_polynomial_bitrev(0, &poly, q)?;
+
+    // One write request = one NTT (paper §IV.A). The report carries the
+    // cycle-accurate schedule.
+    let fwd = device.ntt_in_place(&mut handle, NttDirection::Forward)?;
+    println!("forward NTT, N={n}, q={q}:");
+    println!("  latency      : {:>10.2} µs", fwd.latency_us());
+    println!("  activations  : {:>10}", fwd.activations());
+    println!("  DRAM cmds    : {:>10}", fwd.logical_commands);
+    println!("  C1 / C2 ops  : {:>6} / {:<6}", fwd.c1_ops, fwd.c2_ops);
+    println!("  energy       : {:>10.2} nJ", fwd.energy.total_nj);
+    println!(
+        "  energy split : act {:.0}%  col {:.0}%  compute {:.0}%",
+        fwd.energy.act_share * 100.0,
+        fwd.energy.col_share * 100.0,
+        fwd.energy.compute_share * 100.0
+    );
+
+    // Validate against the CPU reference.
+    let spectrum = device.read_polynomial(&handle)?;
+    let field = ntt_pim::math::prime::NttField::new(n, q as u64)?;
+    let mut reference: Vec<u64> = poly.iter().map(|&c| c as u64).collect();
+    // The device derives ω via the same root_of_unity search, so plans
+    // agree; use the library transform for the check.
+    let omega = ntt_pim::math::prime::root_of_unity(n as u64, q as u64)?;
+    assert_eq!(omega, field.root_of_unity(), "same derivation path");
+    let plan = ntt_pim::reference::plan::NttPlan::new(field);
+    plan.forward(&mut reference);
+    assert!(
+        spectrum.iter().zip(&reference).all(|(&a, &b)| a as u64 == b),
+        "PIM output matches the software NTT"
+    );
+    println!("  verification : OK (matches software NTT)");
+
+    // And back.
+    let inv = device.ntt_in_place(&mut handle, NttDirection::Inverse)?;
+    let roundtrip = device.read_polynomial(&handle)?;
+    assert_eq!(roundtrip, poly, "inverse(forward(x)) == x");
+    println!("inverse NTT   : {:>10.2} µs, roundtrip OK", inv.latency_us());
+    Ok(())
+}

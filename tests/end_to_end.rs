@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: the full stack from host request to
+//! verified memory contents, exercised through the facade crate exactly
+//! as a downstream user would.
+
+use ntt_pim::core::config::PimConfig;
+use ntt_pim::core::device::{NttDirection, PimDevice, StoredOrder};
+use ntt_pim::math::prime::{find_ntt_prime, root_of_unity, NttField};
+use ntt_pim::reference::plan::NttPlan;
+
+fn poly(n: usize, q: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % q as u64) as u32
+        })
+        .collect()
+}
+
+#[test]
+fn forward_ntt_matches_software_across_sizes_and_moduli() {
+    for (n, bits) in [(16usize, 13u32), (256, 17), (1024, 25), (4096, 31)] {
+        let q = find_ntt_prime(2 * n as u64, bits).expect("prime exists") as u32;
+        let mut dev = PimDevice::new(PimConfig::hbm2e(4)).expect("valid config");
+        let x = poly(n, q, n as u64);
+        let mut h = dev.load_polynomial_bitrev(0, &x, q).expect("load");
+        dev.ntt_in_place(&mut h, NttDirection::Forward).expect("ntt");
+        let got = dev.read_polynomial(&h).expect("read");
+
+        // Software reference through the same ω-derivation path.
+        let omega = root_of_unity(n as u64, q as u64).expect("root");
+        let psi = root_of_unity(2 * n as u64, q as u64).expect("2N root");
+        let field = NttField::with_psi(n, q as u64, psi).expect("field");
+        assert_eq!(field.root_of_unity(), omega, "derivations agree");
+        let plan = NttPlan::new(field);
+        let mut expect: Vec<u64> = x.iter().map(|&c| c as u64).collect();
+        plan.forward(&mut expect);
+        assert!(
+            got.iter().zip(&expect).all(|(&g, &e)| g as u64 == e),
+            "n={n} q={q}"
+        );
+    }
+}
+
+#[test]
+fn every_buffer_count_roundtrips() {
+    let n = 512;
+    let q = find_ntt_prime(2 * n as u64, 29).unwrap() as u32;
+    let x = poly(n, q, 9);
+    for nb in [1usize, 2, 3, 4, 6, 8] {
+        // Nb=1 is slow but must still be *correct*.
+        if nb == 1 && n > 512 {
+            continue;
+        }
+        let mut dev = PimDevice::new(PimConfig::hbm2e(nb)).unwrap();
+        let mut h = dev.load_polynomial_bitrev(0, &x, q).unwrap();
+        dev.ntt_in_place(&mut h, NttDirection::Forward)
+            .unwrap_or_else(|e| panic!("nb={nb}: {e}"));
+        dev.ntt_in_place(&mut h, NttDirection::Inverse).unwrap();
+        assert_eq!(dev.read_polynomial(&h).unwrap(), x, "nb={nb}");
+    }
+}
+
+#[test]
+fn on_device_polymul_equals_cpu_polymul() {
+    let n = 512;
+    let q = find_ntt_prime(2 * n as u64, 30).unwrap() as u32;
+    let a = poly(n, q, 1);
+    let b = poly(n, q, 2);
+
+    // Device path.
+    let mut dev = PimDevice::new(PimConfig::hbm2e(6)).unwrap();
+    let ha = dev.load_polynomial(0, &a, q).unwrap();
+    let hb = dev.load_polynomial(n, &b, q).unwrap();
+    dev.polymul_negacyclic(&ha, &hb).unwrap();
+    let got = dev.read_polynomial(&ha).unwrap();
+
+    // CPU path via the reference library.
+    let psi = root_of_unity(2 * n as u64, q as u64).unwrap();
+    let field = NttField::with_psi(n, q as u64, psi).unwrap();
+    let plan = NttPlan::new(field);
+    let a64: Vec<u64> = a.iter().map(|&v| v as u64).collect();
+    let b64: Vec<u64> = b.iter().map(|&v| v as u64).collect();
+    let expect = ntt_pim::reference::poly::mul_negacyclic(&plan, &a64, &b64);
+    assert!(got.iter().zip(&expect).all(|(&g, &e)| g as u64 == e));
+}
+
+#[test]
+fn two_polynomials_in_one_bank_do_not_interfere() {
+    let n = 256;
+    let q = find_ntt_prime(2 * n as u64, 28).unwrap() as u32;
+    let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+    let x = poly(n, q, 3);
+    let y = poly(n, q, 4);
+    let mut hx = dev.load_polynomial_bitrev(0, &x, q).unwrap();
+    let hy = dev.load_polynomial_bitrev(2 * n, &y, q).unwrap();
+    dev.ntt_in_place(&mut hx, NttDirection::Forward).unwrap();
+    // y's region is untouched by x's transform.
+    assert_eq!(dev.read_polynomial(&hy).unwrap(), y);
+}
+
+#[test]
+fn batch_results_match_individual_transforms() {
+    let n = 256;
+    let banks = 3;
+    let mut dev = PimDevice::new(PimConfig::hbm2e(2).with_banks(banks)).unwrap();
+    let mut handles = Vec::new();
+    let mut inputs = Vec::new();
+    let mut moduli = Vec::new();
+    for b in 0..banks as usize {
+        // Different modulus per bank — the RNS pattern.
+        let q = find_ntt_prime(2 * n as u64, (28 + b) as u32).unwrap() as u32;
+        let x = poly(n, q, 100 + b as u64);
+        handles.push(
+            dev.load_in_bank(b, 0, &x, q, StoredOrder::BitReversed)
+                .unwrap(),
+        );
+        inputs.push(x);
+        moduli.push(q);
+    }
+    dev.ntt_batch(&mut handles).unwrap();
+    for b in 0..banks as usize {
+        let got = dev.read_polynomial(&handles[b]).unwrap();
+        let mut single = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let mut h = single
+            .load_polynomial_bitrev(0, &inputs[b], moduli[b])
+            .unwrap();
+        single.ntt_in_place(&mut h, NttDirection::Forward).unwrap();
+        assert_eq!(got, single.read_polynomial(&h).unwrap(), "bank {b}");
+    }
+}
+
+#[test]
+fn fhe_pipeline_runs_on_simulated_device() {
+    use ntt_pim::fhe::executor::ntt_all_components;
+    use ntt_pim::fhe::params::RlweParams;
+    use ntt_pim::fhe::rns::RnsPoly;
+    use ntt_pim::fhe::sampler;
+
+    let params = RlweParams::new(512, 2, 16).unwrap();
+    let mut rns = RnsPoly::zero(&params);
+    for i in 0..2 {
+        rns.set_residues(i, sampler::uniform(512, params.moduli()[i], 5 + i as u64));
+    }
+    let config = PimConfig::hbm2e(2).with_banks(2);
+    let report = ntt_all_components(&params, &rns, &config).unwrap();
+    assert_eq!(report.transforms, 2);
+    assert!(report.speedup() > 1.5);
+}

@@ -1,0 +1,71 @@
+//! Golden-trace snapshots: the exact DRAM command sequences for small
+//! transforms are pinned so that any unintended change to the mapper or
+//! scheduler (command order, timing, row management) is caught
+//! immediately. Intentional mapping changes must update these snapshots —
+//! that review step is the point.
+
+use ntt_pim::core::config::PimConfig;
+use ntt_pim::core::layout::PolyLayout;
+use ntt_pim::core::mapper::{map_ntt, MapperOptions, NttParams};
+use ntt_pim::core::sched::schedule;
+
+fn trace_text(n: usize, nb: usize, q: u32) -> String {
+    let config = PimConfig::hbm2e(nb);
+    let layout = PolyLayout::new(&config, 0, n).unwrap();
+    let omega = ntt_pim::math::prime::root_of_unity(n as u64, q as u64).unwrap() as u32;
+    let program = map_ntt(
+        &config,
+        &layout,
+        &NttParams { q, omega },
+        &MapperOptions::default(),
+    )
+    .unwrap();
+    let tl = schedule(&config, &program).unwrap();
+    ntt_pim::dram::trace::to_text(&tl.bank_trace(), config.timing.resolve().cycle_ps)
+}
+
+/// Single-atom transform: CFG+TWD beats (cycles 0–9), ACT, one CU-read,
+/// C1 at the CL boundary, write-back after the 15-cycle compute.
+#[test]
+fn golden_n8_nb2() {
+    let expect = "\
+# cycle bank command arg
+10 0 ACT 0
+24 0 RD 0
+53 0 WR 0
+";
+    assert_eq!(trace_text(8, 2, 12289), expect);
+}
+
+/// Two atoms at Nb = 2: the prefetched second read lands immediately after
+/// the first (software pipelining), then one C2 stage pairs the atoms.
+#[test]
+fn golden_n16_nb2() {
+    let expect = "\
+# cycle bank command arg
+10 0 ACT 0
+24 0 RD 0
+26 0 RD 1
+53 0 WR 0
+69 0 WR 1
+74 0 RD 0
+83 0 RD 1
+107 0 WR 1
+109 0 WR 0
+";
+    // Note the C2-stage write order: the partner-side (S buffer, atom 1)
+    // drains first — the §III.C in-place schedule.
+    assert_eq!(trace_text(16, 2, 12289), expect);
+}
+
+/// The same transform at Nb = 1 runs the scalar strawman: three reads and
+/// two writes per butterfly, so the command count explodes (the §III.B
+/// argument in trace form).
+#[test]
+fn golden_n16_nb1_command_count() {
+    let text = trace_text(16, 1, 12289);
+    let commands = text.lines().filter(|l| !l.starts_with('#')).count();
+    // Intra-atom: 2x(RD+WR) = 4; stage 3: 8 butterflies x 5 col cmds = 40;
+    // plus the single ACT.
+    assert_eq!(commands, 45, "trace:\n{text}");
+}
