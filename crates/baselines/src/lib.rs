@@ -313,10 +313,7 @@ mod tests {
                 .filter_map(|m| m.latency_ns(n))
                 .fold(f64::INFINITY, f64::min);
             let speedup = best_other / ours;
-            assert!(
-                (1.6..=18.0).contains(&speedup),
-                "n={n}: speedup {speedup}"
-            );
+            assert!((1.6..=18.0).contains(&speedup), "n={n}: speedup {speedup}");
         }
     }
 

@@ -1,0 +1,66 @@
+//! Throughput of batched, bank-parallel NTT execution through the
+//! unified engine layer: `BatchExecutor` fanning a fixed 16-job batch
+//! across 1, 4, and 16 banks, plus the sequential CPU yardstick via the
+//! same `NttEngine` trait.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntt_pim::engine::batch::{run_sequential, BatchExecutor, NttJob};
+use ntt_pim::engine::CpuNttEngine;
+use ntt_pim_core::config::PimConfig;
+
+const Q: u64 = 12289;
+const JOBS: usize = 16;
+
+fn jobs(n: usize) -> Vec<NttJob> {
+    (0..JOBS as u64)
+        .map(|j| {
+            NttJob::new(
+                (0..n as u64)
+                    .map(|i| (i.wrapping_mul(2654435761) ^ j) % Q)
+                    .collect(),
+                Q,
+            )
+        })
+        .collect()
+}
+
+fn bench_batch_across_banks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput/16_jobs_n1024");
+    group.sample_size(10);
+    let batch = jobs(1024);
+    for banks in [1u32, 4, 16] {
+        // Device allocation stays outside the timed loop; runs overwrite
+        // bank state, so one executor serves every iteration.
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(banks)).unwrap();
+        group.bench_with_input(BenchmarkId::new("banks", banks), &banks, |b, _| {
+            b.iter(|| {
+                let out = exec.run_forward(&batch).unwrap();
+                assert_eq!(out.spectra.len(), JOBS);
+                out.latency_ns
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_cpu_yardstick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput/sequential_cpu");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let batch = jobs(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &batch, |b, batch| {
+            b.iter(|| {
+                let mut cpu = CpuNttEngine::golden();
+                run_sequential(&mut cpu, batch).unwrap().0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_across_banks,
+    bench_sequential_cpu_yardstick
+);
+criterion_main!(benches);

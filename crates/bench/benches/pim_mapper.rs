@@ -53,7 +53,8 @@ fn bench_scheduler(c: &mut Criterion) {
 fn bench_functional(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_functional");
     group.sample_size(20);
-    for n in [1024usize] {
+    {
+        let n = 1024usize;
         let (config, layout, params) = setup(n, 4);
         let program = map_ntt(&config, &layout, &params, &MapperOptions::default()).unwrap();
         let data: Vec<u32> = (0..n as u32).map(|i| i % Q).collect();

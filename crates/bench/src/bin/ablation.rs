@@ -96,15 +96,15 @@ fn main() {
             &MapperOptions::default(),
         )
         .unwrap();
-        let refs = refreshed
-            .timeline
-            .counters
-            .refreshes;
+        let refs = refreshed.timeline.counters.refreshes;
         rows.push(vec![
             n.to_string(),
             fmt_sig(plain.latency_ns / 1000.0),
             fmt_sig(refreshed.latency_ns / 1000.0),
-            format!("{:+.2}%", (refreshed.latency_ns / plain.latency_ns - 1.0) * 100.0),
+            format!(
+                "{:+.2}%",
+                (refreshed.latency_ns / plain.latency_ns - 1.0) * 100.0
+            ),
             refs.to_string(),
         ]);
     }

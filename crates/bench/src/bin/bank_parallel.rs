@@ -28,8 +28,7 @@ fn main() {
         let single = schedule(&base_cfg, &program).unwrap();
         for banks in [1usize, 2, 4, 8, 16] {
             let cfg = base_cfg.with_banks(banks as u32);
-            let parallel =
-                schedule_parallel(&cfg, &vec![program.clone(); banks]).unwrap();
+            let parallel = schedule_parallel(&cfg, &vec![program.clone(); banks]).unwrap();
             let speedup = banks as f64 * single.end_ps as f64 / parallel.end_ps as f64;
             let cmds: usize = parallel.banks.iter().map(|t| t.events.len()).sum();
             let horizon_cycles = parallel.end_ps / cfg.timing.resolve().cycle_ps;

@@ -46,12 +46,17 @@ fn main() {
         vec![
             PimCommand::SetModulus { q },
             PimCommand::Act { row: 0 },
-            PimCommand::CuRead { row: 0, col: 0, buf: s },
-            PimCommand::C1 {
+            PimCommand::CuRead {
+                row: 0,
+                col: 0,
                 buf: s,
-                params: c1,
             },
-            PimCommand::CuWrite { row: 0, col: 0, buf: s },
+            PimCommand::C1 { buf: s, params: c1 },
+            PimCommand::CuWrite {
+                row: 0,
+                col: 0,
+                buf: s,
+            },
         ],
         90,
     );
@@ -61,16 +66,32 @@ fn main() {
         vec![
             PimCommand::SetModulus { q },
             PimCommand::Act { row: 0 },
-            PimCommand::CuRead { row: 0, col: 0, buf: p },
-            PimCommand::CuRead { row: 0, col: 4, buf: s },
+            PimCommand::CuRead {
+                row: 0,
+                col: 0,
+                buf: p,
+            },
+            PimCommand::CuRead {
+                row: 0,
+                col: 4,
+                buf: s,
+            },
             PimCommand::C2 {
                 p,
                 s,
                 tw,
                 order: BuOrder::Ct,
             },
-            PimCommand::CuWrite { row: 0, col: 0, buf: p },
-            PimCommand::CuWrite { row: 0, col: 4, buf: s },
+            PimCommand::CuWrite {
+                row: 0,
+                col: 0,
+                buf: p,
+            },
+            PimCommand::CuWrite {
+                row: 0,
+                col: 4,
+                buf: s,
+            },
         ],
         90,
     );
@@ -79,16 +100,32 @@ fn main() {
         "(c) inter-row mapping (row switch between the operand rows):",
         vec![
             PimCommand::SetModulus { q },
-            PimCommand::CuRead { row: 0, col: 0, buf: p },
-            PimCommand::CuRead { row: 4, col: 0, buf: s },
+            PimCommand::CuRead {
+                row: 0,
+                col: 0,
+                buf: p,
+            },
+            PimCommand::CuRead {
+                row: 4,
+                col: 0,
+                buf: s,
+            },
             PimCommand::C2 {
                 p,
                 s,
                 tw,
                 order: BuOrder::Ct,
             },
-            PimCommand::CuWrite { row: 4, col: 0, buf: s },
-            PimCommand::CuWrite { row: 0, col: 0, buf: p },
+            PimCommand::CuWrite {
+                row: 4,
+                col: 0,
+                buf: s,
+            },
+            PimCommand::CuWrite {
+                row: 0,
+                col: 0,
+                buf: p,
+            },
         ],
         220,
     );

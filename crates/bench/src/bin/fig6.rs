@@ -60,12 +60,7 @@ fn main() {
 
     println!("\nQuantified (N = 1024):");
     for nb in [2usize, 4, 6] {
-        let p = simulate_ntt(
-            &PimConfig::hbm2e(nb),
-            1024,
-            &MapperOptions::default(),
-        )
-        .unwrap();
+        let p = simulate_ntt(&PimConfig::hbm2e(nb), 1024, &MapperOptions::default()).unwrap();
         println!(
             "  Nb={nb}: {:7.2} µs, {:4} activations",
             p.latency_ns / 1000.0,

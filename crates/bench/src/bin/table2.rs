@@ -21,7 +21,11 @@ fn main() {
     ];
     for nb in [1usize, 2, 4, 6] {
         rows.push(vec![
-            if nb == 1 { "NTT-PIM".into() } else { String::new() },
+            if nb == 1 {
+                "NTT-PIM".into()
+            } else {
+                String::new()
+            },
             nb.to_string(),
             format!("{:.4}", area::area_mm2(nb)),
             format!("{:.3}", area::percent_of_bank(nb)),

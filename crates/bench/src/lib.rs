@@ -99,7 +99,11 @@ pub fn print_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     println!("{title}");
     println!("{rule}");
     let fmt_row = |cells: &[String]| {

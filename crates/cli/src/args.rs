@@ -43,7 +43,7 @@ impl ParsedArgs {
             };
             if let Some((k, v)) = stripped.split_once('=') {
                 options.insert(k.to_string(), v.to_string());
-            } else if it.peek().map_or(false, |nxt| !nxt.starts_with("--")) {
+            } else if it.peek().is_some_and(|nxt| !nxt.starts_with("--")) {
                 options.insert(stripped.to_string(), it.next().expect("peeked"));
             } else {
                 flags.push(stripped.to_string());
@@ -122,10 +122,7 @@ mod tests {
     fn parses_lists() {
         let a = parse("sweep --nb 1,2,4,6").unwrap();
         assert_eq!(a.get_list_or("nb", vec![0usize]).unwrap(), vec![1, 2, 4, 6]);
-        assert_eq!(
-            a.get_list_or("lengths", vec![256usize]).unwrap(),
-            vec![256]
-        );
+        assert_eq!(a.get_list_or("lengths", vec![256usize]).unwrap(), vec![256]);
     }
 
     #[test]

@@ -23,6 +23,7 @@ COMMANDS:
     trace    dump the DRAM command trace of one NTT (textual format)
     verify   functional verification against the software reference
     polymul  on-device negacyclic polynomial product
+    batch    fan --jobs NTTs across --banks banks (per-bank queues)
     help     show this message
 
 COMMON OPTIONS:
@@ -48,6 +49,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "trace" => trace(args),
         "verify" => verify(args),
         "polymul" => polymul(args),
+        "batch" => batch(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`; try `ntt-pim help`"
@@ -77,7 +79,9 @@ fn modulus_for(args: &ParsedArgs, n: usize) -> Result<u32, CliError> {
 }
 
 fn test_poly(n: usize, q: u32) -> Vec<u32> {
-    (0..n as u32).map(|i| i.wrapping_mul(2654435761) % q).collect()
+    (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) % q)
+        .collect()
 }
 
 fn run(args: &ParsedArgs) -> Result<String, CliError> {
@@ -91,7 +95,11 @@ fn run(args: &ParsedArgs) -> Result<String, CliError> {
     let _ = writeln!(out, "forward NTT  N={n}  q={q}  Nb={}", config.n_bufs);
     let _ = writeln!(out, "  latency      : {:>12.3} µs", rep.latency_us());
     let _ = writeln!(out, "  activations  : {:>12}", rep.activations());
-    let _ = writeln!(out, "  refreshes    : {:>12}", rep.timeline.counters.refreshes);
+    let _ = writeln!(
+        out,
+        "  refreshes    : {:>12}",
+        rep.timeline.counters.refreshes
+    );
     let _ = writeln!(out, "  commands     : {:>12}", rep.logical_commands);
     let _ = writeln!(out, "  C1 / C2      : {:>6} / {}", rep.c1_ops, rep.c2_ops);
     let _ = writeln!(out, "  energy       : {:>12.3} nJ", rep.energy.total_nj);
@@ -227,6 +235,100 @@ fn polymul(args: &ParsedArgs) -> Result<String, CliError> {
     ))
 }
 
+fn batch(args: &ParsedArgs) -> Result<String, CliError> {
+    use ntt_pim::engine::batch::{BatchExecutor, NttJob};
+    use ntt_pim::engine::{CpuNttEngine, NttEngine};
+
+    let n: usize = args.get_or("n", 1024)?;
+    let jobs_n: usize = args.get_or("jobs", 16)?;
+    if jobs_n == 0 {
+        return Err(CliError::usage("--jobs must be at least 1"));
+    }
+    let banks: u32 = args.get_or("banks", 16)?;
+    let nb: usize = args.get_or("nb", 2)?;
+    let clock: u32 = args.get_or("clock", 1200)?;
+    let q = modulus_for(args, n)?;
+    let config = PimConfig::hbm2e(nb)
+        .with_cu_clock_mhz(clock)
+        .with_banks(banks)
+        .with_refresh(args.has_flag("refresh"));
+    config.validate()?;
+
+    // One job per seed; all independent (the RNS/FHE pattern).
+    let jobs: Vec<NttJob> = (0..jobs_n)
+        .map(|j| {
+            NttJob::new(
+                (0..n as u64)
+                    .map(|i| (i.wrapping_mul(2654435761) ^ j as u64) % q as u64)
+                    .collect(),
+                q as u64,
+            )
+        })
+        .collect();
+
+    let mut exec = BatchExecutor::new(config).map_err(|e| CliError::runtime(e.to_string()))?;
+    let out = exec
+        .run_forward(&jobs)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    // Spot-check the first spectrum against the CPU golden engine.
+    let mut golden = CpuNttEngine::golden();
+    let mut expect = jobs[0].coeffs.clone();
+    golden
+        .forward(&mut expect, q as u64)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if out.spectra[0] != expect {
+        return Err(CliError::runtime("batch verification FAILED".to_string()));
+    }
+
+    // Sequential yardstick: one NTT's simulated latency times the count
+    // (timing is modulus-independent, so the engine's cost model applies).
+    let single_ns = ntt_pim::engine::pim_cost_estimate(&config, &MapperOptions::default(), n)
+        .ok_or_else(|| CliError::runtime(format!("no cost model point for N={n}")))?
+        .latency_ns;
+
+    let mut outp = String::new();
+    let _ = writeln!(
+        outp,
+        "batched NTTs  N={n}  q={q}  jobs={jobs_n}  banks={banks}  Nb={nb}"
+    );
+    let _ = writeln!(outp, "  waves          : {:>12}", out.waves);
+    let _ = writeln!(outp, "  batch latency  : {:>12.2} µs", out.latency_us());
+    let _ = writeln!(
+        outp,
+        "  sequential     : {:>12.2} µs ({jobs_n} x one NTT)",
+        jobs_n as f64 * single_ns / 1000.0
+    );
+    let _ = writeln!(
+        outp,
+        "  speedup        : {:>11.2}x",
+        jobs_n as f64 * single_ns / out.latency_ns
+    );
+    let _ = writeln!(outp, "  energy         : {:>12.2} nJ", out.energy_nj);
+    let _ = writeln!(outp, "  bus slots      : {:>12}", out.bus_slots);
+    let _ = writeln!(outp, "  rank ACTs      : {:>12}", out.rank_acts);
+    let _ = writeln!(
+        outp,
+        "  throughput     : {:>12.0} jobs/s",
+        out.throughput_jobs_per_s()
+    );
+    let _ = writeln!(outp, "  per-bank       :       jobs   busy (µs)     nJ");
+    for (bank, u) in out.banks.iter().enumerate() {
+        let _ = writeln!(
+            outp,
+            "    bank {bank:>3}     : {:>10} {:>11.2} {:>6.1}",
+            u.jobs,
+            u.busy_ns / 1000.0,
+            u.energy_nj
+        );
+    }
+    let _ = writeln!(
+        outp,
+        "  verification   : OK (job 0 matches the CPU golden NTT)"
+    );
+    Ok(outp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +367,25 @@ mod tests {
     fn verify_passes_and_polymul_passes() {
         assert!(run_line("verify --n 256 --nb 4").unwrap().contains("OK"));
         assert!(run_line("polymul --n 256 --nb 4").unwrap().contains("OK"));
+    }
+
+    #[test]
+    fn batch_reports_merged_metrics_and_verifies() {
+        let out = run_line("batch --n 256 --jobs 6 --banks 4 --nb 2").unwrap();
+        assert!(
+            out.contains("waves          :            2"),
+            "6 jobs / 4 banks: {out}"
+        );
+        assert!(out.contains("speedup"));
+        assert!(out.contains("bank   3"));
+        assert!(out.contains("verification   : OK"));
+    }
+
+    #[test]
+    fn batch_rejects_degenerate_requests_without_panicking() {
+        assert!(run_line("batch --n 256 --jobs 0 --banks 2").is_err());
+        assert!(run_line("batch --n 256 --jobs 2 --banks 0").is_err());
+        assert!(run_line("batch --n 1000 --jobs 2 --banks 2").is_err());
     }
 
     #[test]

@@ -16,8 +16,7 @@ pub const BANK_MM2: f64 = 4.2208;
 pub const NEWTON_MM2: f64 = 0.0474;
 
 /// Published (Nb, mm²) points of Table II.
-pub const TABLE_II_POINTS: [(usize, f64); 4] =
-    [(1, 0.0213), (2, 0.0232), (4, 0.0263), (6, 0.0285)];
+pub const TABLE_II_POINTS: [(usize, f64); 4] = [(1, 0.0213), (2, 0.0232), (4, 0.0263), (6, 0.0285)];
 
 /// NTT-PIM area for `nb` total atom buffers, mm².
 ///

@@ -105,7 +105,11 @@ impl BufferFile {
         // Validate both exist and are filled before splitting.
         self.contents(a)?;
         self.contents(b)?;
-        let (lo_id, hi_id, swap) = if a.0 < b.0 { (a, b, false) } else { (b, a, true) };
+        let (lo_id, hi_id, swap) = if a.0 < b.0 {
+            (a, b, false)
+        } else {
+            (b, a, true)
+        };
         let (lo_half, hi_half) = self.bufs.split_at_mut(hi_id.0 as usize);
         let lo = lo_half[lo_id.0 as usize]
             .as_deref_mut()

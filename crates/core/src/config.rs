@@ -143,6 +143,11 @@ impl PimConfig {
                 reason: "buffer ids are 8-bit; at most 256 buffers".into(),
             });
         }
+        if self.geometry.banks == 0 {
+            return Err(PimError::BadConfig {
+                reason: "a chip needs at least one bank".into(),
+            });
+        }
         Ok(())
     }
 

@@ -117,12 +117,33 @@ impl NttReport {
 /// Result of a bank-parallel batch request.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
-    /// Per-bank timing.
+    /// Per-bank timing (parallel to the request's handle/pair order).
     pub per_bank_ns: Vec<f64>,
+    /// Per-bank energy, nJ (same order as `per_bank_ns`).
+    pub per_bank_energy_nj: Vec<f64>,
     /// Batch latency (slowest bank), ns.
     pub latency_ns: f64,
     /// Total energy across banks, nJ.
     pub energy_nj: f64,
+    /// Shared command-bus slots the batch consumed.
+    pub bus_slots: u64,
+    /// Rank-level activations (tRRD/tFAW-coupled across banks).
+    pub rank_acts: u64,
+}
+
+impl BatchReport {
+    fn from_parallel(parallel: &sched::ParallelTimeline) -> Self {
+        let per_bank_energy_nj: Vec<f64> =
+            parallel.banks.iter().map(|t| t.energy.total_nj()).collect();
+        Self {
+            per_bank_ns: parallel.banks.iter().map(|t| t.latency_ns()).collect(),
+            energy_nj: per_bank_energy_nj.iter().sum(),
+            per_bank_energy_nj,
+            latency_ns: parallel.latency_ns(),
+            bus_slots: parallel.bus_slots,
+            rank_acts: parallel.rank_acts,
+        }
+    }
 }
 
 /// The PIM device: configuration, mapper defaults, and per-bank state.
@@ -159,6 +180,11 @@ impl PimDevice {
     /// Overrides the mapper options (ablation studies).
     pub fn set_mapper_options(&mut self, opts: MapperOptions) {
         self.opts = opts;
+    }
+
+    /// The mapper options requests run with.
+    pub fn mapper_options(&self) -> &MapperOptions {
+        &self.opts
     }
 
     /// Loads natural-order coefficients into bank 0 at `base_word`,
@@ -258,10 +284,7 @@ impl PimDevice {
     pub fn ntt(&mut self, handle: &PolyHandle, dir: NttDirection) -> Result<NttReport, PimError> {
         let n = handle.n();
         let omega = modmath::prime::root_of_unity(n as u64, handle.q as u64)? as u32;
-        let params = NttParams {
-            q: handle.q,
-            omega,
-        };
+        let params = NttParams { q: handle.q, omega };
         let mut program;
         match dir {
             NttDirection::Forward => {
@@ -290,8 +313,7 @@ impl PimDevice {
                 };
                 program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
                 let n_inv = modmath::arith::inv_mod(n as u64, handle.q as u64)? as u32;
-                let scale =
-                    mapper::map_scale(&self.config, &handle.layout, handle.q, n_inv, 1)?;
+                let scale = mapper::map_scale(&self.config, &handle.layout, handle.q, n_inv, 1)?;
                 program.commands.extend(scale.commands);
             }
         }
@@ -395,8 +417,7 @@ impl PimDevice {
         program.c1_ops += ia.c1_ops;
         program.c2_ops += ia.c2_ops;
         program.commands.extend(ia.commands);
-        let unweight =
-            mapper::map_scale(&self.config, &a.layout, a.q, n_inv as u32, psi_inv)?;
+        let unweight = mapper::map_scale(&self.config, &a.layout, a.q, n_inv as u32, psi_inv)?;
         program.commands.extend(unweight.commands);
         Ok(program)
     }
@@ -437,12 +458,7 @@ impl PimDevice {
         for ((a, _), prog) in pairs.iter().zip(&programs) {
             self.banks[a.bank].execute(prog)?;
         }
-        let energy_nj = parallel.banks.iter().map(|t| t.energy.total_nj()).sum();
-        Ok(BatchReport {
-            per_bank_ns: parallel.banks.iter().map(|t| t.latency_ns()).collect(),
-            latency_ns: parallel.latency_ns(),
-            energy_nj,
-        })
+        Ok(BatchReport::from_parallel(&parallel))
     }
 
     /// Runs one forward NTT per handle, each in its own bank, over the
@@ -488,16 +504,7 @@ impl PimDevice {
         for h in handles.iter_mut() {
             h.order = StoredOrder::Natural;
         }
-        let energy_nj = parallel
-            .banks
-            .iter()
-            .map(|t| t.energy.total_nj())
-            .sum();
-        Ok(BatchReport {
-            per_bank_ns: parallel.banks.iter().map(|t| t.latency_ns()).collect(),
-            latency_ns: parallel.latency_ns(),
-            energy_nj,
-        })
+        Ok(BatchReport::from_parallel(&parallel))
     }
 }
 

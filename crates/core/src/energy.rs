@@ -52,8 +52,13 @@ mod tests {
         let layout = PolyLayout::new(&c, 0, n).unwrap();
         let q = 2_013_265_921u32; // 15 * 2^27 + 1
         let omega = modmath::prime::root_of_unity(n as u64, q as u64).unwrap() as u32;
-        let prog = map_ntt(&c, &layout, &NttParams { q, omega }, &MapperOptions::default())
-            .unwrap();
+        let prog = map_ntt(
+            &c,
+            &layout,
+            &NttParams { q, omega },
+            &MapperOptions::default(),
+        )
+        .unwrap();
         EnergyReport::from_timeline(&schedule(&c, &prog).unwrap())
     }
 

@@ -184,7 +184,10 @@ pub fn map_scale(
 ) -> Result<Program, PimError> {
     config.validate()?;
     let mont = Montgomery32::new(q)?;
-    let mut commands = vec![PimCommand::SetModulus { q }, PimCommand::SetTwiddle { beats: 4 }];
+    let mut commands = vec![
+        PimCommand::SetModulus { q },
+        PimCommand::SetTwiddle { beats: 4 },
+    ];
     let na = config.na();
     let nb = config.n_bufs;
     for a in 0..layout.atom_count() {
@@ -243,7 +246,11 @@ pub fn map_pointwise(
     Montgomery32::new(q)?;
     if a.n() != b.n() {
         return Err(PimError::BadRegion {
-            reason: format!("pointwise operands differ in length: {} vs {}", a.n(), b.n()),
+            reason: format!(
+                "pointwise operands differ in length: {} vs {}",
+                a.n(),
+                b.n()
+            ),
         });
     }
     if config.n_bufs < 2 {
@@ -423,8 +430,7 @@ impl<'a> Mapping<'a> {
                 self.commands.push(PimCommand::CuWrite { row, col, buf });
                 self.c1_ops += 1;
                 if a + depth < row_atoms {
-                    let (prow, pcol) =
-                        self.atom_at(self.cur_base, (row_start + a + depth) * na);
+                    let (prow, pcol) = self.atom_at(self.cur_base, (row_start + a + depth) * na);
                     self.commands.push(PimCommand::CuRead {
                         row: prow,
                         col: pcol,
@@ -757,10 +763,8 @@ mod tests {
         // find two consecutive CuReads into buffers 0 and 2.
         let mut found_pair = false;
         for w in grouped.commands.windows(2) {
-            if let (
-                PimCommand::CuRead { buf: b1, .. },
-                PimCommand::CuRead { buf: b2, .. },
-            ) = (&w[0], &w[1])
+            if let (PimCommand::CuRead { buf: b1, .. }, PimCommand::CuRead { buf: b2, .. }) =
+                (&w[0], &w[1])
             {
                 if (b1.0, b2.0) == (0, 2) {
                     found_pair = true;

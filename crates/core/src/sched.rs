@@ -27,7 +27,6 @@ use dram_sim::energy::{EnergyMeter, EnergyParams};
 use dram_sim::rank::RankTimer;
 use dram_sim::timing::ResolvedTiming;
 use dram_sim::validate::TraceEntry;
-use std::collections::BTreeSet;
 
 /// One scheduled command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,12 +85,24 @@ pub struct ParallelTimeline {
     pub banks: Vec<Timeline>,
     /// Completion of the slowest bank, ps.
     pub end_ps: u64,
+    /// Shared-bus slots issued across all banks (one per memory cycle).
+    pub bus_slots: u64,
+    /// Rank-level activation count (tRRD/tFAW-coupled, across banks).
+    pub rank_acts: u64,
 }
 
 impl ParallelTimeline {
     /// Latency of the slowest bank in nanoseconds.
     pub fn latency_ns(&self) -> f64 {
         self.end_ps as f64 / 1000.0
+    }
+
+    /// Shared command-bus utilization over the schedule's span.
+    pub fn bus_utilization(&self, cycle_ps: u64) -> f64 {
+        if self.end_ps == 0 {
+            return 0.0;
+        }
+        (self.bus_slots * cycle_ps) as f64 / self.end_ps as f64
     }
 
     /// Full cross-bank trace for independent validation.
@@ -243,21 +254,9 @@ impl Bus for MonotonicBus {
     }
 }
 
-/// Slot-map bus: each claim takes the first *unoccupied* cycle ≥ earliest,
-/// so independent banks do not starve each other (multi-bank model).
-struct SlotBus {
-    cycle_ps: u64,
-    taken: BTreeSet<u64>,
-}
-
-impl Bus for SlotBus {
+impl Bus for dram_sim::chip::FairBus {
     fn claim(&mut self, earliest_ps: u64) -> u64 {
-        let mut slot = earliest_ps.div_ceil(self.cycle_ps);
-        while self.taken.contains(&slot) {
-            slot += 1;
-        }
-        self.taken.insert(slot);
-        slot * self.cycle_ps
+        dram_sim::chip::FairBus::claim(self, earliest_ps)
     }
 }
 
@@ -610,10 +609,9 @@ pub fn schedule_parallel(
         });
     }
     let resolved = config.timing.resolve();
-    let mut bus = SlotBus {
-        cycle_ps: resolved.cycle_ps,
-        taken: BTreeSet::new(),
-    };
+    // The fair (slot-map) bus lives in dram-sim so chip-level models and
+    // this scheduler share one definition of "shared command bus".
+    let mut bus = dram_sim::chip::FairBus::new(resolved.cycle_ps);
     // Banks share the rank: tRRD/tFAW couple their activations.
     let mut rank = RankTimer::new(&resolved);
     let mut engines: Vec<Engine> = programs.iter().map(|_| Engine::new(config)).collect();
@@ -633,7 +631,12 @@ pub fn schedule_parallel(
     }
     let banks: Vec<Timeline> = engines.into_iter().map(Engine::finish).collect();
     let end_ps = banks.iter().map(|t| t.end_ps).max().unwrap_or(0);
-    Ok(ParallelTimeline { banks, end_ps })
+    Ok(ParallelTimeline {
+        banks,
+        end_ps,
+        bus_slots: bus.issued(),
+        rank_acts: rank.total_acts(),
+    })
 }
 
 #[cfg(test)]

@@ -226,11 +226,7 @@ mod tests {
                 let mut acc = 0u64;
                 for (i, &v) in x.iter().enumerate() {
                     let tw = modmath::arith::pow_mod(w, (i * k) as u64, q);
-                    acc = modmath::arith::add_mod(
-                        acc,
-                        modmath::arith::mul_mod(v as u64, tw, q),
-                        q,
-                    );
+                    acc = modmath::arith::add_mod(acc, modmath::arith::mul_mod(v as u64, tw, q), q);
                 }
                 acc as u32
             })

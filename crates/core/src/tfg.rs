@@ -94,11 +94,7 @@ mod tests {
         let tw = params_to_mont(&mont, omega0, r);
         let mut gen = TwiddleGen::new(mont, tw.omega0_mont, tw.r_omega_mont);
         for l in 0..20u64 {
-            let expect = mul_mod(
-                omega0 as u64,
-                pow_mod(r as u64, l, Q as u64),
-                Q as u64,
-            ) as u32;
+            let expect = mul_mod(omega0 as u64, pow_mod(r as u64, l, Q as u64), Q as u64) as u32;
             let got = mont.from_mont(gen.next_twiddle());
             assert_eq!(got, expect, "lane {l}");
         }

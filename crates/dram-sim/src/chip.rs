@@ -59,6 +59,56 @@ impl CommandBus {
     }
 }
 
+/// A fair multi-stream command bus: each claim takes the first
+/// *unoccupied* cycle at or after the requested time, so interleaved
+/// independent streams (one per bank) do not starve each other the way
+/// a strictly monotonic [`CommandBus`] would. This is the bus model
+/// behind bank-parallel batch execution
+/// (`ntt_pim_core::sched::schedule_parallel`).
+#[derive(Debug, Clone)]
+pub struct FairBus {
+    cycle_ps: u64,
+    taken: std::collections::BTreeSet<u64>,
+}
+
+impl FairBus {
+    /// Creates an idle bus with the given slot width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle_ps` is zero.
+    pub fn new(cycle_ps: u64) -> Self {
+        assert!(cycle_ps > 0, "bus needs a non-zero cycle");
+        Self {
+            cycle_ps,
+            taken: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Claims the first free slot `>= at_ps` and returns its time.
+    pub fn claim(&mut self, at_ps: u64) -> u64 {
+        let mut slot = at_ps.div_ceil(self.cycle_ps);
+        while self.taken.contains(&slot) {
+            slot += 1;
+        }
+        self.taken.insert(slot);
+        slot * self.cycle_ps
+    }
+
+    /// Slots claimed so far.
+    pub fn issued(&self) -> u64 {
+        self.taken.len() as u64
+    }
+
+    /// Bus utilization over `[0, horizon_ps)`.
+    pub fn utilization(&self, horizon_ps: u64) -> f64 {
+        if horizon_ps == 0 {
+            return 0.0;
+        }
+        (self.issued() * self.cycle_ps) as f64 / horizon_ps as f64
+    }
+}
+
 /// A chip: `banks` independent bank timers sharing one command bus.
 #[derive(Debug, Clone)]
 pub struct Chip {
@@ -73,7 +123,9 @@ impl Chip {
     pub fn new(timing: ResolvedTiming, geometry: Geometry) -> Self {
         Self {
             geometry,
-            banks: (0..geometry.banks).map(|_| BankTimer::new(timing)).collect(),
+            banks: (0..geometry.banks)
+                .map(|_| BankTimer::new(timing))
+                .collect(),
             rank: RankTimer::new(&timing),
             bus: CommandBus::new(timing.cycle_ps),
         }
@@ -211,6 +263,23 @@ mod tests {
         // tFAW window (20), and the rest continue at tRRD.
         assert_eq!(slots[4], 20 * C);
         assert!(slots[7] >= 35 * C);
+    }
+
+    #[test]
+    fn fair_bus_fills_gaps_monotonic_bus_cannot() {
+        let mut fair = FairBus::new(C);
+        let mut mono = CommandBus::new(C);
+        // Stream A claims a late slot first…
+        assert_eq!(fair.claim(10 * C), 10 * C);
+        assert_eq!(mono.claim(10 * C), 10 * C);
+        // …then stream B asks for an early one. The fair bus backfills;
+        // the monotonic bus pushes B behind A.
+        assert_eq!(fair.claim(0), 0);
+        assert_eq!(mono.claim(0), 11 * C);
+        // Same earliest time twice: consecutive distinct slots.
+        assert_eq!(fair.claim(0), C);
+        assert_eq!(fair.issued(), 3);
+        assert!((fair.utilization(100 * C) - 3.0 / 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -132,7 +132,11 @@ mod tests {
         m.record_c1(&p);
         m.record_c2(&p);
         m.record_param_beats(&p, 4);
-        let expect = p.act_pre_pj + p.rd_internal_pj + p.wr_internal_pj + p.c1_pj + p.c2_pj
+        let expect = p.act_pre_pj
+            + p.rd_internal_pj
+            + p.wr_internal_pj
+            + p.c1_pj
+            + p.c2_pj
             + 4.0 * p.param_beat_pj;
         assert!((m.total_pj - expect).abs() < 1e-9);
         assert!((m.total_nj() - expect / 1000.0).abs() < 1e-12);

@@ -50,8 +50,8 @@
 
 pub mod bank;
 pub mod chip;
-pub mod rank;
 pub mod energy;
+pub mod rank;
 pub mod stats;
 pub mod storage;
 pub mod timing;

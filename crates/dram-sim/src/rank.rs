@@ -18,6 +18,8 @@ pub struct RankTimer {
     t_faw: u64,
     /// Issue times of the most recent activations (at most 4 kept).
     recent_acts: VecDeque<u64>,
+    /// Total activations recorded over the rank's lifetime.
+    total_acts: u64,
 }
 
 impl RankTimer {
@@ -27,7 +29,15 @@ impl RankTimer {
             t_rrd: timing.t_rrd,
             t_faw: timing.t_faw,
             recent_acts: VecDeque::with_capacity(4),
+            total_acts: 0,
         }
+    }
+
+    /// Total activations recorded on this rank — the cross-bank count a
+    /// batched multi-bank schedule reports (per-bank counters miss the
+    /// tRRD/tFAW coupling this rank-level figure captures).
+    pub fn total_acts(&self) -> u64 {
+        self.total_acts
     }
 
     /// Earliest time `>= now` at which the rank accepts another ACT.
@@ -58,6 +68,7 @@ impl RankTimer {
             self.recent_acts.pop_front();
         }
         self.recent_acts.push_back(at_ps);
+        self.total_acts += 1;
     }
 
     /// Checks a proposed activation without recording it.
@@ -101,6 +112,16 @@ mod tests {
         r.record_act(20 * C);
         // Window slides: next earliest is max(20+5, 5+20) = 25 cycles.
         assert_eq!(r.earliest_act(0), 25 * C);
+    }
+
+    #[test]
+    fn total_acts_counts_lifetime_activations() {
+        let mut r = rank();
+        assert_eq!(r.total_acts(), 0);
+        for i in 0..6u64 {
+            r.record_act(i * 48 * C);
+        }
+        assert_eq!(r.total_acts(), 6, "window keeps 4, count keeps all");
     }
 
     #[test]

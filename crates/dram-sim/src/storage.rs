@@ -223,7 +223,7 @@ mod tests {
         assert!(s.activate(1).is_err());
         assert!(s.read_atom(32).is_err());
         assert!(s.write_atom(0, &[0; 4]).is_err());
-        assert!(s.activate(40_000).is_err() || true); // row open; close first
+        assert!(s.activate(40_000).is_err()); // row open; close first
         s.precharge();
         assert!(s.activate(40_000).is_err());
     }

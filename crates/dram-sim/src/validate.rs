@@ -70,9 +70,7 @@ pub fn validate_trace(
                     limit: geometry.rows_per_bank as u64,
                 })
             }
-            BankCommand::Rd { col } | BankCommand::Wr { col }
-                if col >= geometry.cols_per_row =>
-            {
+            BankCommand::Rd { col } | BankCommand::Wr { col } if col >= geometry.cols_per_row => {
                 Some(TimingError::AddressOutOfRange {
                     what: "column",
                     value: col as u64,

@@ -40,11 +40,7 @@ impl Ciphertext {
     /// # Errors
     ///
     /// Propagates RNS arithmetic errors.
-    pub fn inner_product(
-        &self,
-        params: &RlweParams,
-        sk: &SecretKey,
-    ) -> Result<RnsPoly, FheError> {
+    pub fn inner_product(&self, params: &RlweParams, sk: &SecretKey) -> Result<RnsPoly, FheError> {
         self.c0.add(&self.c1.mul(&sk.s, params)?, params)
     }
 }
@@ -151,11 +147,7 @@ pub fn sub(params: &RlweParams, x: &Ciphertext, y: &Ciphertext) -> Result<Cipher
 /// # Errors
 ///
 /// [`FheError::BadParams`] for out-of-range plaintext coefficients.
-pub fn mul_plain(
-    params: &RlweParams,
-    ct: &Ciphertext,
-    pt: &[u64],
-) -> Result<Ciphertext, FheError> {
+pub fn mul_plain(params: &RlweParams, ct: &Ciphertext, pt: &[u64]) -> Result<Ciphertext, FheError> {
     if pt.len() != params.n() || pt.iter().any(|&c| c >= params.t()) {
         return Err(FheError::BadParams {
             reason: "plaintext must have N coefficients below t".into(),

@@ -68,11 +68,7 @@ pub fn ntt_all_components(
         let q = params.moduli()[i];
         let omega = modmath::prime::root_of_unity(params.n() as u64, q)?;
         let expect = direct_ntt(poly.residues(i), omega, q);
-        if let Some(idx) = got
-            .iter()
-            .zip(&expect)
-            .position(|(&a, &b)| a as u64 != b)
-        {
+        if let Some(idx) = got.iter().zip(&expect).position(|(&a, &b)| a as u64 != b) {
             return Err(FheError::Pim(ntt_pim_core::PimError::VerificationFailed {
                 index: idx,
                 got: got[idx],
@@ -85,7 +81,14 @@ pub fn ntt_all_components(
     let mut sequential_ns = 0.0;
     for i in 0..k {
         let q = params.moduli()[i] as u32;
-        let mut single = PimDevice::new(PimConfig { geometry: { let mut g = config.geometry; g.banks = 1; g }, ..*config })?;
+        let mut single = PimDevice::new(PimConfig {
+            geometry: {
+                let mut g = config.geometry;
+                g.banks = 1;
+                g
+            },
+            ..*config
+        })?;
         let coeffs: Vec<u32> = poly.residues(i).iter().map(|&c| c as u32).collect();
         let h = single.load_polynomial_bitrev(0, &coeffs, q)?;
         let rep = single.ntt(&h, ntt_pim_core::device::NttDirection::Forward)?;
@@ -187,10 +190,7 @@ mod tests {
         let params = RlweParams::new(256, 3, 16).unwrap();
         let mut poly = RnsPoly::zero(&params);
         for i in 0..3 {
-            poly.set_residues(
-                i,
-                sampler::uniform(256, params.moduli()[i], 42 + i as u64),
-            );
+            poly.set_residues(i, sampler::uniform(256, params.moduli()[i], 42 + i as u64));
         }
         let config = PimConfig::hbm2e(2).with_banks(4);
         let report = ntt_all_components(&params, &poly, &config).unwrap();

@@ -50,7 +50,11 @@ pub fn measure(
     for (i, &c) in wide.iter().enumerate() {
         // e = (c0 + c1 s) - Δ·m  (centered representative).
         let expected = delta * m[i] as u128 % q;
-        let diff = if c >= expected { c - expected } else { c + q - expected };
+        let diff = if c >= expected {
+            c - expected
+        } else {
+            c + q - expected
+        };
         let centered = diff.min(q - diff);
         max_noise = max_noise.max(centered);
     }

@@ -102,9 +102,7 @@ impl RnsPoly {
     ///
     /// [`FheError::ParamMismatch`] on component-count mismatch.
     pub fn mul(&self, other: &Self, params: &RlweParams) -> Result<Self, FheError> {
-        if self.components() != other.components()
-            || self.components() != params.moduli().len()
-        {
+        if self.components() != other.components() || self.components() != params.moduli().len() {
             return Err(FheError::ParamMismatch);
         }
         let residues = params
@@ -134,7 +132,7 @@ impl RnsPoly {
         let n = params.n();
         // Precompute mixed-radix constants: inv[i][j] = qⱼ⁻¹ mod qᵢ (j<i).
         let mut out = vec![0u128; n];
-        for c in 0..n {
+        for (c, slot) in out.iter_mut().enumerate() {
             // Garner: v₀ = r₀; vᵢ = (rᵢ - partial) * Πq_j⁻¹ mod qᵢ.
             let mut mixed = Vec::with_capacity(moduli.len());
             for (i, &qi) in moduli.iter().enumerate() {
@@ -154,7 +152,7 @@ impl RnsPoly {
                 value += m as u128 * radix;
                 radix *= moduli[i] as u128;
             }
-            out[c] = value;
+            *slot = value;
         }
         Ok(out)
     }
@@ -165,9 +163,7 @@ impl RnsPoly {
         params: &RlweParams,
         f: fn(u64, u64, u64) -> u64,
     ) -> Result<Self, FheError> {
-        if self.components() != other.components()
-            || self.components() != params.moduli().len()
-        {
+        if self.components() != other.components() || self.components() != params.moduli().len() {
             return Err(FheError::ParamMismatch);
         }
         let residues = self

@@ -89,7 +89,13 @@ mod tests {
         let v = centered_binomial(4096, Q, 2, 5);
         let sum: i64 = v
             .iter()
-            .map(|&c| if c > Q / 2 { c as i64 - Q as i64 } else { c as i64 })
+            .map(|&c| {
+                if c > Q / 2 {
+                    c as i64 - Q as i64
+                } else {
+                    c as i64
+                }
+            })
             .sum();
         // Mean should be near zero: |sum| < n/8 with overwhelming margin.
         assert!(sum.unsigned_abs() < 512, "sum {sum}");

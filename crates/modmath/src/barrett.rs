@@ -80,7 +80,7 @@ impl Barrett64 {
         let hi_hi = x_hi as u128 * self.mu_hi as u128;
         let mid = (lo_lo >> 64) + (lo_hi & 0xffff_ffff_ffff_ffff) + (hi_lo & 0xffff_ffff_ffff_ffff);
         let q_est = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
-        let mut r = x.wrapping_sub(q_est.wrapping_mul(self.q as u128)) as u128;
+        let mut r = x.wrapping_sub(q_est.wrapping_mul(self.q as u128));
         // The estimate is at most 2 short.
         while r >= self.q as u128 {
             r -= self.q as u128;

@@ -67,7 +67,9 @@ pub fn bitrev_permute<T>(data: &mut [T]) {
 pub fn bitrev_indices(n: usize) -> Vec<usize> {
     assert!(n.is_power_of_two(), "length {n} is not a power of two");
     let bits = n.trailing_zeros();
-    (0..n).map(|i| bit_reverse(i as u64, bits) as usize).collect()
+    (0..n)
+        .map(|i| bit_reverse(i as u64, bits) as usize)
+        .collect()
 }
 
 #[cfg(test)]

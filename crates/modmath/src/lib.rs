@@ -42,3 +42,9 @@ pub mod prime;
 mod error;
 
 pub use error::Error;
+
+// Crate-root re-exports of the items nearly every dependent reaches
+// for, so call sites read `modmath::NttField` instead of spelling the
+// module path each time.
+pub use bitrev::bitrev_permute;
+pub use prime::{root_of_unity, NttField};

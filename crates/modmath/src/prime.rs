@@ -422,10 +422,7 @@ mod tests {
         assert_eq!(mul_mod(f.psi(), f.psi(), q), f.root_of_unity());
         assert_eq!(pow_mod(f.psi(), 1024, q), q - 1, "psi^N = -1 (negacyclic)");
         assert_eq!(mul_mod(f.n_inv(), 1024 % q, q), 1);
-        assert_eq!(
-            mul_mod(f.root_of_unity(), f.root_of_unity_inv(), q),
-            1
-        );
+        assert_eq!(mul_mod(f.root_of_unity(), f.root_of_unity_inv(), q), 1);
     }
 
     #[test]

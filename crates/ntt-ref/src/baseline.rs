@@ -87,7 +87,9 @@ pub fn measure_forward_fast32(n: usize, iterations: u32) -> CpuMeasurement {
     let field = NttField::with_bits(n, 30).expect("30-bit NTT prime exists");
     let plan = crate::fast32::Fast32Plan::new(&field).expect("q < 2^31");
     let q = plan.modulus();
-    let mut data: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2654435761) % q).collect();
+    let mut data: Vec<u32> = (0..n as u32)
+        .map(|i| i.wrapping_mul(2654435761) % q)
+        .collect();
     plan.forward(&mut data);
     let mut best = Duration::MAX;
     let mut total = Duration::ZERO;

@@ -68,8 +68,7 @@ impl Fast32Plan {
             (0..log_n)
                 .map(|s| {
                     let m = 1usize << s;
-                    let step =
-                        modmath::arith::pow_mod(w, (n >> (s + 1)) as u64, q64) as u32;
+                    let step = modmath::arith::pow_mod(w, (n >> (s + 1)) as u64, q64) as u32;
                     let step_mont = mont.to_mont(step);
                     let mut tws = Vec::with_capacity(m);
                     let mut cur = mont.one();
@@ -177,7 +176,9 @@ mod tests {
         let f = field(512);
         let plan = Fast32Plan::new(&f).unwrap();
         let q = plan.modulus();
-        let orig: Vec<u32> = (0..512u32).map(|i| i.wrapping_mul(2654435761) % q).collect();
+        let orig: Vec<u32> = (0..512u32)
+            .map(|i| i.wrapping_mul(2654435761) % q)
+            .collect();
         let mut v = orig.clone();
         plan.forward(&mut v);
         plan.inverse(&mut v);

@@ -158,7 +158,11 @@ mod tests {
         let mut tb = b.clone();
         dif_to_bitrev(&p, &mut ta, false);
         dif_to_bitrev(&p, &mut tb, false);
-        let mut prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        let mut prod: Vec<u64> = ta
+            .iter()
+            .zip(&tb)
+            .map(|(&x, &y)| mul_mod(x, y, q))
+            .collect();
         dit_from_bitrev(&p, &mut prod, true);
         for x in prod.iter_mut() {
             *x = mul_mod(*x, p.n_inv(), q);

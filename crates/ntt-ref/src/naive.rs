@@ -80,10 +80,10 @@ pub fn cyclic_convolution(a: &[u64], b: &[u64], q: u64) -> Vec<u64> {
     assert_eq!(a.len(), b.len(), "operand lengths differ");
     let n = a.len();
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
             let k = (i + j) % n;
-            out[k] = modmath::arith::add_mod(out[k], mul_mod(a[i], b[j], q), q);
+            out[k] = modmath::arith::add_mod(out[k], mul_mod(ai, bj, q), q);
         }
     }
     out
@@ -185,7 +185,11 @@ mod tests {
         let b: Vec<u64> = (0..8).map(|i| (5 * i + 1) % q).collect();
         let ta = ntt(&f, &a);
         let tb = ntt(&f, &b);
-        let prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        let prod: Vec<u64> = ta
+            .iter()
+            .zip(&tb)
+            .map(|(&x, &y)| mul_mod(x, y, q))
+            .collect();
         assert_eq!(intt(&f, &prod), cyclic_convolution(&a, &b, q));
     }
 
@@ -197,8 +201,15 @@ mod tests {
         let b: Vec<u64> = (0..8).map(|i| (13 * i + 7) % q).collect();
         let ta = ntt_negacyclic(&f, &a);
         let tb = ntt_negacyclic(&f, &b);
-        let prod: Vec<u64> = ta.iter().zip(&tb).map(|(&x, &y)| mul_mod(x, y, q)).collect();
-        assert_eq!(intt_negacyclic(&f, &prod), negacyclic_convolution(&a, &b, q));
+        let prod: Vec<u64> = ta
+            .iter()
+            .zip(&tb)
+            .map(|(&x, &y)| mul_mod(x, y, q))
+            .collect();
+        assert_eq!(
+            intt_negacyclic(&f, &prod),
+            negacyclic_convolution(&a, &b, q)
+        );
     }
 
     #[test]

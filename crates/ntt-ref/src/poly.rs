@@ -147,11 +147,7 @@ mod tests {
         let c: Vec<u64> = (0..16u64).map(|i| (i * 17 + 7) % q).collect();
         assert_eq!(mul_negacyclic(&p, &a, &b), mul_negacyclic(&p, &b, &a));
         let left = mul_negacyclic(&p, &a, &add(&b, &c, q));
-        let right = add(
-            &mul_negacyclic(&p, &a, &b),
-            &mul_negacyclic(&p, &a, &c),
-            q,
-        );
+        let right = add(&mul_negacyclic(&p, &a, &b), &mul_negacyclic(&p, &a, &c), q);
         assert_eq!(left, right);
     }
 }

@@ -32,7 +32,7 @@ pub fn forward(plan: &NttPlan, data: &mut [u64]) {
     // i = sqrt(-1) mod q: ω_4 = ω^(N/4).
     let im = pow_mod(plan.field().root_of_unity(), (n / 4) as u64, q);
     let mut s = 0u32; // radix-2 stage index (span 2^s)
-    // Leading radix-2 stage when log2(n) is odd.
+                      // Leading radix-2 stage when log2(n) is odd.
     if plan.log_n() % 2 == 1 {
         radix2_stage(plan, data, s);
         s += 1;

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let report = device.polymul_negacyclic(&ha, &hb)?;
     println!("on-device negacyclic polymul, N={n}, q={q}:");
-    println!("  latency     : {:>10.2} µs (3 NTTs + scales + pointwise)", report.latency_us());
+    println!(
+        "  latency     : {:>10.2} µs (3 NTTs + scales + pointwise)",
+        report.latency_us()
+    );
     println!("  activations : {:>10}", report.activations());
     println!("  energy      : {:>10.2} nJ", report.energy.total_nj);
 
@@ -77,15 +80,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- Part 3: a full RNS ring multiplication offloaded to PIM ---------
     use ntt_pim::fhe::executor::polymul_all_components;
     use ntt_pim::fhe::rns::RnsPoly;
-    use ntt_pim::fhe::sampler;
     let mut ra = RnsPoly::zero(&params);
     let mut rb = RnsPoly::zero(&params);
     for i in 0..params.moduli().len() {
-        ra.set_residues(i, sampler::uniform(params.n(), params.moduli()[i], 31 + i as u64));
-        rb.set_residues(i, sampler::uniform(params.n(), params.moduli()[i], 47 + i as u64));
+        ra.set_residues(
+            i,
+            sampler::uniform(params.n(), params.moduli()[i], 31 + i as u64),
+        );
+        rb.set_residues(
+            i,
+            sampler::uniform(params.n(), params.moduli()[i], 47 + i as u64),
+        );
     }
-    let config = ntt_pim::core::config::PimConfig::hbm2e(4)
-        .with_banks(params.moduli().len() as u32);
+    let config =
+        ntt_pim::core::config::PimConfig::hbm2e(4).with_banks(params.moduli().len() as u32);
     let (product, report) = polymul_all_components(&params, &ra, &rb, &config)?;
     assert_eq!(product, ra.mul(&rb, &params)?, "PIM product matches CPU");
     println!(
@@ -98,7 +106,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- Part 4: noise budget across homomorphic operations --------------
     use ntt_pim::fhe::noise;
     let fresh = noise::measure(&params, &sk, &ct1, &m1)?;
-    let m_sum: Vec<u64> = m1.iter().zip(&m2).map(|(&x, &y)| (x + y) % params.t()).collect();
+    let m_sum: Vec<u64> = m1
+        .iter()
+        .zip(&m2)
+        .map(|(&x, &y)| (x + y) % params.t())
+        .collect();
     let after = noise::measure(&params, &sk, &sum, &m_sum)?;
     println!(
         "noise budget: fresh {:.1} bits → after add {:.1} bits (bound survives: {})",

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             .find(|e| e.at_ps >= probe)
             .map(|e| e.at_ps)
             .unwrap_or(0);
-        println!("inter-row phase (240 cycles around {:.1} µs):", start as f64 / 1e6);
+        println!(
+            "inter-row phase (240 cycles around {:.1} µs):",
+            start as f64 / 1e6
+        );
         println!("{}", timeline.render_ascii(start, start + 240 * cyc, cyc));
         println!();
     }

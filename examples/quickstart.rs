@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plan = ntt_pim::reference::plan::NttPlan::new(field);
     plan.forward(&mut reference);
     assert!(
-        spectrum.iter().zip(&reference).all(|(&a, &b)| a as u64 == b),
+        spectrum
+            .iter()
+            .zip(&reference)
+            .all(|(&a, &b)| a as u64 == b),
         "PIM output matches the software NTT"
     );
     println!("  verification : OK (matches software NTT)");
@@ -56,6 +59,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let inv = device.ntt_in_place(&mut handle, NttDirection::Inverse)?;
     let roundtrip = device.read_polynomial(&handle)?;
     assert_eq!(roundtrip, poly, "inverse(forward(x)) == x");
-    println!("inverse NTT   : {:>10.2} µs, roundtrip OK", inv.latency_us());
+    println!(
+        "inverse NTT   : {:>10.2} µs, roundtrip OK",
+        inv.latency_us()
+    );
     Ok(())
 }

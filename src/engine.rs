@@ -1,0 +1,853 @@
+//! Unified execution layer: every way this workspace can run an NTT —
+//! the simulated PIM device, the CPU reference dataflows, and the
+//! published-point accelerator models — behind one object-safe trait.
+//!
+//! Before this module, each backend had its own ad-hoc entry point
+//! (`PimDevice::ntt`, `NttPlan::forward`, `NttAccelerator::latency_ns`),
+//! which made cross-backend comparison and batching awkward. An
+//! [`NttEngine`] is a uniform facade over all of them:
+//!
+//! * [`PimDeviceEngine`] — the paper's row-centric PIM architecture,
+//!   functionally simulated and cycle-timed ([`crate::core`]).
+//! * [`CpuNttEngine`] — the golden software dataflows from
+//!   [`crate::reference`] (iterative DIT, Stockham, four-step), timed by
+//!   host wall clock.
+//! * [`PublishedModelEngine`] — the Table III comparator models from
+//!   [`crate::baselines`], computing functionally via the golden CPU
+//!   path while reporting the device's *published* latency/energy.
+//!
+//! All engines work on natural-order `u64` coefficients and derive the
+//! transform root the same way (`ψ = root_of_unity(2N, q)`, `ω = ψ²`),
+//! so their outputs are bit-identical wherever their capability windows
+//! overlap — the cross-backend parity test relies on exactly that.
+//!
+//! [`batch::BatchExecutor`] builds on the trait (and the PIM device's
+//! bank-level parallel path) to fan a queue of NTT jobs across a chip's
+//! banks; see its module docs.
+
+pub mod batch;
+
+use crate::baselines::{CryptoPimModel, FpgaModel, MenttModel, NttAccelerator, X86PaperModel};
+use crate::core::config::PimConfig;
+use crate::core::device::{NttDirection, PimDevice};
+use crate::core::PimError;
+use crate::math::prime::{self, NttField};
+use crate::reference::plan::NttPlan;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Error type of the unified execution layer.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The engine cannot run this `(N, q)` combination; consult
+    /// [`NttEngine::caps`] before dispatching.
+    Unsupported {
+        /// Engine display name.
+        engine: String,
+        /// Requested transform length.
+        n: usize,
+        /// Requested modulus.
+        q: u64,
+        /// Which capability failed.
+        reason: String,
+    },
+    /// Malformed input (length mismatch, unreduced coefficients, …).
+    Shape {
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying PIM device/mapper/scheduler error.
+    Pim(PimError),
+    /// An underlying modular-arithmetic error.
+    Math(modmath::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Unsupported {
+                engine,
+                n,
+                q,
+                reason,
+            } => write!(f, "{engine} does not support N={n}, q={q}: {reason}"),
+            EngineError::Shape { reason } => write!(f, "bad input: {reason}"),
+            EngineError::Pim(e) => write!(f, "PIM error: {e}"),
+            EngineError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<PimError> for EngineError {
+    fn from(e: PimError) -> Self {
+        EngineError::Pim(e)
+    }
+}
+
+impl From<modmath::Error> for EngineError {
+    fn from(e: modmath::Error) -> Self {
+        EngineError::Math(e)
+    }
+}
+
+/// What an engine can run — the flexibility axes of the paper's §VI.E
+/// plus the datapath width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Whether the modulus can vary per request (CryptoPIM's cannot).
+    pub arbitrary_modulus: bool,
+    /// For fixed-modulus hardware, the one modulus it is built for
+    /// (`None` when `arbitrary_modulus` is true).
+    pub native_modulus: Option<u64>,
+    /// Largest supported transform length (`None` = unbounded).
+    pub max_n: Option<usize>,
+    /// Coefficient datapath width in bits.
+    pub bitwidth: u32,
+    /// `true` when latency/energy come from simulation or published
+    /// numbers (a device), `false` when measured on the host (software).
+    pub on_device: bool,
+}
+
+impl EngineCaps {
+    /// Whether a length-`n` transform over `Z_q` is inside this engine's
+    /// window: power-of-two `n` within `max_n`, `q` prime, within the
+    /// datapath width, and matching the native modulus when the device
+    /// is fixed-modulus; `2N | q-1` so the full trait surface
+    /// (including negacyclic products) is available.
+    pub fn supports(&self, n: usize, q: u64) -> bool {
+        n.is_power_of_two()
+            && n >= 4
+            && self.max_n.is_none_or(|m| n <= m)
+            && (self.bitwidth >= 64 || q < (1u64 << self.bitwidth))
+            && (self.arbitrary_modulus || self.native_modulus == Some(q))
+            && q > 2
+            && prime::is_prime(q)
+            && (q - 1) % (2 * n as u64) == 0
+    }
+}
+
+/// Where a report's numbers come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportSource {
+    /// Cycle-accurate simulation (the PIM device).
+    Simulated,
+    /// Host wall-clock measurement (CPU engines).
+    Measured,
+    /// Published datapoints (baseline models).
+    Published,
+}
+
+/// Cost/outcome of one engine request.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Request latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Energy in nanojoules, when the backend models it.
+    pub energy_nj: Option<f64>,
+    /// DRAM row activations, when the backend counts them.
+    pub activations: Option<u64>,
+    /// Provenance of the numbers above.
+    pub source: ReportSource,
+}
+
+/// An a-priori cost estimate (no data needed), for scheduling decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct CostEstimate {
+    /// Predicted latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Predicted energy in nanojoules, when modeled.
+    pub energy_nj: Option<f64>,
+}
+
+/// One NTT backend. Object-safe: collections of `Box<dyn NttEngine>`
+/// drive cross-backend sweeps and the parity tests.
+///
+/// All methods use natural coefficient order and expect inputs reduced
+/// mod `q`; every engine derives its root of unity from
+/// `ψ = root_of_unity(2N, q)` so outputs agree across backends.
+pub trait NttEngine {
+    /// Display name (stable; used in tables and reports).
+    fn name(&self) -> &str;
+
+    /// The engine's capability window.
+    fn caps(&self) -> EngineCaps;
+
+    /// Whether `(n, q)` is inside the capability window.
+    fn supports(&self, n: usize, q: u64) -> bool {
+        self.caps().supports(n, q)
+    }
+
+    /// Forward cyclic NTT in place (natural order in and out).
+    fn forward(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError>;
+
+    /// Inverse cyclic NTT in place, including the `N⁻¹` scaling.
+    fn inverse(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError>;
+
+    /// Negacyclic product `a ← a·b mod (X^N + 1, q)`.
+    fn negacyclic_polymul(
+        &mut self,
+        a: &mut [u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<EngineReport, EngineError>;
+
+    /// Predicted cost of a length-`n` forward NTT, when the backend has
+    /// a cost model (simulated and published backends do; measured CPU
+    /// backends return `None`).
+    fn cost_estimate(&self, n: usize) -> Option<CostEstimate>;
+}
+
+fn check_input(engine: &dyn NttEngine, data: &[u64], q: u64) -> Result<(), EngineError> {
+    let n = data.len();
+    if !engine.supports(n, q) {
+        return Err(EngineError::Unsupported {
+            engine: engine.name().to_string(),
+            n,
+            q,
+            reason: "outside the engine's capability window".into(),
+        });
+    }
+    if data.iter().any(|&c| c >= q) {
+        return Err(EngineError::Shape {
+            reason: "coefficients must be reduced modulo q".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Validates a polymul operand pair: `a` inside the capability window,
+/// `b` the same length and reduced mod `q`.
+fn check_pair(engine: &dyn NttEngine, a: &[u64], b: &[u64], q: u64) -> Result<(), EngineError> {
+    check_input(engine, a, q)?;
+    if a.len() != b.len() {
+        return Err(EngineError::Shape {
+            reason: "operand lengths differ".into(),
+        });
+    }
+    if b.iter().any(|&c| c >= q) {
+        return Err(EngineError::Shape {
+            reason: "coefficients must be reduced modulo q".into(),
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// PIM device backend
+// ---------------------------------------------------------------------
+
+/// The simulated NTT-PIM device as an [`NttEngine`].
+///
+/// Requests run through the full stack — mapper, scheduler, per-bank
+/// functional simulation — so reports carry cycle-accurate latency,
+/// energy, and activation counts. Host-side bit reversal happens inside
+/// the engine (outside reported latency, matching the paper's
+/// measurement boundary).
+#[derive(Debug, Clone)]
+pub struct PimDeviceEngine {
+    device: PimDevice,
+    name: String,
+}
+
+impl PimDeviceEngine {
+    /// Wraps a device built from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: PimConfig) -> Result<Self, PimError> {
+        let name = format!("ntt-pim (Nb={})", config.n_bufs);
+        Ok(Self {
+            device: PimDevice::new(config)?,
+            name,
+        })
+    }
+
+    /// Convenience: the paper's HBM2E configuration with `nb` buffers.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::new`].
+    pub fn hbm2e(nb: usize) -> Result<Self, PimError> {
+        Self::new(PimConfig::hbm2e(nb))
+    }
+
+    /// Access to the underlying device (bank loads, mapper options).
+    pub fn device_mut(&mut self) -> &mut PimDevice {
+        &mut self.device
+    }
+
+    fn to_u32(data: &[u64]) -> Result<Vec<u32>, EngineError> {
+        data.iter()
+            .map(|&c| {
+                u32::try_from(c).map_err(|_| EngineError::Shape {
+                    reason: "coefficient exceeds the 32-bit PIM datapath".into(),
+                })
+            })
+            .collect()
+    }
+
+    fn store_back(data: &mut [u64], words: &[u32]) {
+        for (d, &w) in data.iter_mut().zip(words) {
+            *d = u64::from(w);
+        }
+    }
+}
+
+impl NttEngine for PimDeviceEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            arbitrary_modulus: true,
+            native_modulus: None,
+            max_n: Some(1 << 20), // bounded by bank capacity, not the design
+            bitwidth: 32,
+            on_device: true,
+        }
+    }
+
+    fn forward(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let words = Self::to_u32(data)?;
+        let mut h = self.device.load_polynomial_bitrev(0, &words, q as u32)?;
+        let rep = self.device.ntt_in_place(&mut h, NttDirection::Forward)?;
+        let out = self.device.read_polynomial(&h)?;
+        Self::store_back(data, &out);
+        Ok(EngineReport {
+            latency_ns: rep.latency_ns(),
+            energy_nj: Some(rep.energy.total_nj),
+            activations: Some(rep.activations()),
+            source: ReportSource::Simulated,
+        })
+    }
+
+    fn inverse(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let words = Self::to_u32(data)?;
+        let mut h = self.device.load_polynomial(0, &words, q as u32)?;
+        let rep = self.device.ntt_in_place(&mut h, NttDirection::Inverse)?;
+        let out = self.device.read_polynomial(&h)?;
+        Self::store_back(data, &out);
+        Ok(EngineReport {
+            latency_ns: rep.latency_ns(),
+            energy_nj: Some(rep.energy.total_nj),
+            activations: Some(rep.activations()),
+            source: ReportSource::Simulated,
+        })
+    }
+
+    fn negacyclic_polymul(
+        &mut self,
+        a: &mut [u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<EngineReport, EngineError> {
+        check_pair(self, a, b, q)?;
+        let n = a.len();
+        let wa = Self::to_u32(a)?;
+        let wb = Self::to_u32(b)?;
+        let ha = self.device.load_polynomial(0, &wa, q as u32)?;
+        // Operand B lives in the next row-aligned region of the same bank
+        // (multi-atom layouts must start on a row boundary).
+        let b_base = n.max(self.device.config().row_words());
+        let hb = self.device.load_polynomial(b_base, &wb, q as u32)?;
+        let rep = self.device.polymul_negacyclic(&ha, &hb)?;
+        let out = self.device.read_polynomial(&ha)?;
+        Self::store_back(a, &out);
+        Ok(EngineReport {
+            latency_ns: rep.latency_ns(),
+            energy_nj: Some(rep.energy.total_nj),
+            activations: Some(rep.activations()),
+            source: ReportSource::Simulated,
+        })
+    }
+
+    fn cost_estimate(&self, n: usize) -> Option<CostEstimate> {
+        if !self.caps().supports(n, PIM_ESTIMATE_Q) {
+            return None;
+        }
+        pim_cost_estimate(self.device.config(), self.device.mapper_options(), n)
+    }
+}
+
+/// Reference modulus for value-independent PIM timing estimates
+/// (`15·2^27 + 1` covers every practical transform length).
+const PIM_ESTIMATE_Q: u64 = 2_013_265_921;
+
+/// Simulated latency/energy of one forward NTT for a configuration —
+/// mapping and scheduling only, no device (and no bank storage) needed.
+/// Timing does not depend on coefficient values or the modulus, so one
+/// reference modulus serves every request.
+pub fn pim_cost_estimate(
+    config: &PimConfig,
+    opts: &crate::core::mapper::MapperOptions,
+    n: usize,
+) -> Option<CostEstimate> {
+    let layout = crate::core::layout::PolyLayout::new(config, 0, n).ok()?;
+    let omega = prime::root_of_unity(n as u64, PIM_ESTIMATE_Q).ok()? as u32;
+    let program = crate::core::mapper::map_ntt(
+        config,
+        &layout,
+        &crate::core::mapper::NttParams {
+            q: PIM_ESTIMATE_Q as u32,
+            omega,
+        },
+        &crate::core::mapper::MapperOptions {
+            dataflow: crate::core::mapper::Dataflow::DitFromBitrev,
+            inverse: false,
+            ..*opts
+        },
+    )
+    .ok()?;
+    let tl = crate::core::sched::schedule(config, &program).ok()?;
+    Some(CostEstimate {
+        latency_ns: tl.latency_ns(),
+        energy_nj: Some(tl.energy.total_nj()),
+    })
+}
+
+// ---------------------------------------------------------------------
+// CPU reference backends
+// ---------------------------------------------------------------------
+
+/// Which software dataflow a [`CpuNttEngine`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuDataflow {
+    /// Classic in-place Cooley–Tukey DIT (the golden model).
+    IterativeDit,
+    /// Self-sorting Stockham dataflow.
+    Stockham,
+    /// Cache-friendly four-step decomposition.
+    FourStep,
+}
+
+impl CpuDataflow {
+    fn label(self) -> &'static str {
+        match self {
+            CpuDataflow::IterativeDit => "cpu-iterative-dit",
+            CpuDataflow::Stockham => "cpu-stockham",
+            CpuDataflow::FourStep => "cpu-four-step",
+        }
+    }
+}
+
+/// A CPU reference dataflow as an [`NttEngine`], with per-`(N, q)` plan
+/// caching. Latency is measured host wall clock (the honest "x86 CPU"
+/// comparison point); energy is not modeled.
+#[derive(Debug, Clone)]
+pub struct CpuNttEngine {
+    dataflow: CpuDataflow,
+    plans: HashMap<(usize, u64), NttPlan>,
+}
+
+impl CpuNttEngine {
+    /// An engine running the given dataflow.
+    pub fn new(dataflow: CpuDataflow) -> Self {
+        Self {
+            dataflow,
+            plans: HashMap::new(),
+        }
+    }
+
+    /// The golden iterative-DIT engine.
+    pub fn golden() -> Self {
+        Self::new(CpuDataflow::IterativeDit)
+    }
+
+    fn plan(&mut self, n: usize, q: u64) -> Result<&NttPlan, EngineError> {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.plans.entry((n, q)) {
+            // Derive ψ the same way the PIM memory controller does, so
+            // every backend transforms with the identical root.
+            let psi = prime::root_of_unity(2 * n as u64, q)?;
+            let field = NttField::with_psi(n, q, psi)?;
+            e.insert(NttPlan::new(field));
+        }
+        Ok(&self.plans[&(n, q)])
+    }
+
+    fn run<F: FnOnce(&NttPlan, &mut [u64])>(
+        &mut self,
+        data: &mut [u64],
+        q: u64,
+        f: F,
+    ) -> Result<EngineReport, EngineError> {
+        let plan = self.plan(data.len(), q)?;
+        let t0 = Instant::now();
+        f(plan, data);
+        Ok(EngineReport {
+            latency_ns: t0.elapsed().as_nanos() as f64,
+            energy_nj: None,
+            activations: None,
+            source: ReportSource::Measured,
+        })
+    }
+}
+
+impl NttEngine for CpuNttEngine {
+    fn name(&self) -> &str {
+        self.dataflow.label()
+    }
+
+    fn caps(&self) -> EngineCaps {
+        EngineCaps {
+            arbitrary_modulus: true,
+            native_modulus: None,
+            max_n: None,
+            bitwidth: 62, // widening u128 arithmetic headroom
+            on_device: false,
+        }
+    }
+
+    fn forward(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let dataflow = self.dataflow;
+        self.run(data, q, |plan, data| match dataflow {
+            CpuDataflow::IterativeDit => plan.forward(data),
+            CpuDataflow::Stockham => crate::reference::stockham::forward(plan, data),
+            CpuDataflow::FourStep => {
+                let rows = 1usize << (data.len().trailing_zeros() / 2);
+                crate::reference::four_step::forward(plan, data, rows);
+            }
+        })
+    }
+
+    fn inverse(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let dataflow = self.dataflow;
+        self.run(data, q, |plan, data| match dataflow {
+            CpuDataflow::Stockham => crate::reference::stockham::inverse(plan, data),
+            // Four-step has no dedicated inverse; the plan's inverse is
+            // the same transform result by a different dataflow.
+            CpuDataflow::IterativeDit | CpuDataflow::FourStep => plan.inverse(data),
+        })
+    }
+
+    fn negacyclic_polymul(
+        &mut self,
+        a: &mut [u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<EngineReport, EngineError> {
+        check_pair(self, a, b, q)?;
+        let plan = self.plan(a.len(), q)?;
+        let t0 = Instant::now();
+        let product = crate::reference::poly::mul_negacyclic(plan, a, b);
+        let latency_ns = t0.elapsed().as_nanos() as f64;
+        a.copy_from_slice(&product);
+        Ok(EngineReport {
+            latency_ns,
+            energy_nj: None,
+            activations: None,
+            source: ReportSource::Measured,
+        })
+    }
+
+    fn cost_estimate(&self, _n: usize) -> Option<CostEstimate> {
+        None // measured backend: no a-priori model
+    }
+}
+
+// ---------------------------------------------------------------------
+// Published-model backends
+// ---------------------------------------------------------------------
+
+/// A Table III comparator as an [`NttEngine`].
+///
+/// These accelerators are closed hardware; the paper compares against
+/// their *published* numbers, and so does this engine: results are
+/// computed functionally through the golden CPU path (so parity tests
+/// still apply), while latency/energy come from
+/// [`crate::baselines::NttAccelerator`]'s published points and scaling
+/// law.
+pub struct PublishedModelEngine {
+    model: Box<dyn NttAccelerator>,
+    golden: CpuNttEngine,
+}
+
+impl fmt::Debug for PublishedModelEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PublishedModelEngine")
+            .field("model", &self.model.name())
+            .finish()
+    }
+}
+
+impl PublishedModelEngine {
+    /// Wraps any published-point model.
+    pub fn new(model: Box<dyn NttAccelerator>) -> Self {
+        Self {
+            model,
+            golden: CpuNttEngine::golden(),
+        }
+    }
+
+    /// The MeNTT (6T-SRAM PIM) comparator.
+    pub fn mentt() -> Self {
+        Self::new(Box::new(MenttModel))
+    }
+
+    /// The CryptoPIM (ReRAM) comparator.
+    pub fn cryptopim() -> Self {
+        Self::new(Box::new(CryptoPimModel))
+    }
+
+    /// The paper's x86 software point.
+    pub fn x86_paper() -> Self {
+        Self::new(Box::new(X86PaperModel))
+    }
+
+    /// The FPGA comparator.
+    pub fn fpga() -> Self {
+        Self::new(Box::new(FpgaModel))
+    }
+
+    fn published_report(&self, n: usize) -> Result<EngineReport, EngineError> {
+        let latency_ns = self
+            .model
+            .latency_ns(n)
+            .ok_or_else(|| EngineError::Unsupported {
+                engine: self.model.name().to_string(),
+                n,
+                q: 0,
+                reason: "no published point covers this length".into(),
+            })?;
+        Ok(EngineReport {
+            latency_ns,
+            energy_nj: self.model.energy_nj(n),
+            activations: None,
+            source: ReportSource::Published,
+        })
+    }
+}
+
+impl NttEngine for PublishedModelEngine {
+    fn name(&self) -> &str {
+        self.model.name()
+    }
+
+    fn caps(&self) -> EngineCaps {
+        let flex = self.model.flexibility();
+        EngineCaps {
+            arbitrary_modulus: flex.arbitrary_modulus,
+            // The published evaluations of the fixed-modulus devices use
+            // the NewHope/Falcon modulus; that is the one `q` their
+            // numbers are valid for.
+            native_modulus: if flex.arbitrary_modulus {
+                None
+            } else {
+                Some(12289)
+            },
+            max_n: flex.max_n,
+            bitwidth: flex.bitwidth,
+            on_device: true,
+        }
+    }
+
+    fn forward(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let n = data.len();
+        self.golden.forward(data, q)?;
+        self.published_report(n)
+    }
+
+    fn inverse(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+        check_input(self, data, q)?;
+        let n = data.len();
+        self.golden.inverse(data, q)?;
+        self.published_report(n)
+    }
+
+    fn negacyclic_polymul(
+        &mut self,
+        a: &mut [u64],
+        b: &[u64],
+        q: u64,
+    ) -> Result<EngineReport, EngineError> {
+        check_input(self, a, q)?;
+        let n = a.len();
+        self.golden.negacyclic_polymul(a, b, q)?;
+        // A negacyclic product is 3 NTTs plus element-wise work; report
+        // the dominant published cost (3 transforms).
+        let one = self.published_report(n)?;
+        Ok(EngineReport {
+            latency_ns: 3.0 * one.latency_ns,
+            energy_nj: one.energy_nj.map(|e| 3.0 * e),
+            activations: None,
+            source: ReportSource::Published,
+        })
+    }
+
+    fn cost_estimate(&self, n: usize) -> Option<CostEstimate> {
+        Some(CostEstimate {
+            latency_ns: self.model.latency_ns(n)?,
+            energy_nj: self.model.energy_nj(n),
+        })
+    }
+}
+
+/// Every backend the workspace ships, ready for a cross-backend sweep:
+/// the PIM device (with `nb` atom buffers), the three CPU dataflows, and
+/// the four published comparator models.
+///
+/// # Errors
+///
+/// Propagates device construction errors (invalid `nb`).
+pub fn all_engines(nb: usize) -> Result<Vec<Box<dyn NttEngine>>, PimError> {
+    Ok(vec![
+        Box::new(PimDeviceEngine::hbm2e(nb)?),
+        Box::new(CpuNttEngine::new(CpuDataflow::IterativeDit)),
+        Box::new(CpuNttEngine::new(CpuDataflow::Stockham)),
+        Box::new(CpuNttEngine::new(CpuDataflow::FourStep)),
+        Box::new(PublishedModelEngine::mentt()),
+        Box::new(PublishedModelEngine::cryptopim()),
+        Box::new(PublishedModelEngine::x86_paper()),
+        Box::new(PublishedModelEngine::fpga()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q: u64 = 12289;
+
+    fn poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) % q
+            })
+            .collect()
+    }
+
+    #[test]
+    fn caps_gate_bad_lengths_and_moduli() {
+        let caps = EngineCaps {
+            arbitrary_modulus: true,
+            native_modulus: None,
+            max_n: Some(1024),
+            bitwidth: 14,
+            on_device: true,
+        };
+        assert!(caps.supports(256, 12289));
+        assert!(!caps.supports(2048, 12289), "max_n");
+        assert!(!caps.supports(300, 12289), "power of two");
+        assert!(!caps.supports(256, 1 << 15), "bitwidth and primality");
+        assert!(!caps.supports(1024, 7681), "needs 2N | q-1");
+        let fixed = EngineCaps {
+            arbitrary_modulus: false,
+            native_modulus: Some(12289),
+            ..caps
+        };
+        assert!(fixed.supports(256, 12289), "native modulus accepted");
+        assert!(
+            !fixed.supports(256, 7681),
+            "fixed-modulus device rejects other q"
+        );
+    }
+
+    #[test]
+    fn pim_engine_roundtrips_and_reports_simulated_cost() {
+        let mut e = PimDeviceEngine::hbm2e(2).unwrap();
+        let x = poly(256, Q, 1);
+        let mut v = x.clone();
+        let rep = e.forward(&mut v, Q).unwrap();
+        assert_ne!(v, x);
+        assert_eq!(rep.source, ReportSource::Simulated);
+        assert!(rep.latency_ns > 0.0);
+        assert!(rep.energy_nj.unwrap() > 0.0);
+        assert!(rep.activations.unwrap() >= 1);
+        e.inverse(&mut v, Q).unwrap();
+        assert_eq!(v, x);
+    }
+
+    #[test]
+    fn cpu_engines_roundtrip() {
+        for df in [
+            CpuDataflow::IterativeDit,
+            CpuDataflow::Stockham,
+            CpuDataflow::FourStep,
+        ] {
+            let mut e = CpuNttEngine::new(df);
+            let x = poly(1024, Q, 2);
+            let mut v = x.clone();
+            let rep = e.forward(&mut v, Q).unwrap();
+            assert_eq!(rep.source, ReportSource::Measured);
+            e.inverse(&mut v, Q).unwrap();
+            assert_eq!(v, x, "{:?}", df);
+        }
+    }
+
+    #[test]
+    fn published_engine_reports_published_points() {
+        let mut e = PublishedModelEngine::mentt();
+        let mut v = poly(256, Q, 3);
+        let rep = e.forward(&mut v, Q).unwrap();
+        assert_eq!(rep.source, ReportSource::Published);
+        assert_eq!(rep.latency_ns, 23_000.0);
+        // MeNTT caps at 1K.
+        assert!(!e.supports(2048, Q));
+    }
+
+    #[test]
+    fn unsupported_requests_are_rejected_not_computed() {
+        let mut e = PublishedModelEngine::fpga();
+        let mut v = poly(4096, 8380417, 4);
+        let err = e.forward(&mut v, 8380417).unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn unreduced_input_is_rejected() {
+        let mut e = CpuNttEngine::golden();
+        let mut v = vec![Q; 256];
+        assert!(matches!(
+            e.forward(&mut v, Q),
+            Err(EngineError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn engines_agree_on_negacyclic_product() {
+        let n = 256;
+        let a = poly(n, Q, 5);
+        let b = poly(n, Q, 6);
+        let expect = crate::reference::naive::negacyclic_convolution(&a, &b, Q);
+        let mut cpu = CpuNttEngine::golden();
+        let mut va = a.clone();
+        cpu.negacyclic_polymul(&mut va, &b, Q).unwrap();
+        assert_eq!(va, expect);
+        let mut pim = PimDeviceEngine::hbm2e(4).unwrap();
+        let mut pa = a.clone();
+        pim.negacyclic_polymul(&mut pa, &b, Q).unwrap();
+        assert_eq!(pa, expect);
+    }
+
+    #[test]
+    fn cost_estimates_exist_for_modeled_backends() {
+        let pim = PimDeviceEngine::hbm2e(2).unwrap();
+        let est = pim.cost_estimate(1024).unwrap();
+        assert!(est.latency_ns > 0.0);
+        let mentt = PublishedModelEngine::mentt();
+        assert!(mentt.cost_estimate(512).is_some());
+        assert!(mentt.cost_estimate(4096).is_none(), "beyond max N");
+        assert!(CpuNttEngine::golden().cost_estimate(1024).is_none());
+    }
+
+    #[test]
+    fn registry_spans_all_three_backend_kinds() {
+        let engines = all_engines(2).unwrap();
+        assert!(engines.len() >= 8);
+        let n = engines.iter().filter(|e| e.caps().on_device).count();
+        assert!(n >= 5, "device-modeled backends present");
+    }
+}

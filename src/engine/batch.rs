@@ -1,0 +1,386 @@
+//! Batched, bank-parallel job execution on the PIM device.
+//!
+//! The paper's §VI.A observation — "FHE applications can naturally run
+//! multiple NTT functions using multiple banks" — generalized into an
+//! executor: hand it any number of independent forward-NTT jobs and it
+//! fans them across the chip's banks with one queue per bank, running
+//! the queues front-to-back in bank-parallel waves over the shared
+//! command bus ([`crate::core::sched::schedule_parallel`]). The merged
+//! report combines wall-clock batch latency (waves are sequential,
+//! banks within a wave concurrent), total energy, shared-bus pressure,
+//! and per-bank accounting.
+//!
+//! Jobs may use different lengths and moduli — the device is
+//! modulus-agnostic (§VI.E), which is exactly what RNS workloads need.
+
+use super::{EngineError, EngineReport, NttEngine};
+use crate::core::config::PimConfig;
+use crate::core::device::{PimDevice, PolyHandle, StoredOrder};
+use crate::core::PimError;
+use std::collections::VecDeque;
+
+/// One independent forward-NTT request: natural-order coefficients,
+/// reduced mod `q`.
+#[derive(Debug, Clone)]
+pub struct NttJob {
+    /// Natural-order input coefficients (length must be a power of two).
+    pub coeffs: Vec<u64>,
+    /// The job's modulus (odd prime, `2N | q-1`).
+    pub q: u64,
+}
+
+impl NttJob {
+    /// Builds a job.
+    pub fn new(coeffs: Vec<u64>, q: u64) -> Self {
+        Self { coeffs, q }
+    }
+
+    /// Transform length.
+    pub fn n(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// Per-bank slice of a batch report.
+#[derive(Debug, Clone, Default)]
+pub struct BankUsage {
+    /// Jobs this bank executed.
+    pub jobs: usize,
+    /// Time the bank spent executing its queue, ns (sum over waves).
+    pub busy_ns: f64,
+    /// Energy this bank consumed, nJ.
+    pub energy_nj: f64,
+}
+
+/// Merged outcome of a batch: results plus a combined latency/energy
+/// report across banks and waves.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Transformed spectra, in job order (natural coefficient order).
+    pub spectra: Vec<Vec<u64>>,
+    /// End-to-end batch latency, ns: waves run back to back, banks
+    /// within a wave run concurrently, so this is the sum over waves of
+    /// each wave's slowest bank.
+    pub latency_ns: f64,
+    /// Total energy across all banks and waves, nJ.
+    pub energy_nj: f64,
+    /// Number of bank-parallel waves the queues unrolled into.
+    pub waves: usize,
+    /// Command-bus slots issued across the whole batch (shared-bus
+    /// pressure; one slot per memory-clock cycle).
+    pub bus_slots: u64,
+    /// Rank-level row activations across the whole batch (the tRRD/tFAW
+    /// coupling between banks).
+    pub rank_acts: u64,
+    /// Per-bank accounting, indexed by bank id.
+    pub banks: Vec<BankUsage>,
+}
+
+impl BatchOutcome {
+    /// Batch latency in microseconds.
+    pub fn latency_us(&self) -> f64 {
+        self.latency_ns / 1000.0
+    }
+
+    /// Jobs per second the batch sustained.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.latency_ns <= 0.0 {
+            return 0.0;
+        }
+        self.spectra.len() as f64 / (self.latency_ns * 1e-9)
+    }
+}
+
+/// Fans independent NTT jobs across a PIM chip's banks.
+///
+/// ```
+/// use ntt_pim::core::config::PimConfig;
+/// use ntt_pim::engine::batch::{BatchExecutor, NttJob};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4))?;
+/// let q = 12289u64;
+/// let jobs: Vec<NttJob> = (0..8)
+///     .map(|j| NttJob::new((0..256).map(|i| (i * 3 + j) % q). collect(), q))
+///     .collect();
+/// let out = exec.run_forward(&jobs)?;
+/// assert_eq!(out.spectra.len(), 8);
+/// assert_eq!(out.waves, 2); // 8 jobs over 4 banks
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    device: PimDevice,
+}
+
+impl BatchExecutor {
+    /// Builds an executor over a fresh device with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: PimConfig) -> Result<Self, PimError> {
+        Ok(Self {
+            device: PimDevice::new(config)?,
+        })
+    }
+
+    /// Wraps an existing device (preserving its mapper options).
+    pub fn from_device(device: PimDevice) -> Self {
+        Self { device }
+    }
+
+    /// Number of banks jobs can fan across.
+    pub fn bank_count(&self) -> usize {
+        self.device.config().geometry.banks as usize
+    }
+
+    /// Access to the underlying device.
+    pub fn device_mut(&mut self) -> &mut PimDevice {
+        &mut self.device
+    }
+
+    /// Runs every job's forward NTT, filling per-bank queues round-robin
+    /// and draining them in bank-parallel waves.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] on malformed jobs; device errors otherwise.
+    pub fn run_forward(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
+        let banks = self.bank_count();
+        for (i, job) in jobs.iter().enumerate() {
+            let n = job.n();
+            if !n.is_power_of_two() || n < 4 {
+                return Err(EngineError::Shape {
+                    reason: format!("job {i}: length {n} is not a power of two >= 4"),
+                });
+            }
+            if job.q > u64::from(u32::MAX) {
+                return Err(EngineError::Shape {
+                    reason: format!("job {i}: q exceeds the 32-bit PIM datapath"),
+                });
+            }
+            if job.coeffs.iter().any(|&c| c >= job.q) {
+                return Err(EngineError::Shape {
+                    reason: format!("job {i}: coefficients not reduced modulo q"),
+                });
+            }
+        }
+
+        // One queue per bank, jobs dealt round-robin.
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); banks];
+        for i in 0..jobs.len() {
+            queues[i % banks].push_back(i);
+        }
+
+        let mut spectra: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
+        let mut usage: Vec<BankUsage> = vec![BankUsage::default(); banks];
+        let mut latency_ns = 0.0;
+        let mut energy_nj = 0.0;
+        let mut bus_slots = 0u64;
+        let mut rank_acts = 0u64;
+        let mut waves = 0usize;
+
+        loop {
+            // Pop at most one job per bank for this wave.
+            let wave: Vec<(usize, usize)> = queues
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(bank, q)| q.pop_front().map(|job| (bank, job)))
+                .collect();
+            if wave.is_empty() {
+                break;
+            }
+            waves += 1;
+
+            let mut handles: Vec<PolyHandle> = Vec::with_capacity(wave.len());
+            for &(bank, job) in &wave {
+                let words: Vec<u32> = jobs[job].coeffs.iter().map(|&c| c as u32).collect();
+                handles.push(self.device.load_in_bank(
+                    bank,
+                    0,
+                    &words,
+                    jobs[job].q as u32,
+                    StoredOrder::BitReversed,
+                )?);
+            }
+            let report = self.device.ntt_batch(&mut handles)?;
+            latency_ns += report.latency_ns;
+            energy_nj += report.energy_nj;
+            bus_slots += report.bus_slots;
+            rank_acts += report.rank_acts;
+            for ((&(bank, job), handle), &bank_ns) in
+                wave.iter().zip(&handles).zip(&report.per_bank_ns)
+            {
+                let out = self.device.read_polynomial(handle)?;
+                spectra[job] = out.into_iter().map(u64::from).collect();
+                usage[bank].jobs += 1;
+                usage[bank].busy_ns += bank_ns;
+            }
+            // Energy splits by bank inside the device report.
+            for (&(bank, _), &e) in wave.iter().zip(&report.per_bank_energy_nj) {
+                usage[bank].energy_nj += e;
+            }
+        }
+
+        Ok(BatchOutcome {
+            spectra,
+            latency_ns,
+            energy_nj,
+            waves,
+            bus_slots,
+            rank_acts,
+            banks: usage,
+        })
+    }
+}
+
+/// Sequential baseline: runs the same jobs one by one on any engine,
+/// summing reported latency — the yardstick bank-level parallelism is
+/// measured against.
+///
+/// # Errors
+///
+/// Propagates the engine's errors.
+pub fn run_sequential(
+    engine: &mut dyn NttEngine,
+    jobs: &[NttJob],
+) -> Result<(Vec<Vec<u64>>, EngineReport), EngineError> {
+    let mut spectra = Vec::with_capacity(jobs.len());
+    let mut total = 0.0;
+    let mut energy: Option<f64> = None;
+    let mut acts: Option<u64> = None;
+    let mut source = super::ReportSource::Measured;
+    for job in jobs {
+        let mut data = job.coeffs.clone();
+        let rep = engine.forward(&mut data, job.q)?;
+        spectra.push(data);
+        total += rep.latency_ns;
+        if let Some(e) = rep.energy_nj {
+            energy = Some(energy.unwrap_or(0.0) + e);
+        }
+        if let Some(a) = rep.activations {
+            acts = Some(acts.unwrap_or(0) + a);
+        }
+        source = rep.source;
+    }
+    Ok((
+        spectra,
+        EngineReport {
+            latency_ns: total,
+            energy_nj: energy,
+            activations: acts,
+            source,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CpuNttEngine;
+
+    const Q: u64 = 12289;
+
+    fn job(n: usize, seed: u64) -> NttJob {
+        let mut state = seed;
+        NttJob::new(
+            (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    (state >> 11) % Q
+                })
+                .collect(),
+            Q,
+        )
+    }
+
+    #[test]
+    fn batch_matches_cpu_reference_per_job() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let jobs: Vec<NttJob> = (0..6).map(|i| job(256, 100 + i)).collect();
+        let out = exec.run_forward(&jobs).unwrap();
+        assert_eq!(out.waves, 2, "6 jobs over 4 banks");
+        let mut cpu = CpuNttEngine::golden();
+        for (i, j) in jobs.iter().enumerate() {
+            let mut expect = j.coeffs.clone();
+            cpu.forward(&mut expect, j.q).unwrap();
+            assert_eq!(out.spectra[i], expect, "job {i}");
+        }
+    }
+
+    #[test]
+    fn merged_report_accounts_all_banks_and_energy() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let jobs: Vec<NttJob> = (0..8).map(|i| job(256, 200 + i)).collect();
+        let out = exec.run_forward(&jobs).unwrap();
+        assert_eq!(out.banks.len(), 4);
+        assert!(out.banks.iter().all(|b| b.jobs == 2));
+        assert!(out
+            .banks
+            .iter()
+            .all(|b| b.busy_ns > 0.0 && b.energy_nj > 0.0));
+        let bank_energy: f64 = out.banks.iter().map(|b| b.energy_nj).sum();
+        assert!((bank_energy - out.energy_nj).abs() < 1e-6 * out.energy_nj.max(1.0));
+        assert!(out.bus_slots > 0);
+        assert!(out.rank_acts >= 8, "at least one ACT per job");
+        assert!(out.throughput_jobs_per_s() > 0.0);
+    }
+
+    #[test]
+    fn mixed_moduli_jobs_coexist_in_one_batch() {
+        // RNS-style: different q per job, same batch.
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        let q2 = 7681u64; // supports N=256 (512 | 7680)
+        let mut j2 = job(256, 7);
+        j2.q = q2;
+        j2.coeffs.iter_mut().for_each(|c| *c %= q2);
+        let jobs = vec![job(256, 5), j2];
+        let out = exec.run_forward(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        for (i, j) in jobs.iter().enumerate() {
+            let mut expect = j.coeffs.clone();
+            cpu.forward(&mut expect, j.q).unwrap();
+            assert_eq!(out.spectra[i], expect, "job {i}");
+        }
+    }
+
+    #[test]
+    fn queues_overflow_into_waves() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        let jobs: Vec<NttJob> = (0..5).map(|i| job(64, 300 + i)).collect();
+        let out = exec.run_forward(&jobs).unwrap();
+        assert_eq!(out.waves, 3, "5 jobs over 2 banks: 2+2+1");
+        assert_eq!(out.banks[0].jobs, 3);
+        assert_eq!(out.banks[1].jobs, 2);
+    }
+
+    #[test]
+    fn malformed_jobs_rejected() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2)).unwrap();
+        let bad = NttJob::new(vec![1, 2, 3], Q); // not a power of two
+        assert!(matches!(
+            exec.run_forward(&[bad]),
+            Err(EngineError::Shape { .. })
+        ));
+        let unreduced = NttJob::new(vec![Q; 64], Q);
+        assert!(matches!(
+            exec.run_forward(&[unreduced]),
+            Err(EngineError::Shape { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_baseline_agrees_functionally() {
+        let jobs: Vec<NttJob> = (0..3).map(|i| job(128, 400 + i)).collect();
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let batch = exec.run_forward(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        let (seq, rep) = run_sequential(&mut cpu, &jobs).unwrap();
+        assert_eq!(batch.spectra, seq);
+        assert!(rep.latency_ns > 0.0);
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`math`] | `modmath` | Modular arithmetic, Montgomery/Barrett, primes, roots |
 //! | [`baselines`] | `pim-baselines` | Published-point models of MeNTT / CryptoPIM / x86 / FPGA |
 //! | [`fhe`] | `fhe-lite` | Toy RLWE/BFV workload generator |
+//! | [`engine`] | (this crate) | Unified [`engine::NttEngine`] trait over every backend + [`engine::batch::BatchExecutor`] for bank-parallel job batches |
 //!
 //! ## Quickstart
 //!
@@ -46,6 +47,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod engine;
 
 pub use dram_sim as dram;
 pub use fhe_lite as fhe;

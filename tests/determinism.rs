@@ -42,7 +42,11 @@ fn device_runs_are_reproducible() {
         let poly: Vec<u32> = (0..1024u32).map(|i| i.wrapping_mul(97) % Q).collect();
         let mut h = dev.load_polynomial_bitrev(0, &poly, Q).unwrap();
         let rep = dev.ntt_in_place(&mut h, NttDirection::Forward).unwrap();
-        (rep.latency_ns(), rep.activations(), dev.read_polynomial(&h).unwrap())
+        (
+            rep.latency_ns(),
+            rep.activations(),
+            dev.read_polynomial(&h).unwrap(),
+        )
     };
     let (l1, a1, v1) = run();
     let (l2, a2, v2) = run();

@@ -26,7 +26,8 @@ fn forward_ntt_matches_software_across_sizes_and_moduli() {
         let mut dev = PimDevice::new(PimConfig::hbm2e(4)).expect("valid config");
         let x = poly(n, q, n as u64);
         let mut h = dev.load_polynomial_bitrev(0, &x, q).expect("load");
-        dev.ntt_in_place(&mut h, NttDirection::Forward).expect("ntt");
+        dev.ntt_in_place(&mut h, NttDirection::Forward)
+            .expect("ntt");
         let got = dev.read_polynomial(&h).expect("read");
 
         // Software reference through the same ω-derivation path.

@@ -71,16 +71,26 @@ fn frequency_tolerance() {
         let c = PimConfig::hbm2e(2).with_cu_clock_mhz(1200);
         let layout = PolyLayout::new(&c, 0, n).unwrap();
         let omega = ntt_pim::math::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
-        let p = map_ntt(&c, &layout, &NttParams { q: Q, omega }, &MapperOptions::default())
-            .unwrap();
+        let p = map_ntt(
+            &c,
+            &layout,
+            &NttParams { q: Q, omega },
+            &MapperOptions::default(),
+        )
+        .unwrap();
         schedule(&c, &p).unwrap().latency_ns()
     };
     let slow = {
         let c = PimConfig::hbm2e(2).with_cu_clock_mhz(300);
         let layout = PolyLayout::new(&c, 0, n).unwrap();
         let omega = ntt_pim::math::prime::root_of_unity(n as u64, Q as u64).unwrap() as u32;
-        let p = map_ntt(&c, &layout, &NttParams { q: Q, omega }, &MapperOptions::default())
-            .unwrap();
+        let p = map_ntt(
+            &c,
+            &layout,
+            &NttParams { q: Q, omega },
+            &MapperOptions::default(),
+        )
+        .unwrap();
         schedule(&c, &p).unwrap().latency_ns()
     };
     let ratio = slow / fast;
@@ -172,7 +182,9 @@ fn bank_parallelism_near_linear() {
     )
     .unwrap();
     let one = schedule(&config, &program).unwrap().end_ps;
-    let eight = schedule_parallel(&config, &vec![program; 8]).unwrap().end_ps;
+    let eight = schedule_parallel(&config, &vec![program; 8])
+        .unwrap()
+        .end_ps;
     let speedup = 8.0 * one as f64 / eight as f64;
     assert!(speedup > 6.0, "8-bank speedup only {speedup:.2}x");
 }
