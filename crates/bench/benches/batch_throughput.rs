@@ -1,10 +1,12 @@
 //! Throughput of batched, bank-parallel NTT execution through the
 //! unified engine layer: `BatchExecutor` fanning a fixed 16-job batch
-//! across 1, 4, and 16 banks, plus the sequential CPU yardstick via the
-//! same `NttEngine` trait.
+//! across 1, 4, and 16 banks; the scheduling-policy comparison on a
+//! skewed mixed-size batch (LPT bin-packing + async drain vs round-robin
+//! waves); and the sequential CPU yardstick via the same `NttEngine`
+//! trait.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ntt_pim::engine::batch::{run_sequential, BatchExecutor, NttJob};
+use ntt_pim::engine::batch::{run_sequential, BatchExecutor, NttJob, SchedulePolicy};
 use ntt_pim::engine::CpuNttEngine;
 use ntt_pim_core::config::PimConfig;
 
@@ -19,6 +21,23 @@ fn jobs(n: usize) -> Vec<NttJob> {
                     .map(|i| (i.wrapping_mul(2654435761) ^ j) % Q)
                     .collect(),
                 Q,
+            )
+        })
+        .collect()
+}
+
+/// The ISSUE's skewed RNS-style batch: 12 jobs alternating N=256 and
+/// N=4096 (q supports both: 2^13 | q-1).
+fn skewed_jobs() -> Vec<NttJob> {
+    const QS: u64 = 8_380_417;
+    (0..12u64)
+        .map(|j| {
+            let n = if j % 2 == 0 { 256u64 } else { 4096 };
+            NttJob::new(
+                (0..n)
+                    .map(|i| (i.wrapping_mul(2654435761) ^ j) % QS)
+                    .collect(),
+                QS,
             )
         })
         .collect()
@@ -43,6 +62,35 @@ fn bench_batch_across_banks(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scheduling-policy face-off on the skewed batch (12 jobs, N ∈ {256,
+/// 4096}, 4 banks). Criterion times the host-side simulation; the
+/// *simulated* batch latency — the number the policies actually compete
+/// on — is printed once per policy so the speedup is measured, not
+/// asserted (the regression test lives in `tests/batch_scheduler.rs`).
+fn bench_skewed_schedule_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput/skewed_12jobs_n256_n4096_4banks");
+    group.sample_size(10);
+    let batch = skewed_jobs();
+    for (label, policy) in [
+        ("lpt", SchedulePolicy::Lpt),
+        ("round-robin", SchedulePolicy::RoundRobin),
+    ] {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4))
+            .unwrap()
+            .with_policy(policy);
+        let modeled = exec.run(&batch).unwrap();
+        println!(
+            "skewed batch, {label:>11}: simulated latency {:>9.2} µs, {} waves",
+            modeled.latency_us(),
+            modeled.waves
+        );
+        group.bench_with_input(BenchmarkId::new("policy", label), &(), |b, ()| {
+            b.iter(|| exec.run(&batch).unwrap().latency_ns)
+        });
+    }
+    group.finish();
+}
+
 fn bench_sequential_cpu_yardstick(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_throughput/sequential_cpu");
     group.sample_size(10);
@@ -61,6 +109,7 @@ fn bench_sequential_cpu_yardstick(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_batch_across_banks,
+    bench_skewed_schedule_policies,
     bench_sequential_cpu_yardstick
 );
 criterion_main!(benches);

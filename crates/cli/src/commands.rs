@@ -23,7 +23,7 @@ COMMANDS:
     trace    dump the DRAM command trace of one NTT (textual format)
     verify   functional verification against the software reference
     polymul  on-device negacyclic polynomial product
-    batch    fan --jobs NTTs across --banks banks (per-bank queues)
+    batch    schedule --jobs NTTs across --banks banks (per-bank queues)
     help     show this message
 
 COMMON OPTIONS:
@@ -35,6 +35,13 @@ COMMON OPTIONS:
     --banks <k>      number of banks (sweep/batch)         [default: 1]
     --nb <a,b,c>     (sweep) list of buffer counts         [default: 1,2,4,6]
     --lengths <...>  (sweep) list of lengths               [default: 256..8192]
+
+BATCH OPTIONS:
+    --jobs <k>       number of independent NTT jobs        [default: 16]
+    --schedule <p>   lpt (cost-model bin-packing, async drain)
+                     or round-robin (barrier waves)        [default: lpt]
+    --lengths <...>  job lengths, cycled over the batch
+                     (mixed sizes show the LPT gain)       [default: --n]
 ";
 
 /// Dispatches a parsed command line.
@@ -216,7 +223,7 @@ fn polymul(args: &ParsedArgs) -> Result<String, CliError> {
     let a = test_poly(n, q);
     let b: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % q).collect();
     let ha = dev.load_polynomial(0, &a, q)?;
-    let hb = dev.load_polynomial(n.max(256), &b, q)?;
+    let hb = dev.load_polynomial(config.polymul_rhs_base(n), &b, q)?;
     let rep = dev.polymul_negacyclic(&ha, &hb)?;
     // Spot-check against the schoolbook product.
     let got = dev.read_polynomial(&ha)?;
@@ -236,7 +243,7 @@ fn polymul(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn batch(args: &ParsedArgs) -> Result<String, CliError> {
-    use ntt_pim::engine::batch::{BatchExecutor, NttJob};
+    use ntt_pim::engine::batch::{BatchExecutor, NttJob, SchedulePolicy};
     use ntt_pim::engine::{CpuNttEngine, NttEngine};
 
     let n: usize = args.get_or("n", 1024)?;
@@ -247,7 +254,12 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     let banks: u32 = args.get_or("banks", 16)?;
     let nb: usize = args.get_or("nb", 2)?;
     let clock: u32 = args.get_or("clock", 1200)?;
-    let q = modulus_for(args, n)?;
+    let policy: SchedulePolicy = args.get_or("schedule", SchedulePolicy::Lpt)?;
+    // Mixed-size batches (the RNS workload): job j gets lengths[j % len].
+    let lengths: Vec<usize> = args.get_list_or("lengths", vec![n])?;
+    if lengths.is_empty() {
+        return Err(CliError::usage("--lengths must name at least one length"));
+    }
     let config = PimConfig::hbm2e(nb)
         .with_cu_clock_mhz(clock)
         .with_banks(banks)
@@ -257,52 +269,64 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     // One job per seed; all independent (the RNS/FHE pattern).
     let jobs: Vec<NttJob> = (0..jobs_n)
         .map(|j| {
-            NttJob::new(
-                (0..n as u64)
+            let nj = lengths[j % lengths.len()];
+            let q = modulus_for(args, nj)?;
+            Ok(NttJob::new(
+                (0..nj as u64)
                     .map(|i| (i.wrapping_mul(2654435761) ^ j as u64) % q as u64)
                     .collect(),
                 q as u64,
-            )
+            ))
         })
-        .collect();
+        .collect::<Result<_, CliError>>()?;
 
-    let mut exec = BatchExecutor::new(config).map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut exec = BatchExecutor::new(config)
+        .map_err(|e| CliError::runtime(e.to_string()))?
+        .with_policy(policy);
+    // Sequential yardstick: the scheduler's own memoized per-job cost
+    // estimates (single-bank simulated latency), summed.
+    let sequential_ns: f64 = exec
+        .plan(&jobs)
+        .map_err(|e| CliError::runtime(e.to_string()))?
+        .costs
+        .iter()
+        .sum();
     let out = exec
-        .run_forward(&jobs)
+        .run(&jobs)
         .map_err(|e| CliError::runtime(e.to_string()))?;
 
     // Spot-check the first spectrum against the CPU golden engine.
     let mut golden = CpuNttEngine::golden();
     let mut expect = jobs[0].coeffs.clone();
     golden
-        .forward(&mut expect, q as u64)
+        .forward(&mut expect, jobs[0].q)
         .map_err(|e| CliError::runtime(e.to_string()))?;
     if out.spectra[0] != expect {
         return Err(CliError::runtime("batch verification FAILED".to_string()));
     }
 
-    // Sequential yardstick: one NTT's simulated latency times the count
-    // (timing is modulus-independent, so the engine's cost model applies).
-    let single_ns = ntt_pim::engine::pim_cost_estimate(&config, &MapperOptions::default(), n)
-        .ok_or_else(|| CliError::runtime(format!("no cost model point for N={n}")))?
-        .latency_ns;
-
+    let lengths_str = lengths
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let mut outp = String::new();
     let _ = writeln!(
         outp,
-        "batched NTTs  N={n}  q={q}  jobs={jobs_n}  banks={banks}  Nb={nb}"
+        "batched NTTs  lengths={lengths_str}  jobs={jobs_n}  banks={banks}  Nb={nb}"
     );
+    let _ = writeln!(outp, "  schedule       : {:>12}", policy.to_string());
     let _ = writeln!(outp, "  waves          : {:>12}", out.waves);
     let _ = writeln!(outp, "  batch latency  : {:>12.2} µs", out.latency_us());
     let _ = writeln!(
         outp,
-        "  sequential     : {:>12.2} µs ({jobs_n} x one NTT)",
-        jobs_n as f64 * single_ns / 1000.0
+        "  sequential     : {:>12.2} µs ({jobs_n} jobs, one bank)",
+        sequential_ns / 1000.0
     );
     let _ = writeln!(
         outp,
         "  speedup        : {:>11.2}x",
-        jobs_n as f64 * single_ns / out.latency_ns
+        sequential_ns / out.latency_ns
     );
     let _ = writeln!(outp, "  energy         : {:>12.2} nJ", out.energy_nj);
     let _ = writeln!(outp, "  bus slots      : {:>12}", out.bus_slots);
@@ -386,6 +410,25 @@ mod tests {
         assert!(run_line("batch --n 256 --jobs 0 --banks 2").is_err());
         assert!(run_line("batch --n 256 --jobs 2 --banks 0").is_err());
         assert!(run_line("batch --n 1000 --jobs 2 --banks 2").is_err());
+        assert!(run_line("batch --n 256 --jobs 2 --banks 2 --schedule frob").is_err());
+    }
+
+    #[test]
+    fn batch_supports_both_scheduling_policies() {
+        let lpt = run_line("batch --jobs 4 --banks 2 --lengths 64,256 --schedule lpt").unwrap();
+        assert!(lpt.contains("schedule       :          lpt"), "{lpt}");
+        assert!(lpt.contains("verification   : OK"));
+        let rr =
+            run_line("batch --jobs 4 --banks 2 --lengths 64,256 --schedule round-robin").unwrap();
+        assert!(rr.contains("schedule       :  round-robin"), "{rr}");
+        assert!(rr.contains("verification   : OK"));
+    }
+
+    #[test]
+    fn batch_defaults_to_lpt_and_cycles_mixed_lengths() {
+        let out = run_line("batch --jobs 4 --banks 4 --lengths 64,128").unwrap();
+        assert!(out.contains("lengths=64,128"), "{out}");
+        assert!(out.contains("schedule       :          lpt"), "{out}");
     }
 
     #[test]

@@ -171,6 +171,15 @@ impl PimConfig {
         self.row_words().trailing_zeros()
     }
 
+    /// Base word for the second operand of a length-`n` polynomial
+    /// product when the first sits at word 0: the next row-aligned
+    /// region (multi-atom layouts must start on a row boundary, and the
+    /// operands must not overlap). The single source of this placement
+    /// rule for every polymul caller.
+    pub fn polymul_rhs_base(&self, n: usize) -> usize {
+        n.max(self.row_words())
+    }
+
     /// Picoseconds per CU-clock cycle.
     pub fn cu_cycle_ps(&self) -> u64 {
         dram_sim::timing::ps_per_cycle(self.cu_clock_mhz)

@@ -68,6 +68,18 @@ impl PolyHandle {
     pub fn order(&self) -> StoredOrder {
         self.order
     }
+
+    /// Overrides the recorded storage order.
+    ///
+    /// For callers that drive mapped programs manually through
+    /// [`PimDevice::build_ntt_program`] + [`PimDevice::execute_program`]:
+    /// executing a transform program changes the memory image's ordering,
+    /// and the handle's bookkeeping must follow (a forward DIT program
+    /// turns bit-reversed storage natural; an inverse DIF program does
+    /// the opposite). [`PimDevice::ntt_in_place`] does this automatically.
+    pub fn assume_order(&mut self, order: StoredOrder) {
+        self.order = order;
+    }
 }
 
 /// Timing/energy/accounting result of one device request.
@@ -129,6 +141,48 @@ pub struct BatchReport {
     pub bus_slots: u64,
     /// Rank-level activations (tRRD/tFAW-coupled across banks).
     pub rank_acts: u64,
+}
+
+/// Result of a per-bank job-queue request ([`PimDevice::schedule_queues`]):
+/// banks drain their queues asynchronously — each advances to its next job
+/// as soon as the previous finishes — coupled only through the shared
+/// command bus and the rank's tRRD/tFAW window, never a full-chip barrier.
+#[derive(Debug, Clone)]
+pub struct QueueReport {
+    /// Per-bank completion times, ns (indexed by bank id).
+    pub per_bank_ns: Vec<f64>,
+    /// Per-bank energy, nJ (same order as `per_bank_ns`).
+    pub per_bank_energy_nj: Vec<f64>,
+    /// Completion time of each queued job, ns, measured from batch start:
+    /// `job_end_ns[b][j]` is when bank `b` finished its `j`-th job.
+    pub job_end_ns: Vec<Vec<f64>>,
+    /// Batch latency (slowest bank), ns.
+    pub latency_ns: f64,
+    /// Total energy across banks, nJ.
+    pub energy_nj: f64,
+    /// Shared command-bus slots the batch consumed.
+    pub bus_slots: u64,
+    /// Rank-level activations (tRRD/tFAW-coupled across banks).
+    pub rank_acts: u64,
+}
+
+impl QueueReport {
+    fn from_queues(qt: &sched::QueueTimeline) -> Self {
+        let per_bank_energy_nj: Vec<f64> = qt.banks.iter().map(|t| t.energy.total_nj()).collect();
+        Self {
+            per_bank_ns: qt.banks.iter().map(|t| t.latency_ns()).collect(),
+            energy_nj: per_bank_energy_nj.iter().sum(),
+            per_bank_energy_nj,
+            job_end_ns: qt
+                .job_end_ps
+                .iter()
+                .map(|ends| ends.iter().map(|&ps| ps as f64 / 1000.0).collect())
+                .collect(),
+            latency_ns: qt.latency_ns(),
+            bus_slots: qt.bus_slots,
+            rank_acts: qt.rank_acts,
+        }
+    }
 }
 
 impl BatchReport {
@@ -269,6 +323,64 @@ impl PimDevice {
         Ok(data)
     }
 
+    /// Maps the full command program of one NTT request without
+    /// scheduling or executing it — the building block for queue-based
+    /// batch execution, where programs from many requests are timed
+    /// together via [`Self::schedule_queues`] and executed via
+    /// [`Self::execute_program`].
+    ///
+    /// *Forward* expects bit-reversed storage and leaves a natural-order
+    /// spectrum; *inverse* expects natural storage, leaves a bit-reversed
+    /// result, and includes the `N⁻¹` scaling pass. The handle's order
+    /// bookkeeping is *not* updated here (nothing ran yet); callers
+    /// executing the program manually use [`PolyHandle::assume_order`].
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] when the stored order does not match the
+    /// direction; math errors when `q` lacks the needed root of unity.
+    pub fn build_ntt_program(
+        &self,
+        handle: &PolyHandle,
+        dir: NttDirection,
+    ) -> Result<Program, PimError> {
+        let n = handle.n();
+        let omega = modmath::prime::root_of_unity(n as u64, handle.q as u64)? as u32;
+        let params = NttParams { q: handle.q, omega };
+        match dir {
+            NttDirection::Forward => {
+                if handle.order != StoredOrder::BitReversed {
+                    return Err(PimError::BadRegion {
+                        reason: "forward NTT expects bit-reversed storage".into(),
+                    });
+                }
+                let opts = MapperOptions {
+                    dataflow: Dataflow::DitFromBitrev,
+                    inverse: false,
+                    ..self.opts
+                };
+                mapper::map_ntt(&self.config, &handle.layout, &params, &opts)
+            }
+            NttDirection::Inverse => {
+                if handle.order != StoredOrder::Natural {
+                    return Err(PimError::BadRegion {
+                        reason: "inverse NTT expects natural storage".into(),
+                    });
+                }
+                let opts = MapperOptions {
+                    dataflow: Dataflow::DifToBitrev,
+                    inverse: true,
+                    ..self.opts
+                };
+                let mut program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
+                let n_inv = modmath::arith::inv_mod(n as u64, handle.q as u64)? as u32;
+                let scale = mapper::map_scale(&self.config, &handle.layout, handle.q, n_inv, 1)?;
+                program.commands.extend(scale.commands);
+                Ok(program)
+            }
+        }
+    }
+
     /// Executes an NTT request on the polynomial, in place.
     ///
     /// *Forward* expects bit-reversed storage (see
@@ -282,44 +394,42 @@ impl PimDevice {
     /// [`PimError::BadRegion`] when the stored order does not match the
     /// direction; math errors when `q` lacks the needed root of unity.
     pub fn ntt(&mut self, handle: &PolyHandle, dir: NttDirection) -> Result<NttReport, PimError> {
-        let n = handle.n();
-        let omega = modmath::prime::root_of_unity(n as u64, handle.q as u64)? as u32;
-        let params = NttParams { q: handle.q, omega };
-        let mut program;
-        match dir {
-            NttDirection::Forward => {
-                if handle.order != StoredOrder::BitReversed {
-                    return Err(PimError::BadRegion {
-                        reason: "forward NTT expects bit-reversed storage".into(),
-                    });
-                }
-                let opts = MapperOptions {
-                    dataflow: Dataflow::DitFromBitrev,
-                    inverse: false,
-                    ..self.opts
-                };
-                program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
-            }
-            NttDirection::Inverse => {
-                if handle.order != StoredOrder::Natural {
-                    return Err(PimError::BadRegion {
-                        reason: "inverse NTT expects natural storage".into(),
-                    });
-                }
-                let opts = MapperOptions {
-                    dataflow: Dataflow::DifToBitrev,
-                    inverse: true,
-                    ..self.opts
-                };
-                program = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
-                let n_inv = modmath::arith::inv_mod(n as u64, handle.q as u64)? as u32;
-                let scale = mapper::map_scale(&self.config, &handle.layout, handle.q, n_inv, 1)?;
-                program.commands.extend(scale.commands);
-            }
-        }
+        let program = self.build_ntt_program(handle, dir)?;
         let timeline = sched::schedule(&self.config, &program)?;
         self.banks[handle.bank].execute(&program)?;
         Ok(NttReport::from_parts(timeline, &program))
+    }
+
+    /// Functionally executes a mapped program in `bank` (no timing).
+    ///
+    /// Pairs with [`Self::build_ntt_program`] / [`Self::polymul_program`]
+    /// and [`Self::schedule_queues`] for batch workloads where many
+    /// programs are timed together but values must still be computed.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadConfig`] for a bad bank index; functional-simulation
+    /// errors otherwise.
+    pub fn execute_program(&mut self, bank: usize, program: &Program) -> Result<(), PimError> {
+        let Some(sim) = self.banks.get_mut(bank) else {
+            return Err(PimError::BadConfig {
+                reason: format!("bank {bank} out of range ({} banks)", self.banks.len()),
+            });
+        };
+        sim.execute(program)
+    }
+
+    /// Times one program queue per bank over the shared command bus, with
+    /// banks draining asynchronously (no cross-bank barrier) — see
+    /// [`crate::sched::schedule_queues`]. Timing only: pair with
+    /// [`Self::execute_program`] for the values.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadConfig`] when more queues than banks are supplied.
+    pub fn schedule_queues(&self, queues: &[Vec<Program>]) -> Result<QueueReport, PimError> {
+        let qt = sched::schedule_queues(&self.config, queues)?;
+        Ok(QueueReport::from_queues(&qt))
     }
 
     /// Completes the in-place update of the handle's order after
@@ -372,9 +482,16 @@ impl PimDevice {
     }
 
     /// Builds the fused negacyclic-polymul program for one operand pair
-    /// (shared by [`Self::polymul_negacyclic`] and
-    /// [`Self::polymul_batch`]).
-    fn polymul_program(&self, a: &PolyHandle, b: &PolyHandle) -> Result<Program, PimError> {
+    /// without scheduling or executing it — shared by
+    /// [`Self::polymul_negacyclic`] and [`Self::polymul_batch`], and the
+    /// polymul counterpart of [`Self::build_ntt_program`] for queue-based
+    /// batch execution.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] on mismatched operands; math errors when
+    /// `q` lacks a `2N`-th root of unity.
+    pub fn polymul_program(&self, a: &PolyHandle, b: &PolyHandle) -> Result<Program, PimError> {
         if a.bank != b.bank || a.q != b.q || a.n() != b.n() {
             return Err(PimError::BadRegion {
                 reason: "polymul operands must share bank, modulus, and length".into(),
@@ -665,6 +782,49 @@ mod tests {
         let ha = dev.load_in_bank(0, 0, &a, Q, StoredOrder::Natural).unwrap();
         let hb = dev.load_in_bank(1, 0, &a, Q, StoredOrder::Natural).unwrap();
         assert!(dev.polymul_batch(&[(ha, hb)]).is_err());
+    }
+
+    #[test]
+    fn queue_primitives_compose_into_async_batches() {
+        // Bank 0 runs two forward NTTs back to back, bank 1 one; programs
+        // execute functionally as they are built, then one queue schedule
+        // times the whole batch without a wave barrier.
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        let n = 256;
+        let mut queues: Vec<Vec<crate::mapper::Program>> = vec![Vec::new(); 2];
+        let mut spectra = Vec::new();
+        for (bank, seed) in [(0usize, 1u64), (0, 2), (1, 3)] {
+            let x = poly(n, seed);
+            let mut h = dev
+                .load_in_bank(bank, 0, &x, Q, StoredOrder::BitReversed)
+                .unwrap();
+            let program = dev.build_ntt_program(&h, NttDirection::Forward).unwrap();
+            dev.execute_program(bank, &program).unwrap();
+            h.assume_order(StoredOrder::Natural);
+            let got = dev.read_polynomial(&h).unwrap();
+            // Same request through the one-shot path agrees.
+            let mut single = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+            let mut hs = single.load_polynomial_bitrev(0, &x, Q).unwrap();
+            single.ntt_in_place(&mut hs, NttDirection::Forward).unwrap();
+            assert_eq!(got, single.read_polynomial(&hs).unwrap(), "seed {seed}");
+            spectra.push(got);
+            queues[bank].push(program);
+        }
+        let report = dev.schedule_queues(&queues).unwrap();
+        assert_eq!(report.job_end_ns[0].len(), 2);
+        assert_eq!(report.job_end_ns[1].len(), 1);
+        assert!(report.job_end_ns[0][0] < report.job_end_ns[0][1]);
+        assert!(report.latency_ns >= report.per_bank_ns[1]);
+        assert!(report.energy_nj > 0.0 && report.bus_slots > 0 && report.rank_acts >= 3);
+    }
+
+    #[test]
+    fn execute_program_rejects_bad_bank() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let x = poly(64, 1);
+        let h = dev.load_polynomial_bitrev(0, &x, Q).unwrap();
+        let program = dev.build_ntt_program(&h, NttDirection::Forward).unwrap();
+        assert!(dev.execute_program(7, &program).is_err());
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //! [`schedule_parallel`] runs one program per bank with a *shared* command
 //! bus (banks have private rows, buffers and CUs, but commands serialize on
 //! the bus) — the paper's bank-level parallelism model (§VI.A, §VII).
+//!
+//! [`schedule_queues`] generalizes that to one program *sequence* per bank:
+//! each bank drains its queue back to back and advances to its next program
+//! as soon as the previous one finishes, with no cross-bank barrier — only
+//! the shared command bus and the rank's tRRD/tFAW window couple the banks.
+//! [`lpt_assign`] is the matching longest-processing-time bin-packing
+//! helper that builds balanced queues from per-job cost estimates.
 
 use crate::cmd::{BufId, PimCommand};
 use crate::config::PimConfig;
@@ -89,6 +96,36 @@ pub struct ParallelTimeline {
     pub bus_slots: u64,
     /// Rank-level activation count (tRRD/tFAW-coupled, across banks).
     pub rank_acts: u64,
+}
+
+/// A multi-bank queue schedule: one program *sequence* per bank, drained
+/// asynchronously over the shared command bus (see [`schedule_queues`]).
+#[derive(Debug, Clone)]
+pub struct QueueTimeline {
+    /// Per-bank timelines (one per queue, in queue order). Each timeline
+    /// spans the bank's *whole queue* — its events and `logical_issue_ps`
+    /// concatenate every queued program (plus the inter-program row
+    /// close), so [`Timeline::phase_breakdown`] is only meaningful
+    /// against a single-program queue's program; use `job_end_ps` for
+    /// per-program boundaries instead.
+    pub banks: Vec<Timeline>,
+    /// Completion time of each queued program, ps: `job_end_ps[b][j]` is
+    /// when bank `b` finished its `j`-th program (all of its commands'
+    /// effects complete), measured from batch start.
+    pub job_end_ps: Vec<Vec<u64>>,
+    /// Completion of the slowest bank, ps.
+    pub end_ps: u64,
+    /// Shared-bus slots issued across all banks.
+    pub bus_slots: u64,
+    /// Rank-level activation count (tRRD/tFAW-coupled, across banks).
+    pub rank_acts: u64,
+}
+
+impl QueueTimeline {
+    /// Latency of the slowest bank in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.end_ps as f64 / 1000.0
+    }
 }
 
 impl ParallelTimeline {
@@ -598,12 +635,49 @@ pub fn schedule_parallel(
     config: &PimConfig,
     programs: &[Program],
 ) -> Result<ParallelTimeline, PimError> {
+    let queues: Vec<Vec<&Program>> = programs.iter().map(|p| vec![p]).collect();
+    let qt = schedule_multi(config, &queues)?;
+    Ok(ParallelTimeline {
+        banks: qt.banks,
+        end_ps: qt.end_ps,
+        bus_slots: qt.bus_slots,
+        rank_acts: qt.rank_acts,
+    })
+}
+
+/// Schedules one program *queue* per bank over the shared command bus.
+///
+/// Each bank runs its queue front to back and starts its next program the
+/// moment the previous one's commands have drained — there is no
+/// wave/barrier synchronization across banks; only bus slots and the
+/// rank's tRRD/tFAW window couple them. This is the timing primitive
+/// behind cost-model-driven batch scheduling: skewed queues let fast
+/// banks race ahead instead of idling at a full-chip barrier.
+///
+/// `queues[b]` is bank `b`'s program sequence (may be empty).
+///
+/// # Errors
+///
+/// [`PimError::BadConfig`] when more queues than banks are supplied;
+/// otherwise as [`schedule`].
+pub fn schedule_queues(
+    config: &PimConfig,
+    queues: &[Vec<Program>],
+) -> Result<QueueTimeline, PimError> {
+    let borrowed: Vec<Vec<&Program>> = queues.iter().map(|q| q.iter().collect()).collect();
+    schedule_multi(config, &borrowed)
+}
+
+/// Shared issue loop of [`schedule_parallel`] and [`schedule_queues`]:
+/// round-robin command interleave across banks, one stateful engine per
+/// bank, program-boundary completion times recorded per queue.
+fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueTimeline, PimError> {
     config.validate()?;
-    if programs.len() > config.geometry.banks as usize {
+    if queues.len() > config.geometry.banks as usize {
         return Err(PimError::BadConfig {
             reason: format!(
-                "{} programs for {} banks",
-                programs.len(),
+                "{} program queues for {} banks",
+                queues.len(),
                 config.geometry.banks
             ),
         });
@@ -614,16 +688,46 @@ pub fn schedule_parallel(
     let mut bus = dram_sim::chip::FairBus::new(resolved.cycle_ps);
     // Banks share the rank: tRRD/tFAW couple their activations.
     let mut rank = RankTimer::new(&resolved);
-    let mut engines: Vec<Engine> = programs.iter().map(|_| Engine::new(config)).collect();
-    let mut pcs = vec![0usize; programs.len()];
+    let mut engines: Vec<Engine> = queues.iter().map(|_| Engine::new(config)).collect();
+    let mut prog_idx = vec![0usize; queues.len()];
+    let mut cmd_idx = vec![0usize; queues.len()];
+    let mut seen_events = vec![0usize; queues.len()];
+    let mut max_end = vec![0u64; queues.len()];
+    let mut job_end_ps: Vec<Vec<u64>> =
+        queues.iter().map(|q| Vec::with_capacity(q.len())).collect();
     loop {
         let mut progressed = false;
-        for (b, prog) in programs.iter().enumerate() {
-            if pcs[b] < prog.commands.len() {
-                engines[b].issue(&prog.commands[pcs[b]], &mut bus, &mut rank)?;
-                pcs[b] += 1;
-                progressed = true;
+        for b in 0..queues.len() {
+            // Empty programs complete instantly at the bank's current
+            // completion front.
+            while prog_idx[b] < queues[b].len() && queues[b][prog_idx[b]].commands.is_empty() {
+                job_end_ps[b].push(max_end[b]);
+                prog_idx[b] += 1;
             }
+            if prog_idx[b] >= queues[b].len() {
+                continue;
+            }
+            let prog = queues[b][prog_idx[b]];
+            engines[b].issue(&prog.commands[cmd_idx[b]], &mut bus, &mut rank)?;
+            cmd_idx[b] += 1;
+            for e in &engines[b].events[seen_events[b]..] {
+                max_end[b] = max_end[b].max(e.end_ps);
+            }
+            seen_events[b] = engines[b].events.len();
+            if cmd_idx[b] == prog.commands.len() {
+                job_end_ps[b].push(max_end[b]);
+                prog_idx[b] += 1;
+                cmd_idx[b] = 0;
+                // Between queued jobs the host stages the next job's data
+                // into the bank, so the open row must not carry over:
+                // close it, and let the next program pay its own ACT.
+                // (Nothing follows on this bank → no row to hand over.)
+                if prog_idx[b] < queues[b].len() {
+                    engines[b].issue_inner(&PimCommand::Pre, &mut bus, &mut rank)?;
+                    seen_events[b] = engines[b].events.len();
+                }
+            }
+            progressed = true;
         }
         if !progressed {
             break;
@@ -631,12 +735,51 @@ pub fn schedule_parallel(
     }
     let banks: Vec<Timeline> = engines.into_iter().map(Engine::finish).collect();
     let end_ps = banks.iter().map(|t| t.end_ps).max().unwrap_or(0);
-    Ok(ParallelTimeline {
+    Ok(QueueTimeline {
         banks,
+        job_end_ps,
         end_ps,
         bus_slots: bus.issued(),
         rank_acts: rank.total_acts(),
     })
+}
+
+/// Longest-processing-time-first bin packing: jobs are taken in
+/// descending `costs` order and each is appended to the currently
+/// least-loaded of `banks` queues. Returns per-bank job-index queues.
+///
+/// The classic LPT guarantee applies: the heaviest bank's load is at most
+/// `total/banks + max(costs)` — within one job of the trivial lower
+/// bound on the optimal makespan. Ties (equal costs, equal loads) break
+/// toward lower indices, so the assignment is deterministic.
+///
+/// # Panics
+///
+/// Panics when `banks` is zero.
+pub fn lpt_assign(costs: &[f64], banks: usize) -> Vec<Vec<usize>> {
+    assert!(banks > 0, "cannot assign jobs to zero banks");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); banks];
+    let mut load = vec![0.0f64; banks];
+    for job in order {
+        let bank = (0..banks)
+            .min_by(|&a, &b| {
+                load[a]
+                    .partial_cmp(&load[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            })
+            .expect("banks > 0");
+        queues[bank].push(job);
+        load[bank] += costs[job].max(0.0);
+    }
+    queues
 }
 
 #[cfg(test)]
@@ -825,5 +968,93 @@ mod tests {
         let c = PimConfig::hbm2e(2); // 1 bank
         let prog = program(&c, 256, MapperOptions::default());
         assert!(schedule_parallel(&c, &vec![prog; 2]).is_err());
+    }
+
+    #[test]
+    fn queues_drain_asynchronously_without_wave_barriers() {
+        let c = PimConfig::hbm2e(2).with_banks(2);
+        let small = program(&c, 256, MapperOptions::default());
+        let big = program(&c, 2048, MapperOptions::default());
+        // Bank 0 runs three small programs, bank 1 one big program.
+        let queues = vec![vec![small.clone(), small.clone(), small.clone()], vec![big]];
+        let qt = schedule_queues(&c, &queues).unwrap();
+        assert_eq!(qt.job_end_ps[0].len(), 3);
+        assert_eq!(qt.job_end_ps[1].len(), 1);
+        // Per-queue completion times are nondecreasing and end at the
+        // bank's timeline end.
+        assert!(qt.job_end_ps[0].windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*qt.job_end_ps[0].last().unwrap(), qt.banks[0].end_ps);
+        // Bank 0 must NOT be stretched to bank 1's pace: its three small
+        // transforms finish well before the big one (a wave-barrier model
+        // would charge it 3x the big program's latency).
+        assert!(qt.banks[0].end_ps < qt.banks[1].end_ps);
+        assert_eq!(qt.end_ps, qt.banks[1].end_ps);
+        // And the combined trace stays protocol-legal.
+        let all: Vec<_> = qt
+            .banks
+            .iter()
+            .enumerate()
+            .flat_map(|(b, tl)| {
+                tl.bank_trace().into_iter().map(move |mut e| {
+                    e.bank = b as u32;
+                    e
+                })
+            })
+            .collect();
+        let mut sorted = all;
+        sorted.sort_by_key(|e| e.at_ps);
+        validate_trace(c.timing.resolve(), c.geometry, &sorted)
+            .unwrap_or_else(|(i, e)| panic!("entry {i}: {e}"));
+    }
+
+    #[test]
+    fn queue_schedule_matches_parallel_for_single_program_queues() {
+        let c = PimConfig::hbm2e(2).with_banks(4);
+        let prog = program(&c, 512, MapperOptions::default());
+        let par = schedule_parallel(&c, &vec![prog.clone(); 4]).unwrap();
+        let qt = schedule_queues(&c, &vec![vec![prog]; 4]).unwrap();
+        assert_eq!(qt.end_ps, par.end_ps);
+        assert_eq!(qt.bus_slots, par.bus_slots);
+        assert_eq!(qt.rank_acts, par.rank_acts);
+    }
+
+    #[test]
+    fn queue_schedule_tolerates_empty_queues_and_rejects_excess() {
+        let c = PimConfig::hbm2e(2).with_banks(2);
+        let prog = program(&c, 256, MapperOptions::default());
+        let qt = schedule_queues(&c, &[vec![prog.clone()], vec![]]).unwrap();
+        assert!(qt.end_ps > 0);
+        assert!(qt.job_end_ps[1].is_empty());
+        assert!(schedule_queues(&c, &vec![vec![prog]; 3]).is_err());
+    }
+
+    #[test]
+    fn lpt_assignment_is_complete_and_balanced() {
+        let costs = [8.0, 1.0, 7.0, 3.0, 3.0, 2.0];
+        let queues = lpt_assign(&costs, 3);
+        let mut seen: Vec<usize> = queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5], "each job exactly once");
+        let loads: Vec<f64> = queues
+            .iter()
+            .map(|q| q.iter().map(|&j| costs[j]).sum())
+            .collect();
+        let max_load = loads.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = costs.iter().sum();
+        let max_cost = costs.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max_load <= total / 3.0 + max_cost + 1e-9,
+            "LPT bound violated: {max_load}"
+        );
+        // Deterministic: biggest job lands on bank 0.
+        assert_eq!(queues[0][0], 0);
+    }
+
+    #[test]
+    fn lpt_handles_fewer_jobs_than_banks() {
+        let queues = lpt_assign(&[5.0], 4);
+        assert_eq!(queues[0], vec![0]);
+        assert!(queues[1..].iter().all(Vec::is_empty));
+        assert!(lpt_assign(&[], 2).iter().all(Vec::is_empty));
     }
 }

@@ -88,8 +88,14 @@ impl FairBus {
     /// Claims the first free slot `>= at_ps` and returns its time.
     pub fn claim(&mut self, at_ps: u64) -> u64 {
         let mut slot = at_ps.div_ceil(self.cycle_ps);
-        while self.taken.contains(&slot) {
-            slot += 1;
+        // One ordered walk over the occupied run, instead of a separate
+        // tree lookup per candidate slot (saturated buses made that
+        // quadratic-with-log over large batch schedules).
+        for &t in self.taken.range(slot..) {
+            if t > slot {
+                break;
+            }
+            slot = t + 1;
         }
         self.taken.insert(slot);
         slot * self.cycle_ps

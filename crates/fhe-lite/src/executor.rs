@@ -2,10 +2,14 @@
 //!
 //! An RNS polynomial's per-modulus forward NTTs are independent — the
 //! "FHE applications can naturally run multiple NTT functions using
-//! multiple banks" workload of the paper's §VI.A and conclusion. The
-//! executor places one residue polynomial per bank, runs the batch over
-//! the shared command bus, checks values against the CPU reference, and
-//! reports the speedup over running the same work through a single bank.
+//! multiple banks" workload of the paper's §VI.A and conclusion.
+//! [`ntt_all_components`] places one residue polynomial per bank, runs
+//! the batch over the shared command bus, checks values against the CPU
+//! reference, and reports the speedup over running the same work through
+//! a single bank. [`polymul_all_components`] runs whole ring
+//! multiplications through the queue-based batch path: components are
+//! packed onto per-bank queues (so the modulus count may exceed the bank
+//! count) and drained asynchronously, with no full-chip barrier.
 
 use crate::params::RlweParams;
 use crate::rns::RnsPoly;
@@ -102,47 +106,59 @@ pub fn ntt_all_components(
 }
 
 /// Multiplies two RNS polynomials entirely on PIM: one negacyclic product
-/// per modulus, one modulus per bank, batched over the shared command bus.
-/// The full FHE ring multiplication of the paper's Eq. (1), on-device.
+/// per modulus, components packed onto per-bank queues and drained
+/// asynchronously over the shared command bus (the batch-executor path;
+/// each bank starts its next component the moment the previous finishes,
+/// with no full-chip barrier). The full FHE ring multiplication of the
+/// paper's Eq. (1), on-device.
 ///
-/// Returns the product (replacing nothing in the inputs) and the batch
+/// Unlike the one-component-per-bank wave model this replaced, the RNS
+/// component count `k` may exceed the device's bank count: excess
+/// components queue behind earlier ones on the same bank. All components
+/// share one transform length, so balanced (equal-cost LPT) assignment
+/// is optimal.
+///
+/// Returns the product (replacing nothing in the inputs) and the queue
 /// timing report.
 ///
 /// # Errors
 ///
-/// [`FheError::BadParams`] with too few banks; PIM errors otherwise.
+/// [`FheError::ParamMismatch`] on component-count mismatch; PIM errors
+/// otherwise.
 pub fn polymul_all_components(
     params: &RlweParams,
     a: &RnsPoly,
     b: &RnsPoly,
     config: &PimConfig,
-) -> Result<(RnsPoly, ntt_pim_core::device::BatchReport), FheError> {
+) -> Result<(RnsPoly, ntt_pim_core::device::QueueReport), FheError> {
     let k = a.components();
     if b.components() != k {
         return Err(FheError::ParamMismatch);
     }
-    if (config.geometry.banks as usize) < k {
-        return Err(FheError::BadParams {
-            reason: format!("need {k} banks, device has {}", config.geometry.banks),
-        });
-    }
     let n = params.n();
     let mut dev = PimDevice::new(*config)?;
-    let mut pairs = Vec::with_capacity(k);
-    for i in 0..k {
-        let q = params.moduli()[i] as u32;
-        let ra: Vec<u32> = a.residues(i).iter().map(|&c| c as u32).collect();
-        let rb: Vec<u32> = b.residues(i).iter().map(|&c| c as u32).collect();
-        let ha = dev.load_in_bank(i, 0, &ra, q, StoredOrder::Natural)?;
-        let hb = dev.load_in_bank(i, n.max(256), &rb, q, StoredOrder::Natural)?;
-        pairs.push((ha, hb));
-    }
-    let report = dev.polymul_batch(&pairs)?;
+    let banks = config.geometry.banks as usize;
+    // Every component is a length-n product and PIM timing is
+    // modulus-independent, so equal costs make LPT a balanced deal.
+    let assignment = ntt_pim_core::sched::lpt_assign(&vec![1.0; k], banks);
+    let b_base = config.polymul_rhs_base(n);
     let mut out = RnsPoly::zero(params);
-    for (i, (ha, _)) in pairs.iter().enumerate() {
-        let got = dev.read_polynomial(ha)?;
-        out.set_residues(i, got.into_iter().map(u64::from).collect());
+    let mut queues: Vec<Vec<ntt_pim_core::mapper::Program>> = vec![Vec::new(); banks];
+    for (bank, queue) in assignment.iter().enumerate() {
+        for &i in queue {
+            let q = params.moduli()[i] as u32;
+            let ra: Vec<u32> = a.residues(i).iter().map(|&c| c as u32).collect();
+            let rb: Vec<u32> = b.residues(i).iter().map(|&c| c as u32).collect();
+            let ha = dev.load_in_bank(bank, 0, &ra, q, StoredOrder::Natural)?;
+            let hb = dev.load_in_bank(bank, b_base, &rb, q, StoredOrder::Natural)?;
+            let program = dev.polymul_program(&ha, &hb)?;
+            dev.execute_program(bank, &program)?;
+            let got = dev.read_polynomial(&ha)?;
+            out.set_residues(i, got.into_iter().map(u64::from).collect());
+            queues[bank].push(program);
+        }
     }
+    let report = dev.schedule_queues(&queues)?;
     Ok((out, report))
 }
 
@@ -224,6 +240,28 @@ mod tests {
         assert!(report.latency_ns > 0.0);
         let expect = a.mul(&b, &params).unwrap();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn more_components_than_banks_queue_up() {
+        // 5 RNS components on a 2-bank device: the queue-based batch path
+        // packs 3+2 and still matches the CPU product exactly.
+        let params = RlweParams::new(128, 5, 16).unwrap();
+        let mut a = RnsPoly::zero(&params);
+        let mut b = RnsPoly::zero(&params);
+        for i in 0..5 {
+            a.set_residues(i, sampler::uniform(128, params.moduli()[i], 3 + i as u64));
+            b.set_residues(i, sampler::uniform(128, params.moduli()[i], 11 + i as u64));
+        }
+        let config = PimConfig::hbm2e(4).with_banks(2);
+        let (got, report) = polymul_all_components(&params, &a, &b, &config).unwrap();
+        assert_eq!(got, a.mul(&b, &params).unwrap());
+        assert_eq!(report.job_end_ns[0].len(), 3);
+        assert_eq!(report.job_end_ns[1].len(), 2);
+        // Asynchronous drain: the deeper queue finishes later, and the
+        // batch ends with the slowest bank.
+        assert!(report.per_bank_ns[0] > report.per_bank_ns[1]);
+        assert!((report.latency_ns - report.per_bank_ns[0]).abs() < 1e-9);
     }
 
     #[test]

@@ -45,10 +45,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("system-level investigation the paper leaves as future work.");
 
     // --- BatchExecutor: 16 independent NTTs over 16 banks ----------------
-    // The unified engine layer's executor deals jobs into per-bank queues
-    // and drains them in bank-parallel waves. Aggregate latency for a
-    // 16-job batch must land well under 2x a single NTT — the bank-level
-    // scaling the paper's conclusion projects.
+    // The unified engine layer's executor packs jobs onto per-bank queues
+    // (cost-model LPT by default) and drains them concurrently over the
+    // shared command bus. Aggregate latency for a 16-job batch must land
+    // well under 2x a single NTT — the bank-level scaling the paper's
+    // conclusion projects.
     let n = 1024usize;
     let q = 12289u64;
     let single_ns = PimDeviceEngine::hbm2e(2)?

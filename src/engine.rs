@@ -22,8 +22,9 @@
 //! overlap — the cross-backend parity test relies on exactly that.
 //!
 //! [`batch::BatchExecutor`] builds on the trait (and the PIM device's
-//! bank-level parallel path) to fan a queue of NTT jobs across a chip's
-//! banks; see its module docs.
+//! bank-level parallel path) to fan mixed batches of forward/inverse/
+//! polymul jobs across a chip's banks under a cost-model-driven
+//! scheduler; see its module docs.
 
 pub mod batch;
 
@@ -353,9 +354,7 @@ impl NttEngine for PimDeviceEngine {
         let wa = Self::to_u32(a)?;
         let wb = Self::to_u32(b)?;
         let ha = self.device.load_polynomial(0, &wa, q as u32)?;
-        // Operand B lives in the next row-aligned region of the same bank
-        // (multi-atom layouts must start on a row boundary).
-        let b_base = n.max(self.device.config().row_words());
+        let b_base = self.device.config().polymul_rhs_base(n);
         let hb = self.device.load_polynomial(b_base, &wb, q as u32)?;
         let rep = self.device.polymul_negacyclic(&ha, &hb)?;
         let out = self.device.read_polynomial(&ha)?;
@@ -669,7 +668,10 @@ impl NttEngine for PublishedModelEngine {
         b: &[u64],
         q: u64,
     ) -> Result<EngineReport, EngineError> {
-        check_input(self, a, q)?;
+        // Validate the full operand pair against *this* model's window up
+        // front, so a bad `b` is attributed to the published model rather
+        // than surfacing from the inner golden CPU engine.
+        check_pair(self, a, b, q)?;
         let n = a.len();
         self.golden.negacyclic_polymul(a, b, q)?;
         // A negacyclic product is 3 NTTs plus element-wise work; report
@@ -830,6 +832,24 @@ mod tests {
         let mut pa = a.clone();
         pim.negacyclic_polymul(&mut pa, &b, Q).unwrap();
         assert_eq!(pa, expect);
+    }
+
+    #[test]
+    fn published_model_polymul_validates_the_pair_itself() {
+        // A malformed second operand must be rejected by the published
+        // model's own validation, before the inner golden engine runs —
+        // `a` stays untouched either way.
+        let mut e = PublishedModelEngine::mentt();
+        let a = poly(256, Q, 7);
+        let short_b = poly(128, Q, 8);
+        let mut va = a.clone();
+        let err = e.negacyclic_polymul(&mut va, &short_b, Q).unwrap_err();
+        assert!(matches!(err, EngineError::Shape { .. }), "{err}");
+        assert_eq!(va, a, "operand a untouched on rejection");
+        let unreduced_b = vec![Q; 256];
+        let err = e.negacyclic_polymul(&mut va, &unreduced_b, Q).unwrap_err();
+        assert!(matches!(err, EngineError::Shape { .. }), "{err}");
+        assert_eq!(va, a, "operand a untouched on rejection");
     }
 
     #[test]

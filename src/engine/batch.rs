@@ -1,38 +1,105 @@
-//! Batched, bank-parallel job execution on the PIM device.
+//! Batched, bank-parallel job execution on the PIM device, driven by a
+//! cost model.
 //!
 //! The paper's §VI.A observation — "FHE applications can naturally run
 //! multiple NTT functions using multiple banks" — generalized into an
-//! executor: hand it any number of independent forward-NTT jobs and it
-//! fans them across the chip's banks with one queue per bank, running
-//! the queues front-to-back in bank-parallel waves over the shared
-//! command bus ([`crate::core::sched::schedule_parallel`]). The merged
-//! report combines wall-clock batch latency (waves are sequential,
-//! banks within a wave concurrent), total energy, shared-bus pressure,
-//! and per-bank accounting.
+//! executor: hand it any number of independent jobs (forward NTTs,
+//! inverse NTTs, full negacyclic products) and it packs them onto
+//! per-bank queues and drains the queues concurrently over the shared
+//! command bus.
 //!
-//! Jobs may use different lengths and moduli — the device is
-//! modulus-agnostic (§VI.E), which is exactly what RNS workloads need.
+//! Two scheduling policies are available ([`SchedulePolicy`]):
+//!
+//! * [`SchedulePolicy::Lpt`] (default) — longest-processing-time
+//!   bin-packing: every job's latency is predicted from the device cost
+//!   model ([`crate::engine::pim_cost_estimate`], memoized per transform
+//!   length so a thousand-job batch maps each distinct length once), jobs
+//!   are dealt to the least-loaded bank biggest-first, and the queues
+//!   drain *asynchronously* — each bank starts its next job the moment
+//!   the previous one finishes ([`crate::core::sched::schedule_queues`]).
+//!   Only the shared command bus and the rank's tRRD/tFAW window couple
+//!   the banks.
+//! * [`SchedulePolicy::RoundRobin`] — the legacy comparison point: jobs
+//!   dealt round-robin and drained in bank-parallel *waves* with a
+//!   full-chip barrier after each, so every wave pays for its slowest
+//!   bank. On mixed-size batches (the RNS workload the device's
+//!   modulus-agnostic design targets, §VI.E) this loses exactly the time
+//!   LPT recovers.
+//!
+//! Jobs may use different lengths, moduli, and kinds in one batch; the
+//! merged [`BatchOutcome`] reports wall-clock latency, energy, shared-bus
+//! pressure, rank activations, and per-bank/per-job accounting.
 
-use super::{EngineError, EngineReport, NttEngine};
+use super::{EngineError, EngineReport, NttEngine, ReportSource};
 use crate::core::config::PimConfig;
-use crate::core::device::{PimDevice, PolyHandle, StoredOrder};
+use crate::core::device::{NttDirection, PimDevice, StoredOrder};
+use crate::core::layout::PolyLayout;
+use crate::core::mapper::Program;
+use crate::core::sched::lpt_assign;
 use crate::core::PimError;
-use std::collections::VecDeque;
+use crate::math::prime;
+use std::collections::HashMap;
+use std::fmt;
 
-/// One independent forward-NTT request: natural-order coefficients,
-/// reduced mod `q`.
+/// What a batched job computes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobKind {
+    /// Forward cyclic NTT of `coeffs` (natural order in and out).
+    Forward,
+    /// Inverse cyclic NTT of `coeffs`, including the `N⁻¹` scaling.
+    Inverse,
+    /// Negacyclic product `coeffs · rhs mod (X^N + 1, q)`, entirely
+    /// on-device (ψ-weighting, two forward NTTs, pointwise, inverse NTT,
+    /// unweighting).
+    NegacyclicPolymul {
+        /// Second operand, natural order, reduced mod `q`, same length.
+        rhs: Vec<u64>,
+    },
+}
+
+/// One independent batch request: natural-order coefficients, reduced
+/// mod `q`, plus the operation to perform on them.
 #[derive(Debug, Clone)]
 pub struct NttJob {
     /// Natural-order input coefficients (length must be a power of two).
     pub coeffs: Vec<u64>,
     /// The job's modulus (odd prime, `2N | q-1`).
     pub q: u64,
+    /// The operation this job runs.
+    pub kind: JobKind,
 }
 
 impl NttJob {
-    /// Builds a job.
+    /// Builds a forward-NTT job (the historical default).
     pub fn new(coeffs: Vec<u64>, q: u64) -> Self {
-        Self { coeffs, q }
+        Self::forward(coeffs, q)
+    }
+
+    /// A forward cyclic NTT job.
+    pub fn forward(coeffs: Vec<u64>, q: u64) -> Self {
+        Self {
+            coeffs,
+            q,
+            kind: JobKind::Forward,
+        }
+    }
+
+    /// An inverse cyclic NTT job (input is a natural-order spectrum).
+    pub fn inverse(coeffs: Vec<u64>, q: u64) -> Self {
+        Self {
+            coeffs,
+            q,
+            kind: JobKind::Inverse,
+        }
+    }
+
+    /// A full negacyclic polynomial product `coeffs · rhs`.
+    pub fn negacyclic_polymul(coeffs: Vec<u64>, rhs: Vec<u64>, q: u64) -> Self {
+        Self {
+            coeffs,
+            q,
+            kind: JobKind::NegacyclicPolymul { rhs },
+        }
     }
 
     /// Transform length.
@@ -41,30 +108,82 @@ impl NttJob {
     }
 }
 
+/// How [`BatchExecutor`] packs jobs onto bank queues and drains them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Cost-model-driven longest-processing-time bin-packing with
+    /// asynchronous per-bank queue drain (no cross-bank barrier).
+    #[default]
+    Lpt,
+    /// Round-robin dealing drained in bank-parallel waves with a
+    /// full-chip barrier per wave (the legacy comparison point).
+    RoundRobin,
+}
+
+impl fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SchedulePolicy::Lpt => "lpt",
+            SchedulePolicy::RoundRobin => "round-robin",
+        })
+    }
+}
+
+impl std::str::FromStr for SchedulePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lpt" => Ok(SchedulePolicy::Lpt),
+            "round-robin" | "rr" => Ok(SchedulePolicy::RoundRobin),
+            other => Err(format!(
+                "unknown schedule policy `{other}` (expected `lpt` or `round-robin`)"
+            )),
+        }
+    }
+}
+
+/// The scheduler's decision for one batch: per-bank job queues plus the
+/// cost estimates that produced them. Exposed so tests (and curious
+/// callers) can audit assignments without running anything.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// `queues[b]` lists the job indices bank `b` runs, in order.
+    pub queues: Vec<Vec<usize>>,
+    /// Predicted per-job latency, ns (parallel to the jobs slice).
+    pub costs: Vec<f64>,
+    /// The policy that produced the assignment.
+    pub policy: SchedulePolicy,
+}
+
 /// Per-bank slice of a batch report.
 #[derive(Debug, Clone, Default)]
 pub struct BankUsage {
     /// Jobs this bank executed.
     pub jobs: usize,
-    /// Time the bank spent executing its queue, ns (sum over waves).
+    /// Time until the bank finished its queue, ns.
     pub busy_ns: f64,
     /// Energy this bank consumed, nJ.
     pub energy_nj: f64,
 }
 
 /// Merged outcome of a batch: results plus a combined latency/energy
-/// report across banks and waves.
+/// report across banks.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
-    /// Transformed spectra, in job order (natural coefficient order).
+    /// Per-job results, in job order (natural coefficient order): the
+    /// spectrum for forward jobs, the time-domain polynomial for inverse
+    /// jobs, the product for polymul jobs.
     pub spectra: Vec<Vec<u64>>,
-    /// End-to-end batch latency, ns: waves run back to back, banks
-    /// within a wave run concurrently, so this is the sum over waves of
-    /// each wave's slowest bank.
+    /// End-to-end batch latency, ns. Under [`SchedulePolicy::Lpt`] this
+    /// is the completion of the slowest bank queue (banks drain
+    /// concurrently, no barrier); under [`SchedulePolicy::RoundRobin`] it
+    /// is the sum over waves of each wave's slowest bank.
     pub latency_ns: f64,
-    /// Total energy across all banks and waves, nJ.
+    /// Total energy across all banks, nJ.
     pub energy_nj: f64,
-    /// Number of bank-parallel waves the queues unrolled into.
+    /// Depth of the schedule: barrier-separated waves under round-robin,
+    /// the deepest bank queue under LPT (where no barrier exists).
     pub waves: usize,
     /// Command-bus slots issued across the whole batch (shared-bus
     /// pressure; one slot per memory-clock cycle).
@@ -74,6 +193,14 @@ pub struct BatchOutcome {
     pub rank_acts: u64,
     /// Per-bank accounting, indexed by bank id.
     pub banks: Vec<BankUsage>,
+    /// The policy that scheduled the batch.
+    pub policy: SchedulePolicy,
+    /// The job-index queues the batch actually ran (`assignment[b]` =
+    /// bank `b`'s jobs, in order).
+    pub assignment: Vec<Vec<usize>>,
+    /// Simulated per-job latency, ns, in job order: each job's completion
+    /// minus its bank-queue predecessor's completion.
+    pub job_latency_ns: Vec<f64>,
 }
 
 impl BatchOutcome {
@@ -91,7 +218,8 @@ impl BatchOutcome {
     }
 }
 
-/// Fans independent NTT jobs across a PIM chip's banks.
+/// Fans independent jobs across a PIM chip's banks under a scheduling
+/// policy (cost-model-driven LPT by default).
 ///
 /// ```
 /// use ntt_pim::core::config::PimConfig;
@@ -103,19 +231,24 @@ impl BatchOutcome {
 /// let jobs: Vec<NttJob> = (0..8)
 ///     .map(|j| NttJob::new((0..256).map(|i| (i * 3 + j) % q). collect(), q))
 ///     .collect();
-/// let out = exec.run_forward(&jobs)?;
+/// let out = exec.run(&jobs)?;
 /// assert_eq!(out.spectra.len(), 8);
-/// assert_eq!(out.waves, 2); // 8 jobs over 4 banks
+/// assert_eq!(out.waves, 2); // 8 jobs over 4 banks: queues are 2 deep
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct BatchExecutor {
     device: PimDevice,
+    policy: SchedulePolicy,
+    /// Cost-model memo: predicted single-transform latency per length
+    /// (timing is value- and modulus-independent, so length is the key).
+    cost_memo: HashMap<usize, f64>,
 }
 
 impl BatchExecutor {
-    /// Builds an executor over a fresh device with `config`.
+    /// Builds an executor over a fresh device with `config`, using the
+    /// default [`SchedulePolicy::Lpt`].
     ///
     /// # Errors
     ///
@@ -123,12 +256,35 @@ impl BatchExecutor {
     pub fn new(config: PimConfig) -> Result<Self, PimError> {
         Ok(Self {
             device: PimDevice::new(config)?,
+            policy: SchedulePolicy::default(),
+            cost_memo: HashMap::new(),
         })
     }
 
     /// Wraps an existing device (preserving its mapper options).
     pub fn from_device(device: PimDevice) -> Self {
-        Self { device }
+        Self {
+            device,
+            policy: SchedulePolicy::default(),
+            cost_memo: HashMap::new(),
+        }
+    }
+
+    /// Same executor with a different scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Switches the scheduling policy in place.
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
     }
 
     /// Number of banks jobs can fan across.
@@ -141,104 +297,269 @@ impl BatchExecutor {
         &mut self.device
     }
 
-    /// Runs every job's forward NTT, filling per-bank queues round-robin
-    /// and draining them in bank-parallel waves.
-    ///
-    /// # Errors
-    ///
-    /// [`EngineError::Shape`] on malformed jobs; device errors otherwise.
-    pub fn run_forward(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
-        let banks = self.bank_count();
+    /// Validates the *whole* batch against the device's capability window
+    /// before anything is issued, so a malformed job can never fail
+    /// mid-batch after earlier jobs already executed. Errors name the
+    /// offending job index.
+    fn validate(&self, jobs: &[NttJob]) -> Result<(), EngineError> {
+        let config = self.device.config();
+        let shape = |i: usize, reason: String| EngineError::Shape {
+            reason: format!("job {i}: {reason}"),
+        };
         for (i, job) in jobs.iter().enumerate() {
             let n = job.n();
             if !n.is_power_of_two() || n < 4 {
-                return Err(EngineError::Shape {
-                    reason: format!("job {i}: length {n} is not a power of two >= 4"),
-                });
+                return Err(shape(i, format!("length {n} is not a power of two >= 4")));
             }
             if job.q > u64::from(u32::MAX) {
-                return Err(EngineError::Shape {
-                    reason: format!("job {i}: q exceeds the 32-bit PIM datapath"),
-                });
+                return Err(shape(
+                    i,
+                    format!("q={} exceeds the 32-bit PIM datapath", job.q),
+                ));
             }
+            if !prime::is_prime(job.q) {
+                return Err(shape(i, format!("q={} is not prime", job.q)));
+            }
+            if (job.q - 1) % (2 * n as u64) != 0 {
+                return Err(shape(
+                    i,
+                    format!("q={} has no 2N-th root of unity (2N ∤ q-1)", job.q),
+                ));
+            }
+            // Capacity: the operand(s) must fit the bank.
+            PolyLayout::new(config, 0, n).map_err(|e| shape(i, e.to_string()))?;
             if job.coeffs.iter().any(|&c| c >= job.q) {
-                return Err(EngineError::Shape {
-                    reason: format!("job {i}: coefficients not reduced modulo q"),
-                });
+                return Err(shape(i, "coefficients not reduced modulo q".into()));
+            }
+            if let JobKind::NegacyclicPolymul { rhs } = &job.kind {
+                if rhs.len() != n {
+                    return Err(shape(
+                        i,
+                        format!("operand lengths differ ({n} vs {})", rhs.len()),
+                    ));
+                }
+                if rhs.iter().any(|&c| c >= job.q) {
+                    return Err(shape(i, "rhs coefficients not reduced modulo q".into()));
+                }
+                PolyLayout::new(config, config.polymul_rhs_base(n), n)
+                    .map_err(|e| shape(i, format!("second operand: {e}")))?;
             }
         }
+        Ok(())
+    }
 
-        // One queue per bank, jobs dealt round-robin.
-        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); banks];
-        for i in 0..jobs.len() {
-            queues[i % banks].push_back(i);
+    /// Predicted latency of `job` from the device cost model, memoized
+    /// per transform length (PIM timing does not depend on coefficient
+    /// values or the modulus). A negacyclic product runs three transforms
+    /// plus element-wise passes; 3x one transform is accurate enough for
+    /// bin-packing, which only needs relative weights.
+    fn job_cost(&mut self, job: &NttJob) -> f64 {
+        let n = job.n();
+        let transform = match self.cost_memo.entry(n) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => *v.insert(
+                super::pim_cost_estimate(self.device.config(), self.device.mapper_options(), n)
+                    .map(|c| c.latency_ns)
+                    // N log N fallback keeps packing sensible even where
+                    // the model has no point.
+                    .unwrap_or_else(|| (n as f64) * f64::from(n.trailing_zeros() + 1)),
+            ),
+        };
+        match job.kind {
+            JobKind::Forward | JobKind::Inverse => transform,
+            JobKind::NegacyclicPolymul { .. } => 3.0 * transform,
         }
+    }
 
+    /// Validates the batch and computes the per-bank job queues the
+    /// active policy would run, without executing anything.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] naming the first offending job.
+    pub fn plan(&mut self, jobs: &[NttJob]) -> Result<BatchPlan, EngineError> {
+        self.validate(jobs)?;
+        let banks = self.bank_count();
+        let costs: Vec<f64> = jobs.iter().map(|j| self.job_cost(j)).collect();
+        let queues = match self.policy {
+            SchedulePolicy::Lpt => lpt_assign(&costs, banks),
+            SchedulePolicy::RoundRobin => {
+                let mut queues: Vec<Vec<usize>> = vec![Vec::new(); banks];
+                for i in 0..jobs.len() {
+                    queues[i % banks].push(i);
+                }
+                queues
+            }
+        };
+        Ok(BatchPlan {
+            queues,
+            costs,
+            policy: self.policy,
+        })
+    }
+
+    /// Loads one job into `bank`, maps its program, executes it
+    /// functionally, and reads the result back — the per-job work shared
+    /// by both drain strategies. Timing happens separately, over the
+    /// returned program.
+    fn run_one(&mut self, bank: usize, job: &NttJob) -> Result<(Program, Vec<u64>), EngineError> {
+        let q = job.q as u32;
+        let words: Vec<u32> = job.coeffs.iter().map(|&c| c as u32).collect();
+        let dev = &mut self.device;
+        let (program, handle) = match &job.kind {
+            JobKind::Forward => {
+                let mut h = dev.load_in_bank(bank, 0, &words, q, StoredOrder::BitReversed)?;
+                let program = dev.build_ntt_program(&h, NttDirection::Forward)?;
+                dev.execute_program(bank, &program)?;
+                h.assume_order(StoredOrder::Natural);
+                (program, h)
+            }
+            JobKind::Inverse => {
+                let mut h = dev.load_in_bank(bank, 0, &words, q, StoredOrder::Natural)?;
+                let program = dev.build_ntt_program(&h, NttDirection::Inverse)?;
+                dev.execute_program(bank, &program)?;
+                h.assume_order(StoredOrder::BitReversed);
+                (program, h)
+            }
+            JobKind::NegacyclicPolymul { rhs } => {
+                let wb: Vec<u32> = rhs.iter().map(|&c| c as u32).collect();
+                let ha = dev.load_in_bank(bank, 0, &words, q, StoredOrder::Natural)?;
+                let hb = dev.load_in_bank(
+                    bank,
+                    dev.config().polymul_rhs_base(job.n()),
+                    &wb,
+                    q,
+                    StoredOrder::Natural,
+                )?;
+                let program = dev.polymul_program(&ha, &hb)?;
+                dev.execute_program(bank, &program)?;
+                (program, ha)
+            }
+        };
+        let out = dev.read_polynomial(&handle)?;
+        Ok((program, out.into_iter().map(u64::from).collect()))
+    }
+
+    /// Runs every job under the active policy and merges the reports.
+    ///
+    /// The whole batch is validated up front (nothing executes when any
+    /// job is malformed); results land in [`BatchOutcome::spectra`] in
+    /// job order regardless of bank assignment.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] naming the offending job on malformed
+    /// batches; device errors otherwise.
+    pub fn run(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
+        let plan = self.plan(jobs)?;
+        let banks = self.bank_count();
         let mut spectra: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
         let mut usage: Vec<BankUsage> = vec![BankUsage::default(); banks];
-        let mut latency_ns = 0.0;
-        let mut energy_nj = 0.0;
-        let mut bus_slots = 0u64;
-        let mut rank_acts = 0u64;
-        let mut waves = 0usize;
-
-        loop {
-            // Pop at most one job per bank for this wave.
-            let wave: Vec<(usize, usize)> = queues
-                .iter_mut()
-                .enumerate()
-                .filter_map(|(bank, q)| q.pop_front().map(|job| (bank, job)))
-                .collect();
-            if wave.is_empty() {
-                break;
-            }
-            waves += 1;
-
-            let mut handles: Vec<PolyHandle> = Vec::with_capacity(wave.len());
-            for &(bank, job) in &wave {
-                let words: Vec<u32> = jobs[job].coeffs.iter().map(|&c| c as u32).collect();
-                handles.push(self.device.load_in_bank(
-                    bank,
-                    0,
-                    &words,
-                    jobs[job].q as u32,
-                    StoredOrder::BitReversed,
-                )?);
-            }
-            let report = self.device.ntt_batch(&mut handles)?;
-            latency_ns += report.latency_ns;
-            energy_nj += report.energy_nj;
-            bus_slots += report.bus_slots;
-            rank_acts += report.rank_acts;
-            for ((&(bank, job), handle), &bank_ns) in
-                wave.iter().zip(&handles).zip(&report.per_bank_ns)
-            {
-                let out = self.device.read_polynomial(handle)?;
-                spectra[job] = out.into_iter().map(u64::from).collect();
-                usage[bank].jobs += 1;
-                usage[bank].busy_ns += bank_ns;
-            }
-            // Energy splits by bank inside the device report.
-            for (&(bank, _), &e) in wave.iter().zip(&report.per_bank_energy_nj) {
-                usage[bank].energy_nj += e;
-            }
+        let mut job_latency_ns = vec![0.0f64; jobs.len()];
+        for (bank, queue) in plan.queues.iter().enumerate() {
+            usage[bank].jobs = queue.len();
         }
+        let depth = plan.queues.iter().map(Vec::len).max().unwrap_or(0);
+
+        let (latency_ns, energy_nj, bus_slots, rank_acts) = match self.policy {
+            SchedulePolicy::Lpt => {
+                // Async drain: execute every queue functionally, then time
+                // all queues in one shared-bus schedule (banks advance to
+                // their next job as soon as they finish).
+                let mut programs: Vec<Vec<Program>> = vec![Vec::new(); banks];
+                for (bank, queue) in plan.queues.iter().enumerate() {
+                    for &ji in queue {
+                        let (program, out) = self.run_one(bank, &jobs[ji])?;
+                        spectra[ji] = out;
+                        programs[bank].push(program);
+                    }
+                }
+                let report = self.device.schedule_queues(&programs)?;
+                for (bank, ends) in report.job_end_ns.iter().enumerate() {
+                    let mut prev = 0.0;
+                    for (slot, &end) in ends.iter().enumerate() {
+                        job_latency_ns[plan.queues[bank][slot]] = end - prev;
+                        prev = end;
+                    }
+                    usage[bank].busy_ns = report.per_bank_ns[bank];
+                    usage[bank].energy_nj = report.per_bank_energy_nj[bank];
+                }
+                (
+                    report.latency_ns,
+                    report.energy_nj,
+                    report.bus_slots,
+                    report.rank_acts,
+                )
+            }
+            SchedulePolicy::RoundRobin => {
+                // Wave drain: queue position w across all banks forms wave
+                // w; a full-chip barrier separates waves, so each wave is
+                // timed alone and the batch pays the sum of wave maxima.
+                let (mut latency, mut energy) = (0.0f64, 0.0f64);
+                let (mut bus, mut acts) = (0u64, 0u64);
+                for w in 0..depth {
+                    let mut wave_programs: Vec<Vec<Program>> = vec![Vec::new(); banks];
+                    let wave_jobs: Vec<(usize, usize)> = plan
+                        .queues
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(bank, queue)| queue.get(w).map(|&ji| (bank, ji)))
+                        .collect();
+                    for &(bank, ji) in &wave_jobs {
+                        let (program, out) = self.run_one(bank, &jobs[ji])?;
+                        spectra[ji] = out;
+                        wave_programs[bank].push(program);
+                    }
+                    let report = self.device.schedule_queues(&wave_programs)?;
+                    latency += report.latency_ns;
+                    energy += report.energy_nj;
+                    bus += report.bus_slots;
+                    acts += report.rank_acts;
+                    for (bank, ends) in report.job_end_ns.iter().enumerate() {
+                        if let Some(&end) = ends.first() {
+                            job_latency_ns[plan.queues[bank][w]] = end;
+                            usage[bank].busy_ns += report.per_bank_ns[bank];
+                            usage[bank].energy_nj += report.per_bank_energy_nj[bank];
+                        }
+                    }
+                }
+                (latency, energy, bus, acts)
+            }
+        };
 
         Ok(BatchOutcome {
             spectra,
             latency_ns,
             energy_nj,
-            waves,
+            waves: depth,
             bus_slots,
             rank_acts,
             banks: usage,
+            policy: self.policy,
+            assignment: plan.queues,
+            job_latency_ns,
         })
+    }
+
+    /// Back-compatible alias of [`Self::run`] from when the executor only
+    /// handled forward NTTs. Accepts any job kinds.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_forward(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
+        self.run(jobs)
     }
 }
 
 /// Sequential baseline: runs the same jobs one by one on any engine,
 /// summing reported latency — the yardstick bank-level parallelism is
 /// measured against.
+///
+/// The merged report's `source` is the per-job reports' common source;
+/// if a (custom) engine mixes sources within one batch, the merge falls
+/// back to [`ReportSource::Measured`], the conservative catch-all for
+/// numbers with no single provenance. An empty batch reports `Measured`.
 ///
 /// # Errors
 ///
@@ -251,10 +572,16 @@ pub fn run_sequential(
     let mut total = 0.0;
     let mut energy: Option<f64> = None;
     let mut acts: Option<u64> = None;
-    let mut source = super::ReportSource::Measured;
+    let mut source: Option<ReportSource> = None;
     for job in jobs {
         let mut data = job.coeffs.clone();
-        let rep = engine.forward(&mut data, job.q)?;
+        let rep = match &job.kind {
+            JobKind::Forward => engine.forward(&mut data, job.q)?,
+            JobKind::Inverse => engine.inverse(&mut data, job.q)?,
+            JobKind::NegacyclicPolymul { rhs } => {
+                engine.negacyclic_polymul(&mut data, rhs, job.q)?
+            }
+        };
         spectra.push(data);
         total += rep.latency_ns;
         if let Some(e) = rep.energy_nj {
@@ -263,7 +590,11 @@ pub fn run_sequential(
         if let Some(a) = rep.activations {
             acts = Some(acts.unwrap_or(0) + a);
         }
-        source = rep.source;
+        source = Some(match source {
+            None => rep.source,
+            Some(s) if s == rep.source => s,
+            Some(_) => ReportSource::Measured,
+        });
     }
     Ok((
         spectra,
@@ -271,7 +602,7 @@ pub fn run_sequential(
             latency_ns: total,
             energy_nj: energy,
             activations: acts,
-            source,
+            source: source.unwrap_or(ReportSource::Measured),
         },
     ))
 }
@@ -279,31 +610,32 @@ pub fn run_sequential(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::CpuNttEngine;
+    use crate::engine::{CpuNttEngine, EngineCaps};
 
     const Q: u64 = 12289;
 
-    fn job(n: usize, seed: u64) -> NttJob {
+    fn poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
         let mut state = seed;
-        NttJob::new(
-            (0..n)
-                .map(|_| {
-                    state = state
-                        .wrapping_mul(6364136223846793005)
-                        .wrapping_add(1442695040888963407);
-                    (state >> 11) % Q
-                })
-                .collect(),
-            Q,
-        )
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) % q
+            })
+            .collect()
+    }
+
+    fn job(n: usize, seed: u64) -> NttJob {
+        NttJob::new(poly(n, Q, seed), Q)
     }
 
     #[test]
     fn batch_matches_cpu_reference_per_job() {
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
         let jobs: Vec<NttJob> = (0..6).map(|i| job(256, 100 + i)).collect();
-        let out = exec.run_forward(&jobs).unwrap();
-        assert_eq!(out.waves, 2, "6 jobs over 4 banks");
+        let out = exec.run(&jobs).unwrap();
+        assert_eq!(out.waves, 2, "6 jobs over 4 banks: queues are 2 deep");
         let mut cpu = CpuNttEngine::golden();
         for (i, j) in jobs.iter().enumerate() {
             let mut expect = j.coeffs.clone();
@@ -313,10 +645,36 @@ mod tests {
     }
 
     #[test]
+    fn mixed_job_kinds_coexist_and_match_golden() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(4).with_banks(2)).unwrap();
+        let a = poly(256, Q, 21);
+        let b = poly(256, Q, 22);
+        let jobs = vec![
+            NttJob::forward(poly(256, Q, 23), Q),
+            NttJob::inverse(poly(256, Q, 24), Q),
+            NttJob::negacyclic_polymul(a.clone(), b.clone(), Q),
+        ];
+        let out = exec.run(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        let mut fwd = jobs[0].coeffs.clone();
+        cpu.forward(&mut fwd, Q).unwrap();
+        assert_eq!(out.spectra[0], fwd, "forward");
+        let mut inv = jobs[1].coeffs.clone();
+        cpu.inverse(&mut inv, Q).unwrap();
+        assert_eq!(out.spectra[1], inv, "inverse");
+        let mut prod = a;
+        cpu.negacyclic_polymul(&mut prod, &b, Q).unwrap();
+        assert_eq!(out.spectra[2], prod, "polymul");
+        // The polymul is the heavy job: LPT puts it alone on a bank.
+        let heavy_bank = out.assignment.iter().position(|q| q.contains(&2)).unwrap();
+        assert_eq!(out.assignment[heavy_bank], vec![2]);
+    }
+
+    #[test]
     fn merged_report_accounts_all_banks_and_energy() {
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
         let jobs: Vec<NttJob> = (0..8).map(|i| job(256, 200 + i)).collect();
-        let out = exec.run_forward(&jobs).unwrap();
+        let out = exec.run(&jobs).unwrap();
         assert_eq!(out.banks.len(), 4);
         assert!(out.banks.iter().all(|b| b.jobs == 2));
         assert!(out
@@ -328,6 +686,7 @@ mod tests {
         assert!(out.bus_slots > 0);
         assert!(out.rank_acts >= 8, "at least one ACT per job");
         assert!(out.throughput_jobs_per_s() > 0.0);
+        assert!(out.job_latency_ns.iter().all(|&l| l > 0.0));
     }
 
     #[test]
@@ -339,7 +698,7 @@ mod tests {
         j2.q = q2;
         j2.coeffs.iter_mut().for_each(|c| *c %= q2);
         let jobs = vec![job(256, 5), j2];
-        let out = exec.run_forward(&jobs).unwrap();
+        let out = exec.run(&jobs).unwrap();
         let mut cpu = CpuNttEngine::golden();
         for (i, j) in jobs.iter().enumerate() {
             let mut expect = j.coeffs.clone();
@@ -352,35 +711,211 @@ mod tests {
     fn queues_overflow_into_waves() {
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
         let jobs: Vec<NttJob> = (0..5).map(|i| job(64, 300 + i)).collect();
-        let out = exec.run_forward(&jobs).unwrap();
-        assert_eq!(out.waves, 3, "5 jobs over 2 banks: 2+2+1");
+        let out = exec.run(&jobs).unwrap();
+        assert_eq!(out.waves, 3, "5 equal jobs over 2 banks: 3+2");
         assert_eq!(out.banks[0].jobs, 3);
         assert_eq!(out.banks[1].jobs, 2);
+    }
+
+    #[test]
+    fn whole_batch_is_validated_before_any_issue() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        // Job 2 carries a non-prime modulus: the error must name it and
+        // nothing may have executed (a subsequent valid batch still runs
+        // from clean state).
+        let jobs = vec![job(64, 1), job(64, 2), NttJob::new(vec![1; 64], 65535)];
+        let err = exec.run(&jobs).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("job 2")),
+            "{err}"
+        );
+        // 2N ∤ q-1 (q=7681 stops at N=256) is caught up front too.
+        let jobs = vec![NttJob::new(poly(1024, 7681, 3), 7681)];
+        let err = exec.run(&jobs).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("job 0")
+                && reason.contains("root of unity")),
+            "{err}"
+        );
+        // Mismatched polymul operands name the job as well.
+        let jobs = vec![
+            job(64, 4),
+            NttJob::negacyclic_polymul(poly(64, Q, 5), poly(128, Q, 6), Q),
+        ];
+        let err = exec.run(&jobs).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("job 1")
+                && reason.contains("lengths differ")),
+            "{err}"
+        );
+        // Clean state: a valid batch still verifies.
+        let jobs: Vec<NttJob> = (0..2).map(|i| job(64, 400 + i)).collect();
+        let out = exec.run(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        let mut expect = jobs[0].coeffs.clone();
+        cpu.forward(&mut expect, Q).unwrap();
+        assert_eq!(out.spectra[0], expect);
+    }
+
+    #[test]
+    fn oversized_jobs_are_rejected_with_their_index() {
+        // Shrink the bank to 4 rows (1024 words): a length-2048 job can
+        // never fit, and must be rejected before anything runs.
+        let mut config = PimConfig::hbm2e(2).with_banks(2);
+        config.geometry.rows_per_bank = 4;
+        let mut exec = BatchExecutor::new(config).unwrap();
+        let jobs = vec![job(64, 1), NttJob::new(poly(2048, Q, 2), Q)];
+        let err = exec.run(&jobs).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("job 1")
+                && reason.contains("exceeds bank")),
+            "{err}"
+        );
     }
 
     #[test]
     fn malformed_jobs_rejected() {
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2)).unwrap();
         let bad = NttJob::new(vec![1, 2, 3], Q); // not a power of two
-        assert!(matches!(
-            exec.run_forward(&[bad]),
-            Err(EngineError::Shape { .. })
-        ));
+        assert!(matches!(exec.run(&[bad]), Err(EngineError::Shape { .. })));
         let unreduced = NttJob::new(vec![Q; 64], Q);
         assert!(matches!(
-            exec.run_forward(&[unreduced]),
+            exec.run(&[unreduced]),
             Err(EngineError::Shape { .. })
         ));
+    }
+
+    #[test]
+    fn lpt_packs_skewed_batches_tighter_than_round_robin() {
+        // 8 jobs, alternating small/large: round-robin waves pay the
+        // large latency every wave; LPT isolates the large jobs.
+        let q = 8380417u64; // 2^13 | q-1: supports N up to 4096
+        let jobs: Vec<NttJob> = (0..8)
+            .map(|i| {
+                let n = if i % 2 == 0 { 256 } else { 2048 };
+                NttJob::new(poly(n, q, 500 + i as u64), q)
+            })
+            .collect();
+        let config = PimConfig::hbm2e(2).with_banks(4);
+        let mut rr = BatchExecutor::new(config)
+            .unwrap()
+            .with_policy(SchedulePolicy::RoundRobin);
+        let mut lpt = BatchExecutor::new(config).unwrap();
+        assert_eq!(lpt.policy(), SchedulePolicy::Lpt);
+        let out_rr = rr.run(&jobs).unwrap();
+        let out_lpt = lpt.run(&jobs).unwrap();
+        assert_eq!(
+            out_rr.spectra, out_lpt.spectra,
+            "results policy-independent"
+        );
+        assert!(
+            out_lpt.latency_ns < out_rr.latency_ns,
+            "LPT {:.0} ns !< round-robin {:.0} ns",
+            out_lpt.latency_ns,
+            out_rr.latency_ns
+        );
+    }
+
+    #[test]
+    fn plan_exposes_costs_and_respects_policy() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(2)).unwrap();
+        let jobs = vec![job(256, 1), job(1024, 2), job(256, 3)];
+        let plan = exec.plan(&jobs).unwrap();
+        assert_eq!(plan.policy, SchedulePolicy::Lpt);
+        assert_eq!(plan.costs.len(), 3);
+        assert!(plan.costs[1] > plan.costs[0], "bigger job costs more");
+        // The N=1024 job runs alone; the two N=256 jobs share a bank.
+        let big_bank = plan.queues.iter().position(|q| q.contains(&1)).unwrap();
+        assert_eq!(plan.queues[big_bank], vec![1]);
+        assert_eq!(plan.queues[1 - big_bank].len(), 2);
+        // Cost memo: same lengths resolve without re-running the mapper.
+        assert_eq!(plan.costs[0], plan.costs[2]);
     }
 
     #[test]
     fn sequential_baseline_agrees_functionally() {
         let jobs: Vec<NttJob> = (0..3).map(|i| job(128, 400 + i)).collect();
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
-        let batch = exec.run_forward(&jobs).unwrap();
+        let batch = exec.run(&jobs).unwrap();
         let mut cpu = CpuNttEngine::golden();
         let (seq, rep) = run_sequential(&mut cpu, &jobs).unwrap();
         assert_eq!(batch.spectra, seq);
         assert!(rep.latency_ns > 0.0);
+        assert_eq!(rep.source, ReportSource::Measured);
+    }
+
+    /// Test double whose reports cycle through provenance kinds, to pin
+    /// the sequential merge behavior for mixed sources.
+    struct SourceCycler {
+        calls: usize,
+        sources: Vec<ReportSource>,
+    }
+
+    impl NttEngine for SourceCycler {
+        fn name(&self) -> &str {
+            "source-cycler"
+        }
+
+        fn caps(&self) -> EngineCaps {
+            EngineCaps {
+                arbitrary_modulus: true,
+                native_modulus: None,
+                max_n: None,
+                bitwidth: 62,
+                on_device: true,
+            }
+        }
+
+        fn forward(&mut self, _data: &mut [u64], _q: u64) -> Result<EngineReport, EngineError> {
+            let source = self.sources[self.calls % self.sources.len()];
+            self.calls += 1;
+            Ok(EngineReport {
+                latency_ns: 1.0,
+                energy_nj: None,
+                activations: None,
+                source,
+            })
+        }
+
+        fn inverse(&mut self, data: &mut [u64], q: u64) -> Result<EngineReport, EngineError> {
+            self.forward(data, q)
+        }
+
+        fn negacyclic_polymul(
+            &mut self,
+            a: &mut [u64],
+            _b: &[u64],
+            q: u64,
+        ) -> Result<EngineReport, EngineError> {
+            self.forward(a, q)
+        }
+
+        fn cost_estimate(&self, _n: usize) -> Option<super::super::CostEstimate> {
+            None
+        }
+    }
+
+    #[test]
+    fn sequential_merge_reports_common_source_or_conservative_fallback() {
+        let jobs: Vec<NttJob> = (0..3).map(|i| job(64, 600 + i)).collect();
+        // Uniform provenance is preserved...
+        let mut uniform = SourceCycler {
+            calls: 0,
+            sources: vec![ReportSource::Simulated],
+        };
+        let (_, rep) = run_sequential(&mut uniform, &jobs).unwrap();
+        assert_eq!(rep.source, ReportSource::Simulated);
+        // ...mixed provenance merges to the conservative Measured, even
+        // when the *last* job reports Published (the old bug reported
+        // whatever the final job said).
+        let mut mixed = SourceCycler {
+            calls: 0,
+            sources: vec![ReportSource::Simulated, ReportSource::Published],
+        };
+        let (_, rep) = run_sequential(&mut mixed, &jobs).unwrap();
+        assert_eq!(rep.source, ReportSource::Measured);
+        // Empty batches have no provenance to report: Measured.
+        let (_, rep) = run_sequential(&mut mixed, &[]).unwrap();
+        assert_eq!(rep.source, ReportSource::Measured);
     }
 }
