@@ -1,10 +1,12 @@
 //! Criterion benches of the scalar arithmetic kernels — the software
 //! analogue of the CU datapath choice (§VI.B uses Montgomery reduction;
-//! this quantifies Montgomery vs Barrett vs 128-bit widening on the host).
+//! this quantifies Montgomery vs Barrett vs Shoup vs 128-bit widening
+//! on the host).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use modmath::barrett::Barrett64;
 use modmath::montgomery::{Montgomery32, Montgomery64};
+use modmath::shoup;
 use std::hint::black_box;
 
 const Q32: u32 = 2_013_265_921;
@@ -35,6 +37,11 @@ fn bench_mul(c: &mut Criterion) {
             )
         })
     });
+    let w = 987_654_321u64;
+    let ws = shoup::precompute(w, Q32 as u64);
+    group.bench_function("shoup_lazy", |b| {
+        b.iter(|| shoup::mul_lazy(black_box(123_456_789u64), w, ws, Q32 as u64))
+    });
     group.finish();
 }
 
@@ -59,6 +66,18 @@ fn bench_butterfly(c: &mut Criterion) {
                 modmath::arith::add_mod(a, t, Q32 as u64),
                 modmath::arith::sub_mod(a, t, Q32 as u64),
             )
+        })
+    });
+    let q = Q32 as u64;
+    let ws = shoup::precompute(3, q);
+    group.bench_function("ct_shoup_lazy", |b| {
+        b.iter(|| {
+            // The Harvey butterfly as the NTT kernels run it: one lazy
+            // multiply, unreduced add/sub legs.
+            let (a, x) = (black_box(1_000_001u64), black_box(2_000_003u64));
+            let u = shoup::reduce_twice(a, q);
+            let t = shoup::mul_lazy(x, 3, ws, q);
+            (shoup::add_lazy(u, t, q), shoup::sub_lazy(u, t, q))
         })
     });
     group.finish();

@@ -1,0 +1,273 @@
+//! `ntt_kernels` — machine-readable kernel face-off: widening vs
+//! Shoup-lazy vs fast32 forward NTT, per `N ∈ {256, 1024, 4096}` and
+//! per modulus, written to `BENCH_ntt.json` so the perf trajectory is
+//! tracked across PRs.
+//!
+//! Modes:
+//!
+//! * default — time every kernel on every valid `(N, q)` grid point and
+//!   write the JSON report (`--out PATH`, default `BENCH_ntt.json`).
+//! * `--check` — after writing the report, exit non-zero unless the
+//!   Shoup-lazy kernel beats the widening kernel on every measured
+//!   point *and* reaches `--min-flagship-speedup` (default 4.0) on the
+//!   flagship point `N=4096, q=8380417`. This is the CI perf gate.
+//! * `--smoke` — no timing: run one small lazy transform against the
+//!   naive DFT and a negacyclic roundtrip, then exit. Run under the
+//!   debug profile this executes every `debug_assert` bound check of
+//!   the lazy datapath.
+
+use modmath::bitrev::bitrev_permute;
+use modmath::prime::NttField;
+use ntt_ref::fast32::Fast32Plan;
+use ntt_ref::plan::NttPlan;
+use std::hint::black_box;
+use std::time::Instant;
+
+const LENGTHS: [usize; 3] = [256, 1024, 4096];
+const MODULI: [u64; 3] = [7681, 12289, 8_380_417];
+/// The acceptance point: Dilithium's modulus at the largest length.
+const FLAGSHIP: (usize, u64) = (4096, 8_380_417);
+
+#[derive(Debug, Clone)]
+struct Point {
+    n: usize,
+    q: u64,
+    kernel: &'static str,
+    ns_per_transform: f64,
+}
+
+fn pseudo_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) % q
+        })
+        .collect()
+}
+
+/// Median ns per call of `f` (in-place transform; calibrated inner loop
+/// targeting ~2 ms per sample, 7 samples).
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().as_nanos().max(100) as f64;
+    let inner = ((2.0e6 / once) as u64).clamp(1, 1_000_000);
+    const SAMPLES: usize = 7;
+    let mut per = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        per.push(t0.elapsed().as_nanos() as f64 / inner as f64);
+    }
+    per.sort_by(f64::total_cmp);
+    per[SAMPLES / 2]
+}
+
+fn measure_grid() -> Vec<Point> {
+    let mut points = Vec::new();
+    for &n in &LENGTHS {
+        for &q in &MODULI {
+            // Skip grid points without a 2N-th root of unity (the same
+            // capability rule the engine layer applies).
+            if (q - 1) % (2 * n as u64) != 0 {
+                continue;
+            }
+            let field = NttField::new(n, q).expect("validated grid point");
+            let plan = NttPlan::new(field);
+            assert!(plan.uses_lazy(), "all grid moduli are inside 2^62");
+
+            // In-place forward transforms: output is reduced mod q, so it
+            // is a valid input for the next iteration — no clone in the
+            // timed region.
+            let mut v = pseudo_poly(n, q, n as u64 ^ q);
+            let widening = time_ns(|| {
+                bitrev_permute(black_box(&mut v));
+                ntt_ref::iterative::dit_from_bitrev_widening(&plan, &mut v, false);
+            });
+            let mut v = pseudo_poly(n, q, n as u64 ^ q);
+            let shoup = time_ns(|| plan.forward(black_box(&mut v)));
+            points.push(Point {
+                n,
+                q,
+                kernel: "widening",
+                ns_per_transform: widening,
+            });
+            points.push(Point {
+                n,
+                q,
+                kernel: "shoup-lazy",
+                ns_per_transform: shoup,
+            });
+
+            if q < 1 << 31 {
+                let fast = Fast32Plan::new(&field).expect("q < 2^31");
+                let mut v32: Vec<u32> = pseudo_poly(n, q, n as u64 ^ q)
+                    .iter()
+                    .map(|&x| x as u32)
+                    .collect();
+                let fast32 = time_ns(|| fast.forward(black_box(&mut v32)));
+                points.push(Point {
+                    n,
+                    q,
+                    kernel: "fast32",
+                    ns_per_transform: fast32,
+                });
+            }
+        }
+    }
+    points
+}
+
+fn speedup(points: &[Point], n: usize, q: u64) -> Option<f64> {
+    let find = |kernel: &str| {
+        points
+            .iter()
+            .find(|p| p.n == n && p.q == q && p.kernel == kernel)
+            .map(|p| p.ns_per_transform)
+    };
+    Some(find("widening")? / find("shoup-lazy")?)
+}
+
+fn render_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"ntt_kernels\",\n");
+    out.push_str("  \"unit\": \"ns_per_transform\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"q\": {}, \"kernel\": \"{}\", \"ns_per_transform\": {:.1}, \"transforms_per_sec\": {:.0}}}{}\n",
+            p.n,
+            p.q,
+            p.kernel,
+            p.ns_per_transform,
+            1.0e9 / p.ns_per_transform,
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups_shoup_vs_widening\": [\n");
+    let mut pairs: Vec<(usize, u64)> = Vec::new();
+    for p in points {
+        if !pairs.contains(&(p.n, p.q)) {
+            pairs.push((p.n, p.q));
+        }
+    }
+    for (i, &(n, q)) in pairs.iter().enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"q\": {}, \"speedup\": {:.2}}}{}\n",
+            n,
+            q,
+            speedup(points, n, q).expect("both kernels measured"),
+            sep
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"flagship\": {{\"n\": {}, \"q\": {}, \"speedup\": {:.2}}}\n",
+        FLAGSHIP.0,
+        FLAGSHIP.1,
+        speedup(points, FLAGSHIP.0, FLAGSHIP.1).expect("flagship point measured")
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// One small lazy transform with every `debug_assert` bound check of the
+/// lazy datapath executing (when compiled under the debug profile).
+fn smoke() {
+    let field = NttField::new(256, 12289).expect("NewHope field");
+    let plan = NttPlan::new(field);
+    assert!(plan.uses_lazy());
+    let q = plan.modulus();
+    let x = pseudo_poly(256, q, 7);
+    let expect = ntt_ref::naive::ntt(plan.field(), &x);
+    let mut got = x.clone();
+    plan.forward(&mut got);
+    assert_eq!(got, expect, "lazy forward matches the naive DFT");
+    let mut v = x.clone();
+    plan.forward_negacyclic(&mut v);
+    plan.inverse_negacyclic(&mut v);
+    assert_eq!(v, x, "negacyclic roundtrip");
+    println!(
+        "smoke ok: lazy kernel matches naive DFT at N=256 (debug_asserts active: {})",
+        cfg!(debug_assertions)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let mut out_path = String::from("BENCH_ntt.json");
+    let mut check = false;
+    let mut min_flagship = 4.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--check" => check = true,
+            "--min-flagship-speedup" => {
+                min_flagship = it
+                    .next()
+                    .expect("--min-flagship-speedup needs a value")
+                    .parse()
+                    .expect("numeric speedup");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let points = measure_grid();
+    for p in &points {
+        println!(
+            "N={:>5} q={:>8} {:<11} {:>10.1} ns/transform ({:>12.0} transforms/s)",
+            p.n,
+            p.q,
+            p.kernel,
+            p.ns_per_transform,
+            1.0e9 / p.ns_per_transform
+        );
+    }
+    let json = render_json(&points);
+    std::fs::write(&out_path, &json).expect("write BENCH_ntt.json");
+    println!("wrote {out_path}");
+
+    let flagship = speedup(&points, FLAGSHIP.0, FLAGSHIP.1).expect("flagship measured");
+    println!(
+        "flagship speedup (shoup-lazy vs widening, N={}, q={}): {flagship:.2}x",
+        FLAGSHIP.0, FLAGSHIP.1
+    );
+    if check {
+        let mut failed = false;
+        for p in &points {
+            if p.kernel != "widening" {
+                continue;
+            }
+            let s = speedup(&points, p.n, p.q).expect("pair measured");
+            if s <= 1.0 {
+                eprintln!(
+                    "FAIL: shoup-lazy does not beat widening at N={} q={} ({s:.2}x)",
+                    p.n, p.q
+                );
+                failed = true;
+            }
+        }
+        if flagship < min_flagship {
+            eprintln!("FAIL: flagship speedup {flagship:.2}x below the {min_flagship:.1}x gate");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check ok: shoup-lazy beats widening everywhere, flagship >= {min_flagship:.1}x");
+    }
+}

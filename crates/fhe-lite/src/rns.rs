@@ -98,6 +98,12 @@ impl RnsPoly {
 
     /// Negacyclic product via per-modulus NTTs.
     ///
+    /// Each component multiply runs [`ntt_ref::poly::mul_negacyclic`] on
+    /// the shared Shoup-lazy datapath — RNS moduli are ~31-bit, well
+    /// inside the `q < 2⁶²` lazy bound, so all three transforms per
+    /// component use one Shoup multiply per butterfly instead of a
+    /// 128-bit remainder.
+    ///
     /// # Errors
     ///
     /// [`FheError::ParamMismatch`] on component-count mismatch.
@@ -221,6 +227,15 @@ mod tests {
             let bm: Vec<u64> = b.iter().map(|&x| x % q).collect();
             let expect = ntt_ref::naive::negacyclic_convolution(&am, &bm, q);
             assert_eq!(prod.residues(i), expect.as_slice(), "modulus {q}");
+        }
+    }
+
+    #[test]
+    fn component_plans_ride_the_lazy_datapath() {
+        let p = params();
+        for (plan, &q) in p.plans().iter().zip(p.moduli()) {
+            assert!(modmath::shoup::supports(q));
+            assert!(plan.uses_lazy(), "q={q}");
         }
     }
 

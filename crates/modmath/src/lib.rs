@@ -8,9 +8,27 @@
 //! * Montgomery reduction in 32-bit and 64-bit flavours ([`montgomery`]) —
 //!   the paper's CU uses Montgomery multiplication (its reference \[23\]),
 //! * Barrett reduction for moduli that are not NTT-internal ([`barrett`]),
+//! * Shoup constant-multiplication with Harvey lazy reduction ([`shoup`])
+//!   — the tuned datapath every software NTT kernel runs on,
 //! * deterministic primality testing and NTT-friendly prime search
 //!   ([`prime`]), and
 //! * bit-reversal permutation helpers ([`bitrev`]).
+//!
+//! # Choosing a reduction strategy
+//!
+//! Four ways to compute `a·b mod q` live in this crate; they trade setup
+//! cost against per-multiply cost differently:
+//!
+//! | Strategy | Per-multiply cost | Precomputation | Constraint | Use when |
+//! |---|---|---|---|---|
+//! | Widening ([`arith::mul_mod`]) | `u128` multiply + `u128` remainder (a hardware divide) | none | `q < 2⁶³` | Ground truth, cold paths, table building — anywhere clarity beats speed. |
+//! | Barrett ([`barrett::Barrett64`]) | 2 wide multiplies + 1–2 subtracts | one `⌊2ᵏ/q⌋` per modulus | `q < 2⁶³` | Both operands vary and the *modulus* repeats (CRT reconstruction, hashing into a field). |
+//! | Montgomery ([`montgomery::Montgomery32`]) | 1 multiply + REDC | per-modulus `q⁻¹ mod 2ʳ`, operands converted into Montgomery form | odd `q` | Long chains staying in Montgomery domain — hardware datapaths (the paper's CU), exponentiation ladders. |
+//! | Shoup-lazy ([`shoup`]) | 1 `mulhi` + 2 wrapping multiplies + 1 subtract; add/sub legs unreduced in `[0, 4q)` | one quotient per *constant* `w` | `q < 2⁶²`, one operand fixed | NTT butterflies: twiddles are precomputed constants, so this is the fastest software path; normalize once at the end. |
+//!
+//! Shoup only pays off when the multiplier is a known constant (the
+//! quotient costs a division to set up). For two variable operands under
+//! a repeating modulus use Barrett; for one-off products use widening.
 //!
 //! # Example
 //!
@@ -38,6 +56,7 @@ pub mod barrett;
 pub mod bitrev;
 pub mod montgomery;
 pub mod prime;
+pub mod shoup;
 
 mod error;
 

@@ -1,0 +1,228 @@
+//! Shoup constant-multiplication with Harvey-style lazy reduction — the
+//! tuned software datapath shared by every hot NTT kernel.
+//!
+//! A butterfly multiplies data by a *precomputed* twiddle `w`. Shoup's
+//! trick stores the quotient `w' = ⌊w·2⁶⁴/q⌋` next to `w`; then
+//! `x·w mod q` needs one `mulhi`, two wrapping multiplies and one
+//! subtraction — no division, no 128-bit remainder. Harvey's refinement
+//! keeps intermediate values *lazily* reduced: [`mul_lazy`] returns a
+//! value in `[0, 2q)` for **any** `u64` input, and the add/sub legs of a
+//! butterfly run without reduction in `[0, 4q)`. A single normalization
+//! pass ([`normalize`]) at the end of the transform maps everything back
+//! to `[0, q)`.
+//!
+//! The laziness is sound whenever `q <` [`LAZY_MODULUS_BOUND`]` = 2⁶²`
+//! (so `4q` fits in a `u64`); [`supports`] is the capability gate the
+//! transform planners consult before choosing this datapath over the
+//! widening fallback.
+//!
+//! See the [crate-level comparison](crate#choosing-a-reduction-strategy)
+//! of widening, Barrett, Montgomery, and Shoup-lazy reduction for
+//! when to use which.
+
+use crate::Error;
+
+/// Exclusive upper bound on moduli the lazy datapath accepts: `q < 2⁶²`
+/// keeps every lazy intermediate (`< 4q`) representable in a `u64`.
+pub const LAZY_MODULUS_BOUND: u64 = 1 << 62;
+
+/// Whether modulus `q` fits the lazy datapath (`2 ≤ q < 2⁶²`).
+///
+/// # Example
+///
+/// ```
+/// assert!(modmath::shoup::supports(8380417));
+/// assert!(!modmath::shoup::supports(1 << 62));
+/// ```
+#[inline]
+#[must_use]
+pub fn supports(q: u64) -> bool {
+    (2..LAZY_MODULUS_BOUND).contains(&q)
+}
+
+/// Validates `q` for the lazy datapath.
+///
+/// # Errors
+///
+/// Returns [`Error::BadModulus`] when `q < 2` or `q ≥ 2⁶²`.
+pub fn check_modulus(q: u64) -> Result<(), Error> {
+    if supports(q) {
+        Ok(())
+    } else {
+        Err(Error::BadModulus {
+            q,
+            reason: "Shoup lazy reduction requires 2 <= q < 2^62",
+        })
+    }
+}
+
+/// Precomputes the Shoup quotient `w' = ⌊w·2⁶⁴/q⌋` of a constant
+/// multiplier `w < q`.
+///
+/// # Example
+///
+/// ```
+/// let q = 12289u64;
+/// let w = 7u64;
+/// let ws = modmath::shoup::precompute(w, q);
+/// assert_eq!(modmath::shoup::mul_mod(5, w, ws, q), 35 % q);
+/// ```
+#[inline]
+#[must_use]
+pub fn precompute(w: u64, q: u64) -> u64 {
+    debug_assert!(w < q, "Shoup constants must be reduced");
+    (((w as u128) << 64) / q as u128) as u64
+}
+
+/// Lazy Shoup multiply: `x·w mod q` up to one redundant `q`, i.e. a value
+/// in `[0, 2q)`. Accepts **any** `u64` for `x` (in particular lazy values
+/// `< 4q`); requires `w < q` and its matching quotient `w_shoup`.
+///
+/// This is the single multiply + correction at the heart of every
+/// butterfly: `hi = ⌊x·w'/2⁶⁴⌋`, result `= x·w − hi·q (mod 2⁶⁴)`.
+#[inline]
+#[must_use]
+pub fn mul_lazy(x: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    debug_assert!(w < q, "Shoup constants must be reduced");
+    let hi = ((x as u128 * w_shoup as u128) >> 64) as u64;
+    let r = x.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(q));
+    debug_assert!(q >= 1 << 63 || r < 2 * q, "lazy product out of range");
+    r
+}
+
+/// Fully reduced Shoup multiply: `x·w mod q` in `[0, q)`, any `u64` `x`.
+#[inline]
+#[must_use]
+pub fn mul_mod(x: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    reduce_once(mul_lazy(x, w, w_shoup, q), q)
+}
+
+/// Lazy butterfly addition: `a + b` with `a, b < 2q`, result `< 4q`
+/// (no reduction at all).
+#[inline]
+#[must_use]
+pub fn add_lazy(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < 2 * q && b < 2 * q, "lazy operands out of range");
+    a + b
+}
+
+/// Lazy butterfly subtraction: `a − b + 2q` with `a, b < 2q`, result
+/// `< 4q` and non-negative without a branch.
+#[inline]
+#[must_use]
+pub fn sub_lazy(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < 2 * q && b < 2 * q, "lazy operands out of range");
+    a + 2 * q - b
+}
+
+/// One conditional subtraction: maps `[0, 2q) → [0, q)`.
+#[inline]
+#[must_use]
+pub fn reduce_once(x: u64, q: u64) -> u64 {
+    debug_assert!(x < 2 * q || q >= 1 << 63);
+    if x >= q {
+        x - q
+    } else {
+        x
+    }
+}
+
+/// One conditional subtraction of `2q`: maps `[0, 4q) → [0, 2q)`.
+#[inline]
+#[must_use]
+pub fn reduce_twice(x: u64, q: u64) -> u64 {
+    debug_assert!(x < 4 * q);
+    let two_q = 2 * q;
+    if x >= two_q {
+        x - two_q
+    } else {
+        x
+    }
+}
+
+/// The single final-normalization pass of a lazy transform: maps every
+/// element from `[0, 4q)` back to `[0, q)` (two conditional subtracts).
+pub fn normalize(data: &mut [u64], q: u64) {
+    for x in data.iter_mut() {
+        *x = reduce_once(reduce_twice(*x, q), q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith;
+
+    const Q_EDGE: u64 = (1 << 62) - 57; // modulus just under the lazy bound
+
+    #[test]
+    fn bound_is_exactly_two_to_the_62() {
+        assert!(supports(LAZY_MODULUS_BOUND - 1));
+        assert!(!supports(LAZY_MODULUS_BOUND));
+        assert!(!supports(1));
+        assert!(check_modulus(12289).is_ok());
+        assert!(check_modulus(LAZY_MODULUS_BOUND).is_err());
+    }
+
+    #[test]
+    fn mul_lazy_matches_widening_up_to_one_q() {
+        for q in [7681u64, 12289, 8380417, 2_013_265_921, Q_EDGE] {
+            let mut w = 1u64;
+            for i in 0..200u64 {
+                w = w.wrapping_mul(6364136223846793005).wrapping_add(i) % q;
+                let ws = precompute(w, q);
+                // Exercise x across the full lazy range [0, 4q).
+                let x = (i.wrapping_mul(0x9E3779B97F4A7C15)) % (4 * q);
+                let lazy = mul_lazy(x, w, ws, q);
+                assert!(lazy < 2 * q, "q={q} w={w} x={x}");
+                assert_eq!(lazy % q, mulmod_u128(x, w, q), "q={q} w={w} x={x}");
+                assert_eq!(mul_mod(x, w, ws, q), mulmod_u128(x, w, q));
+            }
+        }
+    }
+
+    fn mulmod_u128(a: u64, b: u64, q: u64) -> u64 {
+        ((a as u128 * b as u128) % q as u128) as u64
+    }
+
+    #[test]
+    fn mul_accepts_any_u64_input() {
+        let q = Q_EDGE;
+        let w = q - 12345;
+        let ws = precompute(w, q);
+        for x in [0u64, 1, q, 2 * q - 1, 4 * q - 1, u64::MAX] {
+            let r = mul_lazy(x, w, ws, q);
+            assert!(r < 2 * q, "x={x}");
+            assert_eq!(r % q, mulmod_u128(x, w, q), "x={x}");
+        }
+    }
+
+    #[test]
+    fn lazy_add_sub_stay_below_4q() {
+        let q = 8380417u64;
+        for (a, b) in [(0u64, 0u64), (q, q), (2 * q - 1, 2 * q - 1), (0, 2 * q - 1)] {
+            let s = add_lazy(a, b, q);
+            let d = sub_lazy(a, b, q);
+            assert!(s < 4 * q);
+            assert!(d < 4 * q);
+            assert_eq!(s % q, arith::add_mod(a % q, b % q, q));
+            assert_eq!(d % q, arith::sub_mod(a % q, b % q, q));
+        }
+    }
+
+    #[test]
+    fn normalize_fully_reduces() {
+        let q = 12289u64;
+        let mut v: Vec<u64> = (0..64).map(|i| (i * 787) % (4 * q)).collect();
+        let expect: Vec<u64> = v.iter().map(|&x| x % q).collect();
+        normalize(&mut v, q);
+        assert_eq!(v, expect);
+        assert!(v.iter().all(|&x| x < q));
+    }
+
+    #[test]
+    fn precompute_of_one_is_floor_2_64_over_q() {
+        let q = 12289u64;
+        assert_eq!(precompute(1, q), (u128::pow(2, 64) / q as u128) as u64);
+    }
+}

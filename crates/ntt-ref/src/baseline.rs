@@ -75,8 +75,9 @@ pub fn sweep(lengths: &[usize], iterations: u32) -> Vec<CpuMeasurement> {
         .collect()
 }
 
-/// Times the tuned 32-bit Montgomery NTT ([`crate::fast32`]) — the
-/// strongest software baseline this crate offers.
+/// Times the 32-bit plan ([`crate::fast32`], now backed by the shared
+/// Shoup-lazy datapath) — the strongest software baseline this crate
+/// offers.
 ///
 /// # Panics
 ///

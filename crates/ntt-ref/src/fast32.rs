@@ -1,19 +1,22 @@
-//! Optimized 32-bit CPU NTT with a Montgomery datapath — the *strong*
-//! software baseline.
+//! 32-bit façade over the shared Shoup/Harvey lazy datapath — the
+//! *strong* software baseline.
 //!
-//! The plain [`crate::plan::NttPlan`] multiplies through 128-bit widening,
-//! which is convenient but leaves CPU performance on the table. This plan
-//! mirrors what a tuned software NTT (and the PIM CU itself) does: keep
-//! twiddles in Montgomery form so every butterfly multiply is a single
-//! 32×32→64 multiply plus one REDC. Used by the experiment harness to make
-//! the "x86 (measured)" comparison as honest as possible.
+//! Historically this module carried its own tuned kernel (a Montgomery
+//! datapath, mirroring the paper's CU arithmetic). Now that every
+//! software transform runs the Shoup lazy-reduction kernel in
+//! [`crate::plan::NttPlan`] whenever `q < 2⁶²`, there is exactly **one**
+//! tuned kernel in the workspace, and this plan is a thin `u32 ↔ u64`
+//! adapter over it: same capability contract (`q < 2³¹`), same API, used
+//! by the experiment harness to make the "x86 (measured)" comparison as
+//! honest as possible. The hardware Montgomery model itself lives on in
+//! [`modmath::montgomery`], where the PIM CU simulation uses it.
 
-use modmath::bitrev::bitrev_permute;
-use modmath::montgomery::Montgomery32;
+use crate::plan::NttPlan;
 use modmath::prime::NttField;
+use std::sync::Mutex;
 
-/// A prepared length-`N` forward/inverse NTT over a `< 2³¹` prime with a
-/// Montgomery-form twiddle table.
+/// A prepared length-`N` forward/inverse NTT over a `< 2³¹` prime,
+/// backed by the shared Shoup-lazy datapath.
 ///
 /// # Example
 ///
@@ -32,17 +35,24 @@ use modmath::prime::NttField;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Fast32Plan {
-    mont: Montgomery32,
-    n: usize,
-    log_n: u32,
-    /// Per-stage twiddle tables in Montgomery form (forward).
-    tw: Vec<Vec<u32>>,
-    /// Same for ω⁻¹ (inverse).
-    tw_inv: Vec<Vec<u32>>,
-    /// `N⁻¹` in Montgomery form.
-    n_inv_mont: u32,
+    plan: NttPlan,
+    /// Reused widening buffer so a transform costs no allocation in the
+    /// common case — this plan is a *measured* baseline, and allocator
+    /// time is not kernel time. A `Mutex` (not `RefCell`) keeps the plan
+    /// `Sync`; concurrent callers fall back to a local buffer instead of
+    /// blocking.
+    scratch: Mutex<Vec<u64>>,
+}
+
+impl Clone for Fast32Plan {
+    fn clone(&self) -> Self {
+        Self {
+            plan: self.plan.clone(),
+            scratch: Mutex::new(vec![0u64; self.plan.n()]),
+        }
+    }
 }
 
 impl Fast32Plan {
@@ -50,55 +60,30 @@ impl Fast32Plan {
     ///
     /// # Errors
     ///
-    /// Propagates [`modmath::Error`] when the field's modulus exceeds the
-    /// 32-bit datapath (`q ≥ 2³¹`).
+    /// Returns [`modmath::Error::BadModulus`] when the field's modulus
+    /// exceeds the 32-bit datapath (`q ≥ 2³¹`).
     pub fn new(field: &NttField) -> Result<Self, modmath::Error> {
-        let q64 = field.modulus();
-        if q64 >= 1 << 31 {
+        let q = field.modulus();
+        if q >= 1 << 31 {
             return Err(modmath::Error::BadModulus {
-                q: q64,
+                q,
                 reason: "fast32 plan requires q < 2^31",
             });
         }
-        let q = q64 as u32;
-        let mont = Montgomery32::new(q)?;
-        let n = field.n();
-        let log_n = n.trailing_zeros();
-        let build = |w: u64| -> Vec<Vec<u32>> {
-            (0..log_n)
-                .map(|s| {
-                    let m = 1usize << s;
-                    let step = modmath::arith::pow_mod(w, (n >> (s + 1)) as u64, q64) as u32;
-                    let step_mont = mont.to_mont(step);
-                    let mut tws = Vec::with_capacity(m);
-                    let mut cur = mont.one();
-                    for _ in 0..m {
-                        tws.push(cur);
-                        cur = mont.mul(cur, step_mont);
-                    }
-                    tws
-                })
-                .collect()
-        };
-        let n_inv = modmath::arith::inv_mod(n as u64, q64)? as u32;
-        Ok(Self {
-            mont,
-            n,
-            log_n,
-            tw: build(field.root_of_unity()),
-            tw_inv: build(field.root_of_unity_inv()),
-            n_inv_mont: mont.to_mont(n_inv),
-        })
+        let plan = NttPlan::new(*field);
+        debug_assert!(plan.uses_lazy(), "q < 2^31 is always inside the lazy bound");
+        let scratch = Mutex::new(vec![0u64; plan.n()]);
+        Ok(Self { plan, scratch })
     }
 
     /// Transform length.
     pub fn n(&self) -> usize {
-        self.n
+        self.plan.n()
     }
 
     /// The modulus.
     pub fn modulus(&self) -> u32 {
-        self.mont.modulus()
+        self.plan.modulus() as u32
     }
 
     /// Forward cyclic NTT, natural order in and out.
@@ -107,9 +92,7 @@ impl Fast32Plan {
     ///
     /// Panics if `data.len() != self.n()`.
     pub fn forward(&self, data: &mut [u32]) {
-        assert_eq!(data.len(), self.n, "length mismatch");
-        bitrev_permute(data);
-        self.dit(data, false);
+        self.run(data, |plan, buf| plan.forward(buf));
     }
 
     /// Inverse cyclic NTT, natural order in and out, with `N⁻¹` scaling.
@@ -118,30 +101,31 @@ impl Fast32Plan {
     ///
     /// Panics if `data.len() != self.n()`.
     pub fn inverse(&self, data: &mut [u32]) {
-        assert_eq!(data.len(), self.n, "length mismatch");
-        bitrev_permute(data);
-        self.dit(data, true);
-        for x in data.iter_mut() {
-            // Plain value times Montgomery-form N⁻¹: one REDC.
-            *x = self.mont.redc(*x as u64 * self.n_inv_mont as u64);
-        }
+        self.run(data, |plan, buf| plan.inverse(buf));
     }
 
-    fn dit(&self, data: &mut [u32], inverse: bool) {
-        let mont = &self.mont;
-        let tables = if inverse { &self.tw_inv } else { &self.tw };
-        for s in 0..self.log_n {
-            let m = 1usize << s;
-            let tws = &tables[s as usize];
-            for k in (0..self.n).step_by(2 * m) {
-                for j in 0..m {
-                    // Plain data × Montgomery twiddle → plain product.
-                    let t = mont.redc(data[k + j + m] as u64 * tws[j] as u64);
-                    let u = data[k + j];
-                    data[k + j] = mont.add(u, t);
-                    data[k + j + m] = mont.sub(u, t);
-                }
+    fn run(&self, data: &mut [u32], f: impl FnOnce(&NttPlan, &mut [u64])) {
+        assert_eq!(data.len(), self.plan.n(), "length mismatch");
+        let mut guard;
+        let mut local;
+        let buf: &mut Vec<u64> = match self.scratch.try_lock() {
+            Ok(g) => {
+                guard = g;
+                &mut guard
             }
+            // Another thread holds the scratch (or a prior panic
+            // poisoned it): pay one allocation instead of blocking.
+            Err(_) => {
+                local = vec![0u64; data.len()];
+                &mut local
+            }
+        };
+        for (b, &x) in buf.iter_mut().zip(data.iter()) {
+            *b = u64::from(x);
+        }
+        f(&self.plan, buf);
+        for (d, &x) in data.iter_mut().zip(buf.iter()) {
+            *d = x as u32; // outputs are reduced mod q < 2^31
         }
     }
 }
@@ -149,7 +133,6 @@ impl Fast32Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::NttPlan;
 
     fn field(n: usize) -> NttField {
         NttField::with_bits(n, 30).expect("field exists")
@@ -187,7 +170,7 @@ mod tests {
 
     #[test]
     fn rejects_oversized_modulus() {
-        // A 62-bit field cannot use the 32-bit datapath.
+        // A 40-bit field cannot use the 32-bit datapath.
         let f = NttField::with_bits(64, 40).unwrap();
         assert!(Fast32Plan::new(&f).is_err());
     }

@@ -5,6 +5,12 @@
 //! cache-oblivious alternative the PIM mapping competes against (it moves
 //! the whole array four times — more DRAM traffic than the row-centric
 //! schedule, which is the quantitative point of the paper's §III.A).
+//!
+//! The leaf (column/row) transforms are ordinary [`NttPlan`] sub-plans
+//! over the same modulus, so they automatically run the Shoup-lazy
+//! kernel whenever `q < 2⁶²`. The step-2 twiddle scaling keeps widening
+//! multiplies: its `ω^(r·c)` factors vary per element, so there is no
+//! constant to precompute a Shoup quotient for.
 
 use crate::plan::NttPlan;
 use modmath::arith::{mul_mod, pow_mod};

@@ -7,18 +7,50 @@
 //! `1, rω, rω², …` that the paper's Algorithm 2 generates on the fly
 //! (`ω ← ω·rω`). The PIM mapping in `ntt-pim-core` slices exactly this
 //! stage structure into the intra-atom / intra-row / inter-row regimes.
+//!
+//! Two datapaths implement each graph:
+//!
+//! * **Shoup/Harvey lazy reduction** ([`dit_from_bitrev_lazy`]) — the
+//!   default whenever `q < 2⁶²`. Butterfly multiplies use the plan's
+//!   precomputed Shoup quotients ([`modmath::shoup::mul_lazy`]) and the
+//!   add/sub legs run unreduced in `[0, 4q)`; callers normalize once at
+//!   the end.
+//! * **128-bit widening** ([`dit_from_bitrev_widening`]) — the obviously
+//!   correct fallback, one `u128` remainder per multiply, any `q < 2⁶³`.
+//!
+//! [`dit_from_bitrev`] and [`dif_to_bitrev`] auto-dispatch on
+//! [`NttPlan::uses_lazy`] and always return fully reduced values, so
+//! existing callers see identical results, just faster.
 
 use crate::plan::NttPlan;
 use modmath::arith::{add_mod, mul_mod, sub_mod};
+use modmath::shoup;
 
 /// Cooley–Tukey DIT butterfly stages over data already in bit-reversed
-/// order; produces natural order. No scaling is applied (callers of the
-/// inverse must scale by `N⁻¹`).
+/// order; produces natural order, fully reduced. No scaling is applied
+/// (callers of the inverse must scale by `N⁻¹`). Dispatches to the lazy
+/// kernel when the plan supports it.
 ///
 /// # Panics
 ///
 /// Panics if `data.len() != plan.n()`.
 pub fn dit_from_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    if plan.uses_lazy() {
+        dit_from_bitrev_lazy(plan, data, inverse);
+        shoup::normalize(data, plan.modulus());
+    } else {
+        dit_from_bitrev_widening(plan, data, inverse);
+    }
+}
+
+/// The DIT stages on the widening datapath (one 128-bit remainder per
+/// butterfly). Kept as the correctness anchor and the `q ≥ 2⁶²` fallback;
+/// the kernel benches measure the lazy path against exactly this.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn dit_from_bitrev_widening(plan: &NttPlan, data: &mut [u64], inverse: bool) {
     let n = plan.n();
     assert_eq!(data.len(), n, "length mismatch");
     let q = plan.modulus();
@@ -37,8 +69,47 @@ pub fn dit_from_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
     }
 }
 
+/// The DIT stages on the Shoup/Harvey lazy datapath. Input values must be
+/// `< 4q` (reduced inputs trivially qualify); outputs are **unnormalized**
+/// in `[0, 4q)` — run [`modmath::shoup::normalize`] (or fold the reduction
+/// into a following scaling pass) to return to `[0, q)`.
+///
+/// Every butterfly is: conditionally reduce the even leg to `[0, 2q)`,
+/// one lazy Shoup multiply of the odd leg (any `u64` in, `[0, 2q)` out),
+/// then an unreduced add and a `+2q` subtract, both `< 4q`. In debug
+/// builds the `[0, 4q)` invariant is asserted at every step.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()` or the plan is not on the lazy
+/// datapath ([`NttPlan::uses_lazy`]).
+pub fn dit_from_bitrev_lazy(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    assert!(
+        plan.uses_lazy(),
+        "modulus exceeds the Shoup lazy bound (q < 2^62)"
+    );
+    let q = plan.modulus();
+    for s in 0..plan.log_n() {
+        let m = 1usize << s; // butterfly span
+        let tws = plan.dit_stage_twiddles(s, inverse);
+        let tws_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                // Harvey CT butterfly: legs live in [0, 4q) between stages.
+                let u = shoup::reduce_twice(data[k + j], q);
+                let t = shoup::mul_lazy(data[k + j + m], tws[j], tws_shoup[j], q);
+                data[k + j] = shoup::add_lazy(u, t, q); // < 4q
+                data[k + j + m] = shoup::sub_lazy(u, t, q); // < 4q
+            }
+        }
+    }
+}
+
 /// Gentleman–Sande DIF butterfly stages over natural-order data; produces
-/// bit-reversed order. No scaling is applied.
+/// bit-reversed order, fully reduced. No scaling is applied. Dispatches to
+/// the lazy kernel when the plan supports it.
 ///
 /// The butterfly is the paper's Fig. 3 shape: `(a, b) → (a + b, (a − b)·ω)`
 /// (multiply *after* subtract).
@@ -47,6 +118,23 @@ pub fn dit_from_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
 ///
 /// Panics if `data.len() != plan.n()`.
 pub fn dif_to_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    if plan.uses_lazy() {
+        dif_to_bitrev_lazy(plan, data, inverse);
+        let q = plan.modulus();
+        for x in data.iter_mut() {
+            *x = shoup::reduce_once(*x, q);
+        }
+    } else {
+        dif_to_bitrev_widening(plan, data, inverse);
+    }
+}
+
+/// The DIF stages on the widening datapath.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()`.
+pub fn dif_to_bitrev_widening(plan: &NttPlan, data: &mut [u64], inverse: bool) {
     let n = plan.n();
     assert_eq!(data.len(), n, "length mismatch");
     let q = plan.modulus();
@@ -60,6 +148,40 @@ pub fn dif_to_bitrev(plan: &NttPlan, data: &mut [u64], inverse: bool) {
                 let v = data[k + j + m];
                 data[k + j] = add_mod(u, v, q);
                 data[k + j + m] = mul_mod(sub_mod(u, v, q), tws[j], q);
+            }
+        }
+    }
+}
+
+/// The DIF stages on the lazy datapath. Inputs must be `< 2q`; every
+/// intermediate stays in `[0, 2q)` (the GS butterfly multiplies *after*
+/// the subtract, so the `[0, 4q)` sum/difference feeds straight into a
+/// lazy multiply or a conditional subtract). Outputs are in `[0, 2q)` —
+/// one [`modmath::shoup::reduce_once`] pass normalizes.
+///
+/// # Panics
+///
+/// Panics if `data.len() != plan.n()` or the plan is not on the lazy
+/// datapath.
+pub fn dif_to_bitrev_lazy(plan: &NttPlan, data: &mut [u64], inverse: bool) {
+    let n = plan.n();
+    assert_eq!(data.len(), n, "length mismatch");
+    assert!(
+        plan.uses_lazy(),
+        "modulus exceeds the Shoup lazy bound (q < 2^62)"
+    );
+    let q = plan.modulus();
+    for s in (0..plan.log_n()).rev() {
+        let m = 1usize << s;
+        let tws = plan.dit_stage_twiddles(s, inverse);
+        let tws_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                let u = data[k + j]; // < 2q
+                let v = data[k + j + m]; // < 2q
+                data[k + j] = shoup::reduce_twice(shoup::add_lazy(u, v, q), q); // < 2q
+                data[k + j + m] =
+                    shoup::mul_lazy(shoup::sub_lazy(u, v, q), tws[j], tws_shoup[j], q);
             }
         }
     }
@@ -88,8 +210,15 @@ pub fn inverse_via_dif(plan: &NttPlan, data: &mut [u64]) {
     modmath::bitrev::bitrev_permute(data);
     let q = plan.modulus();
     let n_inv = plan.n_inv();
-    for x in data.iter_mut() {
-        *x = mul_mod(*x, n_inv, q);
+    if plan.uses_lazy() {
+        let n_inv_shoup = plan.n_inv_shoup();
+        for x in data.iter_mut() {
+            *x = shoup::mul_mod(*x, n_inv, n_inv_shoup, q);
+        }
+    } else {
+        for x in data.iter_mut() {
+            *x = mul_mod(*x, n_inv, q);
+        }
     }
 }
 
@@ -117,6 +246,39 @@ mod tests {
             p.forward(&mut got);
             assert_eq!(got, expect, "n={n}");
         }
+    }
+
+    #[test]
+    fn lazy_and_widening_kernels_agree() {
+        for n in [2usize, 8, 64, 256] {
+            let p = plan(n);
+            assert!(p.uses_lazy());
+            for inverse in [false, true] {
+                let mut lazy = ramp(n, p.modulus());
+                let mut wide = lazy.clone();
+                dit_from_bitrev(&p, &mut lazy, inverse);
+                dit_from_bitrev_widening(&p, &mut wide, inverse);
+                assert_eq!(lazy, wide, "dit n={n} inverse={inverse}");
+                let mut lazy = ramp(n, p.modulus());
+                let mut wide = lazy.clone();
+                dif_to_bitrev(&p, &mut lazy, inverse);
+                dif_to_bitrev_widening(&p, &mut wide, inverse);
+                assert_eq!(lazy, wide, "dif n={n} inverse={inverse}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_kernel_outputs_stay_below_4q() {
+        let p = plan(128);
+        let q = p.modulus();
+        let mut v = ramp(128, q);
+        dit_from_bitrev_lazy(&p, &mut v, false);
+        assert!(v.iter().all(|&x| x < 4 * q), "raw lazy outputs < 4q");
+        modmath::shoup::normalize(&mut v, q);
+        let mut expect = ramp(128, q);
+        dit_from_bitrev_widening(&p, &mut expect, false);
+        assert_eq!(v, expect);
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`iterative`] — the classic in-place Cooley–Tukey DIT (bit-reversed
 //!   input → natural output) and Gentleman–Sande DIF (natural → bit-reversed),
 //!   forward and inverse. The DIT graph with its geometric per-group twiddle
-//!   sequences is exactly what the PIM compute unit executes.
+//!   sequences is exactly what the PIM compute unit executes. Both graphs
+//!   run on the Shoup/Harvey lazy-reduction datapath
+//!   ([`modmath::shoup`]) whenever `q < 2⁶²`, with the 128-bit widening
+//!   kernel as the fallback above that bound.
 //! * [`blocked`] — the same DIT transform reorganized into the paper's
 //!   row-centric decomposition (§III.A): independent block-local stages
 //!   followed by cross-block stages. This is the software mirror of the
@@ -24,8 +27,9 @@
 //!   parallel FFT algorithms \[17\]).
 //! * [`stockham`] — self-sorting dataflow \[18\].
 //! * [`four_step`] — cache-friendly four-step decomposition (extension).
-//! * [`fast32`] — a Montgomery-datapath 32-bit plan, the *tuned* software
-//!   baseline used for honest measured-CPU comparisons.
+//! * [`fast32`] — a 32-bit façade over the shared Shoup-lazy datapath,
+//!   the *tuned* software baseline used for honest measured-CPU
+//!   comparisons.
 //! * [`radix4`] — mixed radix-4/2 DIT, the classic compute-bound
 //!   optimization the memory-bound PIM mapping deliberately skips.
 //! * [`naive`] — O(N²) evaluation, the ground truth.

@@ -6,10 +6,20 @@
 //! The per-stage *step* values ([`NttPlan::dit_stage_step`]) are the same
 //! `rω` parameters the PIM memory controller feeds the hardware twiddle
 //! factor generator, so the plan doubles as the MC's parameter source.
+//!
+//! Whenever the modulus fits the lazy bound (`q < 2⁶²`,
+//! [`modmath::shoup::supports`]) the plan additionally carries Shoup
+//! quotients for every twiddle and scaling constant, and the transforms
+//! run the Harvey lazy-reduction kernels ([`crate::iterative`]) — one
+//! `mulhi`-based multiply per butterfly instead of a 128-bit remainder,
+//! with a single normalization pass at the end. Larger moduli fall back
+//! to the widening kernels transparently; [`NttPlan::uses_lazy`] reports
+//! which datapath a plan is on.
 
 use modmath::arith::{mul_mod, pow_mod};
 use modmath::bitrev::bitrev_permute;
 use modmath::prime::NttField;
+use modmath::shoup;
 
 /// A prepared length-`N` NTT over `Z_q`.
 ///
@@ -39,11 +49,26 @@ pub struct NttPlan {
     dit_tw: Vec<Vec<u64>>,
     /// Same tables for `ω⁻¹` (inverse transform).
     dit_tw_inv: Vec<Vec<u64>>,
+    /// Shoup quotients matching `dit_tw` (empty stages when the modulus
+    /// exceeds the lazy bound).
+    dit_tw_shoup: Vec<Vec<u64>>,
+    /// Shoup quotients matching `dit_tw_inv`.
+    dit_tw_inv_shoup: Vec<Vec<u64>>,
+    /// Per-stage geometric steps `ω^(N / 2^(s+1))`, stored at build.
+    dit_steps: Vec<u64>,
+    /// Same for `ω⁻¹`.
+    dit_steps_inv: Vec<u64>,
     /// `ψ^i` for negacyclic pre-weighting.
     psi_pows: Vec<u64>,
     /// `ψ⁻ⁱ` for negacyclic post-weighting.
     psi_inv_pows: Vec<u64>,
+    /// Shoup quotients of `psi_pows` (empty when not lazy).
+    psi_pows_shoup: Vec<u64>,
+    /// Shoup quotients of `psi_inv_pows` (empty when not lazy).
+    psi_inv_pows_shoup: Vec<u64>,
     n_inv: u64,
+    n_inv_shoup: u64,
+    lazy: bool,
 }
 
 impl NttPlan {
@@ -52,11 +77,20 @@ impl NttPlan {
         let n = field.n();
         let q = field.modulus();
         let log_n = n.trailing_zeros();
-        let build = |w: u64| -> Vec<Vec<u64>> {
-            (0..log_n)
-                .map(|s| {
+        let lazy = shoup::supports(q);
+        // Tables and the per-stage steps they are generated from. The
+        // stage-`s` step is ω^(N/2^(s+1)); for s = 0 that is ω^(N/2) = −1,
+        // which also serves as the defined "step" of the single-twiddle
+        // stage (consistent with the hardware generator's formula).
+        let build = |w: u64| -> (Vec<Vec<u64>>, Vec<u64>) {
+            let steps: Vec<u64> = (0..log_n)
+                .map(|s| pow_mod(w, (n >> (s + 1)) as u64, q))
+                .collect();
+            let tables = steps
+                .iter()
+                .enumerate()
+                .map(|(s, &step)| {
                     let m = 1usize << s; // butterfly span at stage s
-                    let step = pow_mod(w, (n >> (s + 1)) as u64, q);
                     let mut tws = Vec::with_capacity(m);
                     let mut cur = 1u64;
                     for _ in 0..m {
@@ -65,6 +99,16 @@ impl NttPlan {
                     }
                     tws
                 })
+                .collect();
+            (tables, steps)
+        };
+        let quotients = |tables: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            if !lazy {
+                return tables.iter().map(|_| Vec::new()).collect();
+            }
+            tables
+                .iter()
+                .map(|tws| tws.iter().map(|&w| shoup::precompute(w, q)).collect())
                 .collect()
         };
         let w = field.root_of_unity();
@@ -80,14 +124,31 @@ impl NttPlan {
             p = mul_mod(p, psi, q);
             pi = mul_mod(pi, psi_inv, q);
         }
+        let psi_quotients = |pows: &[u64]| -> Vec<u64> {
+            if !lazy {
+                return Vec::new();
+            }
+            pows.iter().map(|&w| shoup::precompute(w, q)).collect()
+        };
+        let (dit_tw, dit_steps) = build(w);
+        let (dit_tw_inv, dit_steps_inv) = build(w_inv);
+        let n_inv = field.n_inv();
         Self {
             field,
             log_n,
-            dit_tw: build(w),
-            dit_tw_inv: build(w_inv),
+            dit_tw_shoup: quotients(&dit_tw),
+            dit_tw_inv_shoup: quotients(&dit_tw_inv),
+            dit_tw,
+            dit_tw_inv,
+            dit_steps,
+            dit_steps_inv,
+            psi_pows_shoup: psi_quotients(&psi_pows),
+            psi_inv_pows_shoup: psi_quotients(&psi_inv_pows),
             psi_pows,
             psi_inv_pows,
-            n_inv: field.n_inv(),
+            n_inv,
+            n_inv_shoup: if lazy { shoup::precompute(n_inv, q) } else { 0 },
+            lazy,
         }
     }
 
@@ -121,6 +182,20 @@ impl NttPlan {
         self.n_inv
     }
 
+    /// The Shoup quotient of `N⁻¹` (only meaningful when
+    /// [`Self::uses_lazy`]).
+    #[inline]
+    pub fn n_inv_shoup(&self) -> u64 {
+        self.n_inv_shoup
+    }
+
+    /// Whether this plan runs the Shoup/Harvey lazy-reduction kernels
+    /// (`q < 2⁶²`) rather than the 128-bit widening fallback.
+    #[inline]
+    pub fn uses_lazy(&self) -> bool {
+        self.lazy
+    }
+
     /// Twiddle table of DIT stage `s` (0-indexed): `2^s` entries shared by
     /// every butterfly group of the stage.
     #[inline]
@@ -132,22 +207,26 @@ impl NttPlan {
         }
     }
 
+    /// Shoup quotients matching [`Self::dit_stage_twiddles`]. Empty when
+    /// the plan is not on the lazy datapath.
+    #[inline]
+    pub fn dit_stage_twiddles_shoup(&self, s: u32, inverse: bool) -> &[u64] {
+        if inverse {
+            &self.dit_tw_inv_shoup[s as usize]
+        } else {
+            &self.dit_tw_shoup[s as usize]
+        }
+    }
+
     /// The geometric step `rω = ω^(N / 2^(s+1))` of DIT stage `s` — the
     /// value the PIM twiddle factor generator multiplies by per butterfly.
+    /// Stored at plan build (one table lookup, no recomputation).
     #[inline]
     pub fn dit_stage_step(&self, s: u32, inverse: bool) -> u64 {
-        let table = self.dit_stage_twiddles(s, inverse);
-        if table.len() >= 2 {
-            table[1]
+        if inverse {
+            self.dit_steps_inv[s as usize]
         } else {
-            // Stage 0 has a single unit twiddle; its step is irrelevant but
-            // defined as ω^(N/2) = -1 for consistency with the formula.
-            let w = if inverse {
-                self.field.root_of_unity_inv()
-            } else {
-                self.field.root_of_unity()
-            };
-            pow_mod(w, (self.n() >> 1) as u64, self.modulus())
+            self.dit_steps[s as usize]
         }
     }
 
@@ -163,10 +242,23 @@ impl NttPlan {
         &self.psi_inv_pows
     }
 
+    /// Shoup quotients of [`Self::psi_pows`] (empty when not lazy).
+    #[inline]
+    pub fn psi_pows_shoup(&self) -> &[u64] {
+        &self.psi_pows_shoup
+    }
+
+    /// Shoup quotients of [`Self::psi_inv_pows`] (empty when not lazy).
+    #[inline]
+    pub fn psi_inv_pows_shoup(&self) -> &[u64] {
+        &self.psi_inv_pows_shoup
+    }
+
     /// Forward cyclic NTT, natural order in and out.
     ///
     /// Performs the software bit-reversal the paper assigns to the CPU,
-    /// then the DIT butterfly stages.
+    /// then the DIT butterfly stages (lazy-reduction kernel whenever the
+    /// modulus allows it).
     ///
     /// # Panics
     ///
@@ -179,16 +271,29 @@ impl NttPlan {
 
     /// Inverse cyclic NTT, natural order in and out (includes `N⁻¹` scaling).
     ///
+    /// On the lazy datapath the final normalization is fused into the
+    /// `N⁻¹` scaling multiply, so the whole inverse costs exactly one
+    /// pass more than the butterfly stages.
+    ///
     /// # Panics
     ///
     /// Panics if `data.len() != self.n()`.
     pub fn inverse(&self, data: &mut [u64]) {
         assert_eq!(data.len(), self.n(), "length mismatch");
         bitrev_permute(data);
-        crate::iterative::dit_from_bitrev(self, data, true);
         let q = self.modulus();
-        for x in data.iter_mut() {
-            *x = mul_mod(*x, self.n_inv, q);
+        if self.lazy {
+            crate::iterative::dit_from_bitrev_lazy(self, data, true);
+            for x in data.iter_mut() {
+                // mul_lazy accepts the unnormalized [0, 4q) values, so one
+                // Shoup multiply + conditional subtract finishes the job.
+                *x = shoup::mul_mod(*x, self.n_inv, self.n_inv_shoup, q);
+            }
+        } else {
+            crate::iterative::dit_from_bitrev_widening(self, data, true);
+            for x in data.iter_mut() {
+                *x = mul_mod(*x, self.n_inv, q);
+            }
         }
     }
 
@@ -200,8 +305,17 @@ impl NttPlan {
     pub fn forward_negacyclic(&self, data: &mut [u64]) {
         assert_eq!(data.len(), self.n(), "length mismatch");
         let q = self.modulus();
-        for (x, p) in data.iter_mut().zip(&self.psi_pows) {
-            *x = mul_mod(*x, *p, q);
+        if self.lazy {
+            for (x, (&p, &ps)) in data
+                .iter_mut()
+                .zip(self.psi_pows.iter().zip(&self.psi_pows_shoup))
+            {
+                *x = shoup::mul_mod(*x, p, ps, q);
+            }
+        } else {
+            for (x, p) in data.iter_mut().zip(&self.psi_pows) {
+                *x = mul_mod(*x, *p, q);
+            }
         }
         self.forward(data);
     }
@@ -215,8 +329,17 @@ impl NttPlan {
         assert_eq!(data.len(), self.n(), "length mismatch");
         self.inverse(data);
         let q = self.modulus();
-        for (x, p) in data.iter_mut().zip(&self.psi_inv_pows) {
-            *x = mul_mod(*x, *p, q);
+        if self.lazy {
+            for (x, (&p, &ps)) in data
+                .iter_mut()
+                .zip(self.psi_inv_pows.iter().zip(&self.psi_inv_pows_shoup))
+            {
+                *x = shoup::mul_mod(*x, p, ps, q);
+            }
+        } else {
+            for (x, p) in data.iter_mut().zip(&self.psi_inv_pows) {
+                *x = mul_mod(*x, *p, q);
+            }
         }
     }
 }
@@ -252,6 +375,35 @@ mod tests {
             p.dit_stage_step(p.log_n() - 1, false),
             p.field().root_of_unity()
         );
+    }
+
+    #[test]
+    fn stage_zero_step_is_minus_one() {
+        // The stored step of the single-twiddle stage keeps the hardware
+        // generator's defined value ω^(N/2) = −1.
+        for inverse in [false, true] {
+            let p = plan(32);
+            assert_eq!(p.dit_stage_step(0, inverse), p.modulus() - 1);
+        }
+    }
+
+    #[test]
+    fn shoup_tables_match_twiddles() {
+        let p = plan(64);
+        assert!(p.uses_lazy());
+        let q = p.modulus();
+        for s in 0..p.log_n() {
+            for inverse in [false, true] {
+                let tws = p.dit_stage_twiddles(s, inverse);
+                let quot = p.dit_stage_twiddles_shoup(s, inverse);
+                assert_eq!(tws.len(), quot.len());
+                for (&w, &ws) in tws.iter().zip(quot) {
+                    assert_eq!(ws, modmath::shoup::precompute(w, q));
+                }
+            }
+        }
+        assert_eq!(p.psi_pows_shoup().len(), p.psi_pows().len());
+        assert_eq!(p.n_inv_shoup(), modmath::shoup::precompute(p.n_inv(), q));
     }
 
     #[test]
@@ -293,5 +445,21 @@ mod tests {
         for i in 0..16 {
             assert_eq!(mul_mod(p.psi_pows()[i], p.psi_inv_pows()[i], q), 1);
         }
+    }
+
+    #[test]
+    fn oversized_modulus_takes_the_widening_path() {
+        // Largest NTT prime below 2^63 exceeds the 2^62 lazy bound.
+        let field = NttField::with_bits(8, 63).expect("prime exists");
+        assert!(field.modulus() >= modmath::shoup::LAZY_MODULUS_BOUND);
+        let p = NttPlan::new(field);
+        assert!(!p.uses_lazy());
+        assert!(p.dit_stage_twiddles_shoup(0, false).is_empty());
+        let q = p.modulus();
+        let mut v: Vec<u64> = (0..8u64).map(|i| (i * 3 + 1) % q).collect();
+        let orig = v.clone();
+        p.forward(&mut v);
+        p.inverse(&mut v);
+        assert_eq!(v, orig);
     }
 }

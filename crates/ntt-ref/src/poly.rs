@@ -1,6 +1,12 @@
 //! Polynomial arithmetic in `Z_q[X]/(X^N ± 1)` built on the fast
 //! transforms — the operation FHE actually needs (paper Eq. (1):
 //! `a∗b = NTT⁻¹(NTT(a) ⊙ NTT(b))`).
+//!
+//! The three transforms of a product run on the plan's Shoup-lazy
+//! datapath whenever the modulus allows (`q < 2⁶²`), including the `ψ`
+//! weighting passes, which use the plan's precomputed `ψ` quotients. The
+//! Hadamard product itself stays on widening multiplies: both operands
+//! vary per request, so no Shoup quotient can be precomputed for them.
 
 use crate::plan::NttPlan;
 use modmath::arith::{add_mod, mul_mod, sub_mod};

@@ -10,6 +10,7 @@
 
 use crate::plan::NttPlan;
 use modmath::arith::{add_mod, mul_mod, sub_mod};
+use modmath::shoup;
 
 /// Forward cyclic NTT, natural order in and out, Stockham dataflow
 /// (no explicit bit-reversal anywhere).
@@ -30,8 +31,15 @@ pub fn inverse(plan: &NttPlan, data: &mut [u64]) {
     transform(plan, data, true);
     let q = plan.modulus();
     let n_inv = plan.n_inv();
-    for x in data.iter_mut() {
-        *x = mul_mod(*x, n_inv, q);
+    if plan.uses_lazy() {
+        let n_inv_shoup = plan.n_inv_shoup();
+        for x in data.iter_mut() {
+            *x = shoup::mul_mod(*x, n_inv, n_inv_shoup, q);
+        }
+    } else {
+        for x in data.iter_mut() {
+            *x = mul_mod(*x, n_inv, q);
+        }
     }
 }
 
@@ -39,6 +47,7 @@ fn transform(plan: &NttPlan, data: &mut [u64], inverse: bool) {
     let n = plan.n();
     assert_eq!(data.len(), n, "length mismatch");
     let q = plan.modulus();
+    let lazy = plan.uses_lazy();
     let mut cur = data.to_vec();
     let mut next = vec![0u64; n];
     let mut l = n / 2; // butterfly distance in units of m
@@ -46,20 +55,43 @@ fn transform(plan: &NttPlan, data: &mut [u64], inverse: bool) {
     while m < n {
         // Stage twiddle table: ω^(j·N/(2l)) for j in 0..l — the DIT table of
         // the stage whose group count is l.
-        let table = plan.dit_stage_twiddles(l.trailing_zeros(), inverse);
+        let s = l.trailing_zeros();
+        let table = plan.dit_stage_twiddles(s, inverse);
         debug_assert_eq!(table.len(), l);
-        for j in 0..l {
-            let w = table[j];
-            for k in 0..m {
-                let a = cur[k + j * m];
-                let b = cur[k + j * m + l * m];
-                next[k + 2 * j * m] = add_mod(a, b, q);
-                next[k + 2 * j * m + m] = mul_mod(sub_mod(a, b, q), w, q);
+        if lazy {
+            // GS-shaped butterfly on the lazy datapath: values stay in
+            // [0, 2q) stage to stage (multiply happens after the subtract,
+            // absorbing the [0, 4q) difference immediately).
+            let table_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
+            for j in 0..l {
+                let (w, ws) = (table[j], table_shoup[j]);
+                for k in 0..m {
+                    let a = cur[k + j * m]; // < 2q
+                    let b = cur[k + j * m + l * m]; // < 2q
+                    next[k + 2 * j * m] = shoup::reduce_twice(shoup::add_lazy(a, b, q), q);
+                    next[k + 2 * j * m + m] = shoup::mul_lazy(shoup::sub_lazy(a, b, q), w, ws, q);
+                }
+            }
+        } else {
+            for j in 0..l {
+                let w = table[j];
+                for k in 0..m {
+                    let a = cur[k + j * m];
+                    let b = cur[k + j * m + l * m];
+                    next[k + 2 * j * m] = add_mod(a, b, q);
+                    next[k + 2 * j * m + m] = mul_mod(sub_mod(a, b, q), w, q);
+                }
             }
         }
         std::mem::swap(&mut cur, &mut next);
         l /= 2;
         m *= 2;
+    }
+    if lazy {
+        // Single normalization pass: [0, 2q) → [0, q).
+        for x in cur.iter_mut() {
+            *x = shoup::reduce_once(*x, q);
+        }
     }
     data.copy_from_slice(&cur);
 }

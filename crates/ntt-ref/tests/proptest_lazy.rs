@@ -1,0 +1,171 @@
+//! Property-based tests of the Shoup/Harvey lazy-reduction datapath:
+//! the `[0, 4q)` invariant of every butterfly leg through all stages,
+//! agreement of the lazy kernel with the naive negacyclic convolution
+//! on random inputs, and the behaviour at the `q < 2⁶²` capability edge
+//! (largest lazy prime) and the rejection path just above it.
+
+use modmath::prime::NttField;
+use modmath::shoup;
+use ntt_ref::plan::NttPlan;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Memoized `NttField::with_bits` — the 62/63-bit prime searches are the
+/// expensive part of these properties, and each `(n, bits)` pair is
+/// drawn many times across cases.
+fn cached_field(n: usize, bits: u32) -> NttField {
+    static FIELDS: OnceLock<Mutex<HashMap<(usize, u32), NttField>>> = OnceLock::new();
+    let fields = FIELDS.get_or_init(Mutex::default);
+    *fields
+        .lock()
+        .unwrap()
+        .entry((n, bits))
+        .or_insert_with(|| NttField::with_bits(n, bits).expect("field exists"))
+}
+
+fn random_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 1) % q
+        })
+        .collect()
+}
+
+/// A lazy-capable plan across the whole modulus spectrum: small NTT
+/// primes up to the largest prime under the `2⁶²` capability edge.
+fn lazy_plan_strategy() -> impl Strategy<Value = (NttPlan, u64)> {
+    (
+        2u32..=7,
+        prop::sample::select(vec![14u32, 24, 31, 50, 62]),
+        any::<u64>(),
+    )
+        .prop_map(|(log_n, bits, seed)| (NttPlan::new(cached_field(1usize << log_n, bits)), seed))
+}
+
+/// Replays the lazy DIT stages butterfly by butterfly, asserting the
+/// Harvey invariant — every leg `< 4q`, every lazy product `< 2q` — at
+/// each step, and returns the unnormalized result.
+fn lazy_stages_checked(
+    plan: &NttPlan,
+    data: &mut [u64],
+    inverse: bool,
+) -> Result<(), TestCaseError> {
+    let q = plan.modulus();
+    let n = plan.n();
+    let two_q = 2 * q;
+    for s in 0..plan.log_n() {
+        let m = 1usize << s;
+        let tws = plan.dit_stage_twiddles(s, inverse);
+        let tws_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
+        for k in (0..n).step_by(2 * m) {
+            for j in 0..m {
+                prop_assert!(data[k + j] < 4 * q, "even leg in range at stage {s}");
+                prop_assert!(data[k + j + m] < 4 * q, "odd leg in range at stage {s}");
+                let u = shoup::reduce_twice(data[k + j], q);
+                let t = shoup::mul_lazy(data[k + j + m], tws[j], tws_shoup[j], q);
+                prop_assert!(t < two_q, "lazy product < 2q at stage {s}");
+                data[k + j] = u + t;
+                data[k + j + m] = u + two_q - t;
+                prop_assert!(
+                    data[k + j] < 4 * q && data[k + j + m] < 4 * q,
+                    "outputs < 4q at stage {s}"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lazy_intermediates_stay_below_4q((plan, seed) in lazy_plan_strategy()) {
+        let q = plan.modulus();
+        let x = random_poly(plan.n(), q, seed);
+        for inverse in [false, true] {
+            let mut checked = x.clone();
+            modmath::bitrev::bitrev_permute(&mut checked);
+            lazy_stages_checked(&plan, &mut checked, inverse)?;
+            prop_assert!(checked.iter().all(|&v| v < 4 * q), "final values < 4q");
+            shoup::normalize(&mut checked, q);
+            // The checked replay must equal both the production lazy
+            // kernel and the widening ground truth.
+            let mut wide = x.clone();
+            modmath::bitrev::bitrev_permute(&mut wide);
+            ntt_ref::iterative::dit_from_bitrev_widening(&plan, &mut wide, inverse);
+            prop_assert_eq!(&checked, &wide);
+            let mut lazy = x.clone();
+            modmath::bitrev::bitrev_permute(&mut lazy);
+            ntt_ref::iterative::dit_from_bitrev(&plan, &mut lazy, inverse);
+            prop_assert_eq!(&checked, &lazy);
+        }
+    }
+
+    #[test]
+    fn lazy_negacyclic_matches_naive((plan, seed) in lazy_plan_strategy()) {
+        prop_assert!(plan.uses_lazy());
+        let q = plan.modulus();
+        let a = random_poly(plan.n(), q, seed);
+        let b = random_poly(plan.n(), q, seed ^ 0x5a5a_5a5a);
+        let fast = ntt_ref::poly::mul_negacyclic(&plan, &a, &b);
+        let slow = ntt_ref::naive::negacyclic_convolution(&a, &b, q);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn edge_modulus_takes_lazy_path_and_matches_naive(log_n in 2u32..=6, seed in any::<u64>()) {
+        // The largest NTT prime under 2^62 sits right at the capability
+        // edge: still lazy, and 4q only just fits in a u64.
+        let n = 1usize << log_n;
+        let field = cached_field(n, 62);
+        let q = field.modulus();
+        prop_assert!(shoup::supports(q));
+        prop_assert!(q > (1 << 61), "edge prime is a genuine 62-bit value");
+        let plan = NttPlan::new(field);
+        prop_assert!(plan.uses_lazy());
+        let x = random_poly(n, q, seed);
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        prop_assert_eq!(got, ntt_ref::naive::ntt(plan.field(), &x));
+        let mut v = x.clone();
+        plan.forward_negacyclic(&mut v);
+        plan.inverse_negacyclic(&mut v);
+        prop_assert_eq!(v, x);
+    }
+
+    #[test]
+    fn just_above_the_bound_rejects_lazy_and_falls_back(log_n in 2u32..=6, seed in any::<u64>()) {
+        // The largest NTT prime under 2^63 exceeds the lazy bound: the
+        // capability gate must reject it and the plan must run (and stay
+        // correct on) the widening fallback.
+        let n = 1usize << log_n;
+        let field = cached_field(n, 63);
+        let q = field.modulus();
+        prop_assert!(q >= shoup::LAZY_MODULUS_BOUND, "search found a 63-bit prime");
+        prop_assert!(!shoup::supports(q));
+        prop_assert!(shoup::check_modulus(q).is_err());
+        let plan = NttPlan::new(field);
+        prop_assert!(!plan.uses_lazy());
+        prop_assert!(plan.dit_stage_twiddles_shoup(0, false).is_empty());
+        let x = random_poly(n, q, seed);
+        let mut got = x.clone();
+        plan.forward(&mut got);
+        prop_assert_eq!(got, ntt_ref::naive::ntt(plan.field(), &x));
+    }
+}
+
+#[test]
+#[should_panic(expected = "lazy bound")]
+fn lazy_kernel_refuses_oversized_moduli() {
+    // Calling the lazy kernel directly with a > 2^62 modulus must panic
+    // rather than silently overflow.
+    let plan = NttPlan::new(cached_field(8, 63));
+    let mut v = vec![0u64; 8];
+    ntt_ref::iterative::dit_from_bitrev_lazy(&plan, &mut v, false);
+}

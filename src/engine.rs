@@ -11,7 +11,12 @@
 //!   functionally simulated and cycle-timed ([`crate::core`]).
 //! * [`CpuNttEngine`] — the golden software dataflows from
 //!   [`crate::reference`] (iterative DIT, Stockham, four-step), timed by
-//!   host wall clock.
+//!   host wall clock. All three route through the shared Shoup/Harvey
+//!   lazy-reduction datapath ([`modmath::shoup`]) by default — the CPU
+//!   capability window (`q < 2⁶²`) coincides with the lazy bound, so the
+//!   widening kernel only runs when explicitly requested (benches) or
+//!   for out-of-window experiments; [`cpu_kernel_label`] names the
+//!   kernel a given modulus gets.
 //! * [`PublishedModelEngine`] — the Table III comparator models from
 //!   [`crate::baselines`], computing functionally via the golden CPU
 //!   path while reporting the device's *published* latency/energy.
@@ -436,9 +441,23 @@ impl CpuDataflow {
     }
 }
 
+/// Which software kernel the CPU engines run for modulus `q`: the
+/// Shoup/Harvey lazy-reduction datapath whenever `q` is inside the lazy
+/// bound (`q < 2⁶²`), the 128-bit widening kernel otherwise. Every
+/// modulus inside [`CpuNttEngine`]'s capability window is lazy.
+pub fn cpu_kernel_label(q: u64) -> &'static str {
+    if modmath::shoup::supports(q) {
+        "shoup-lazy"
+    } else {
+        "widening"
+    }
+}
+
 /// A CPU reference dataflow as an [`NttEngine`], with per-`(N, q)` plan
 /// caching. Latency is measured host wall clock (the honest "x86 CPU"
-/// comparison point); energy is not modeled.
+/// comparison point); energy is not modeled. Transforms run the
+/// Shoup-lazy kernel for every modulus inside the capability window
+/// (see [`cpu_kernel_label`]).
 #[derive(Debug, Clone)]
 pub struct CpuNttEngine {
     dataflow: CpuDataflow,
@@ -498,7 +517,10 @@ impl NttEngine for CpuNttEngine {
             arbitrary_modulus: true,
             native_modulus: None,
             max_n: None,
-            bitwidth: 62, // widening u128 arithmetic headroom
+            // Matches the Shoup lazy bound, so every supported modulus
+            // runs the lazy kernel (the widening path has headroom to
+            // 2^63 but is never the default inside this window).
+            bitwidth: 62,
             on_device: false,
         }
     }
@@ -770,6 +792,20 @@ mod tests {
         assert!(rep.activations.unwrap() >= 1);
         e.inverse(&mut v, Q).unwrap();
         assert_eq!(v, x);
+    }
+
+    #[test]
+    fn cpu_engines_default_to_the_lazy_kernel() {
+        // The CPU capability window (q < 2^62) coincides with the Shoup
+        // lazy bound, so every supported request runs the lazy datapath.
+        assert_eq!(CpuNttEngine::golden().caps().bitwidth, 62);
+        for q in [7681u64, 12289, 8_380_417, 2_013_265_921] {
+            assert_eq!(cpu_kernel_label(q), "shoup-lazy");
+            let psi = prime::root_of_unity(512, q).unwrap();
+            let plan = NttPlan::new(NttField::with_psi(256, q, psi).unwrap());
+            assert!(plan.uses_lazy(), "q={q}");
+        }
+        assert_eq!(cpu_kernel_label(1 << 62), "widening");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! waves on a skewed mixed-size batch) and property tests over random
 //! mixed-(N, q, kind) batches — every job assigned exactly once, bank
 //! loads within the greedy LPT bound, and results bit-identical to the
-//! CPU golden engine.
+//! CPU golden engine (which runs the Shoup-lazy kernel for every
+//! modulus drawn here — all are inside the `q < 2⁶²` lazy bound).
 
 use ntt_pim::core::config::PimConfig;
 use ntt_pim::engine::batch::{BatchExecutor, JobKind, NttJob, SchedulePolicy};

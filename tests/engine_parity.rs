@@ -6,8 +6,15 @@
 //! backend's window (e.g. N=1024 with q=7681, which lacks a 2048-th
 //! root of unity) are skipped *by the capability metadata*, never by
 //! hand-maintained lists.
+//!
+//! The golden comparisons run on the Shoup/Harvey **lazy-reduction**
+//! kernel: every grid modulus is inside the lazy bound (`q < 2⁶²`), so
+//! `CpuNttEngine`'s plans take the lazy datapath by default (asserted
+//! below) — parity across the PIM device, the CPU dataflows, and the
+//! published models therefore proves the lazy kernel against all of
+//! them at once.
 
-use ntt_pim::engine::{all_engines, CpuNttEngine, NttEngine, PimDeviceEngine};
+use ntt_pim::engine::{all_engines, cpu_kernel_label, CpuNttEngine, NttEngine, PimDeviceEngine};
 
 const LENGTHS: [usize; 3] = [256, 1024, 4096];
 const MODULI: [u64; 3] = [7681, 12289, 8_380_417];
@@ -22,6 +29,16 @@ fn poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
             (state >> 11) % q
         })
         .collect()
+}
+
+#[test]
+fn golden_grid_runs_the_lazy_kernel() {
+    // Guard for the parity suite's premise: every modulus in the grid is
+    // served by the Shoup-lazy datapath, so the golden comparisons below
+    // exercise the lazy kernel, not the widening fallback.
+    for &q in &MODULI {
+        assert_eq!(cpu_kernel_label(q), "shoup-lazy", "q={q}");
+    }
 }
 
 #[test]
