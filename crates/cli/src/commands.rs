@@ -3,7 +3,7 @@
 
 use crate::args::ParsedArgs;
 use crate::CliError;
-use ntt_pim_core::config::PimConfig;
+use ntt_pim_core::config::{PimConfig, Topology};
 use ntt_pim_core::device::{NttDirection, PimDevice};
 use ntt_pim_core::layout::PolyLayout;
 use ntt_pim_core::mapper::{map_ntt, MapperOptions, NttParams};
@@ -32,7 +32,9 @@ COMMON OPTIONS:
     --clock <mhz>    CU clock in MHz                       [default: 1200]
     --q <modulus>    odd prime with 2N | q-1               [default: auto]
     --refresh        enable tREFI/tRFC refresh modeling
-    --banks <k>      number of banks (sweep/batch)         [default: 1]
+    --channels <c>   independent channels (private bus each) [default: 1]
+    --ranks <r>      ranks per channel (own tRRD/tFAW window) [default: 1]
+    --banks <k>      banks per rank (sweep/batch)          [default: 1]
     --nb <a,b,c>     (sweep) list of buffer counts         [default: 1,2,4,6]
     --lengths <...>  (sweep) list of lengths               [default: 256..8192]
 
@@ -42,6 +44,10 @@ BATCH OPTIONS:
                      or round-robin (barrier waves)        [default: lpt]
     --lengths <...>  job lengths, cycled over the batch
                      (mixed sizes show the LPT gain)       [default: --n]
+
+The device topology is channels x ranks x banks: jobs fan across the
+product (e.g. --channels 2 --ranks 2 --banks 4 = 16-way), with LPT
+balancing channels first, then the banks within each channel.
 ";
 
 /// Dispatches a parsed command line.
@@ -67,13 +73,23 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
 fn config_from(args: &ParsedArgs) -> Result<PimConfig, CliError> {
     let nb: usize = args.get_or("nb", 2)?;
     let clock: u32 = args.get_or("clock", 1200)?;
-    let banks: u32 = args.get_or("banks", 1)?;
+    let topology = topology_from(args, 1)?;
     let config = PimConfig::hbm2e(nb)
         .with_cu_clock_mhz(clock)
-        .with_banks(banks)
+        .with_topology(topology)
         .with_refresh(args.has_flag("refresh"));
     config.validate()?;
     Ok(config)
+}
+
+/// The `--channels/--ranks/--banks` device shape (banks defaulting per
+/// subcommand: 1 for single-bank commands, 16 for `batch`).
+fn topology_from(args: &ParsedArgs, default_banks: u32) -> Result<Topology, CliError> {
+    Ok(Topology::new(
+        args.get_or("channels", 1)?,
+        args.get_or("ranks", 1)?,
+        args.get_or("banks", default_banks)?,
+    ))
 }
 
 fn modulus_for(args: &ParsedArgs, n: usize) -> Result<u32, CliError> {
@@ -251,7 +267,7 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     if jobs_n == 0 {
         return Err(CliError::usage("--jobs must be at least 1"));
     }
-    let banks: u32 = args.get_or("banks", 16)?;
+    let topology = topology_from(args, 16)?;
     let nb: usize = args.get_or("nb", 2)?;
     let clock: u32 = args.get_or("clock", 1200)?;
     let policy: SchedulePolicy = args.get_or("schedule", SchedulePolicy::Lpt)?;
@@ -262,7 +278,7 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     }
     let config = PimConfig::hbm2e(nb)
         .with_cu_clock_mhz(clock)
-        .with_banks(banks)
+        .with_topology(topology)
         .with_refresh(args.has_flag("refresh"));
     config.validate()?;
 
@@ -313,7 +329,9 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     let mut outp = String::new();
     let _ = writeln!(
         outp,
-        "batched NTTs  lengths={lengths_str}  jobs={jobs_n}  banks={banks}  Nb={nb}"
+        "batched NTTs  lengths={lengths_str}  jobs={jobs_n}  topology={topology} \
+         ({} banks)  Nb={nb}",
+        config.total_banks()
     );
     let _ = writeln!(outp, "  schedule       : {:>12}", policy.to_string());
     let _ = writeln!(outp, "  waves          : {:>12}", out.waves);
@@ -330,6 +348,15 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     );
     let _ = writeln!(outp, "  energy         : {:>12.2} nJ", out.energy_nj);
     let _ = writeln!(outp, "  bus slots      : {:>12}", out.bus_slots);
+    if out.per_channel_bus_slots.len() > 1 {
+        let per_channel = out
+            .per_channel_bus_slots
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" / ");
+        let _ = writeln!(outp, "  per channel    : {per_channel:>12}");
+    }
     let _ = writeln!(outp, "  rank ACTs      : {:>12}", out.rank_acts);
     let _ = writeln!(
         outp,
@@ -429,6 +456,26 @@ mod tests {
         let out = run_line("batch --jobs 4 --banks 4 --lengths 64,128").unwrap();
         assert!(out.contains("lengths=64,128"), "{out}");
         assert!(out.contains("schedule       :          lpt"), "{out}");
+    }
+
+    #[test]
+    fn batch_accepts_a_sharded_topology() {
+        let out =
+            run_line("batch --n 256 --jobs 8 --channels 2 --ranks 2 --banks 2 --nb 2").unwrap();
+        assert!(out.contains("topology=2x2x2 (8 banks)"), "{out}");
+        assert!(out.contains("per channel"), "{out}");
+        assert!(out.contains("bank   7"), "{out}");
+        assert!(out.contains("verification   : OK"));
+        // Degenerate levels are rejected up front.
+        assert!(run_line("batch --n 256 --jobs 2 --channels 0 --banks 2").is_err());
+    }
+
+    #[test]
+    fn run_accepts_topology_flags_without_changing_results() {
+        // Single-request commands only use bank 0; extra channels/ranks
+        // must parse and not disturb the report.
+        let out = run_line("run --n 256 --nb 2 --channels 2 --ranks 2 --banks 2").unwrap();
+        assert!(out.contains("N=256"));
     }
 
     #[test]

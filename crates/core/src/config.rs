@@ -3,6 +3,8 @@
 use crate::PimError;
 use dram_sim::timing::{Geometry, TimingParams};
 
+pub use dram_sim::channel::{BankLocation, Topology};
+
 /// Compute-unit latencies, in CU-clock cycles.
 ///
 /// The paper reports a fully pipelined butterfly unit meeting 1200 MHz with
@@ -49,7 +51,8 @@ impl Default for CuTiming {
     }
 }
 
-/// Full PIM configuration: DRAM timing/geometry, buffer count, CU clocks.
+/// Full PIM configuration: DRAM timing/geometry, device topology, buffer
+/// count, CU clocks.
 ///
 /// # Example
 ///
@@ -58,6 +61,10 @@ impl Default for CuTiming {
 /// assert_eq!(cfg.n_bufs, 4);
 /// assert_eq!(cfg.na(), 8);
 /// assert_eq!(cfg.row_words(), 256);
+///
+/// // Scale the device out to 2 channels × 2 ranks × 4 banks.
+/// let sharded = cfg.with_topology(ntt_pim_core::config::Topology::new(2, 2, 4));
+/// assert_eq!(sharded.total_banks(), 16);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PimConfig {
@@ -65,6 +72,11 @@ pub struct PimConfig {
     pub timing: TimingParams,
     /// Bank geometry.
     pub geometry: Geometry,
+    /// Device topology: `channels × ranks × banks`. `topology.banks`
+    /// mirrors `geometry.banks` (banks per rank); use
+    /// [`PimConfig::with_banks`] / [`PimConfig::with_topology`] so the
+    /// two stay consistent ([`PimConfig::validate`] rejects a mismatch).
+    pub topology: Topology,
     /// Total number of atom buffers `Nb`, *including* the primary (GSA).
     /// `Nb = 1` is the single-buffer strawman; `Nb = 2` the dual-buffer
     /// baseline; larger values enable pipelining.
@@ -85,6 +97,7 @@ impl PimConfig {
         Self {
             timing: TimingParams::hbm2e(),
             geometry: Geometry::hbm2e_single_bank(),
+            topology: Topology::single_rank(1),
             n_bufs: nb,
             cu_clock_mhz: 1200,
             cu: CuTiming::dac23(),
@@ -98,10 +111,37 @@ impl PimConfig {
         self
     }
 
-    /// Same configuration with `banks` banks (bank-level parallelism).
+    /// Same configuration with `banks` banks *per rank* (bank-level
+    /// parallelism); channels and ranks are unchanged.
     pub fn with_banks(mut self, banks: u32) -> Self {
         self.geometry.banks = banks;
+        self.topology.banks = banks;
         self
+    }
+
+    /// Same configuration with a full `channels × ranks × banks` device
+    /// topology (`geometry.banks` follows `topology.banks`).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self.geometry.banks = topology.banks;
+        self
+    }
+
+    /// Total banks across the whole device
+    /// (`channels × ranks × banks`) — the fan-out available to the batch
+    /// scheduler.
+    pub fn total_banks(&self) -> usize {
+        self.topology.total_banks()
+    }
+
+    /// Decodes a global bank id into its `(channel, rank, bank)` place in
+    /// the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `global_bank >= total_banks()`.
+    pub fn bank_location(&self, global_bank: usize) -> BankLocation {
+        self.topology.location(global_bank)
     }
 
     /// Same configuration with refresh modeling switched on or off.
@@ -146,6 +186,32 @@ impl PimConfig {
         if self.geometry.banks == 0 {
             return Err(PimError::BadConfig {
                 reason: "a chip needs at least one bank".into(),
+            });
+        }
+        if !self.topology.is_valid() {
+            return Err(PimError::BadConfig {
+                reason: format!(
+                    "topology {} needs at least one channel, rank, and bank",
+                    self.topology
+                ),
+            });
+        }
+        if self.topology.banks != self.geometry.banks {
+            return Err(PimError::BadConfig {
+                reason: format!(
+                    "topology says {} banks per rank but geometry says {}; \
+                     use with_banks/with_topology to keep them in sync",
+                    self.topology.banks, self.geometry.banks
+                ),
+            });
+        }
+        if self.total_banks() > 4096 {
+            return Err(PimError::BadConfig {
+                reason: format!(
+                    "topology {} has {} banks; the model caps the device at 4096",
+                    self.topology,
+                    self.total_banks()
+                ),
             });
         }
         Ok(())
@@ -248,6 +314,40 @@ mod tests {
         assert!((ratio - 4.0).abs() < 0.01, "4x slower clock, got {ratio}");
         // DRAM timing unchanged.
         assert_eq!(fast.timing.resolve(), slow.timing.resolve());
+    }
+
+    #[test]
+    fn topology_defaults_to_single_rank_and_scales() {
+        let c = PimConfig::hbm2e(2);
+        assert_eq!(c.topology, Topology::single_rank(1));
+        assert_eq!(c.total_banks(), 1);
+        // with_banks keeps the legacy meaning: banks per (single) rank.
+        let c16 = c.with_banks(16);
+        assert_eq!(c16.topology, Topology::single_rank(16));
+        assert_eq!(c16.total_banks(), 16);
+        c16.validate().unwrap();
+        // Full sharding: 2 channels × 2 ranks × 4 banks.
+        let sharded = c.with_topology(Topology::new(2, 2, 4));
+        assert_eq!(sharded.total_banks(), 16);
+        assert_eq!(sharded.geometry.banks, 4);
+        sharded.validate().unwrap();
+        let loc = sharded.bank_location(13);
+        assert_eq!((loc.channel, loc.rank, loc.bank), (1, 1, 1));
+        // Ordering of the builders does not matter for consistency.
+        let reordered = c.with_topology(Topology::new(2, 2, 1)).with_banks(4);
+        assert_eq!(reordered.topology, Topology::new(2, 2, 4));
+        reordered.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inconsistent_or_degenerate_topologies() {
+        let mut c = PimConfig::hbm2e(2).with_topology(Topology::new(2, 2, 4));
+        c.geometry.banks = 16; // desynced by hand
+        assert!(c.validate().is_err());
+        let zero = PimConfig::hbm2e(2).with_topology(Topology::new(0, 1, 1));
+        assert!(zero.validate().is_err());
+        let huge = PimConfig::hbm2e(2).with_topology(Topology::new(64, 64, 64));
+        assert!(huge.validate().is_err());
     }
 
     #[test]

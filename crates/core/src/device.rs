@@ -160,10 +160,15 @@ pub struct QueueReport {
     pub latency_ns: f64,
     /// Total energy across banks, nJ.
     pub energy_nj: f64,
-    /// Shared command-bus slots the batch consumed.
+    /// Command-bus slots the batch consumed (summed over channels).
     pub bus_slots: u64,
-    /// Rank-level activations (tRRD/tFAW-coupled across banks).
+    /// Rank-level activations (summed over ranks).
     pub rank_acts: u64,
+    /// Bus slots per channel — how evenly the hierarchical scheduler
+    /// spread bus pressure across the topology's channels.
+    pub per_channel_bus_slots: Vec<u64>,
+    /// Activations per rank (global rank order, `channel * ranks + rank`).
+    pub per_rank_acts: Vec<u64>,
 }
 
 impl QueueReport {
@@ -181,6 +186,8 @@ impl QueueReport {
             latency_ns: qt.latency_ns(),
             bus_slots: qt.bus_slots,
             rank_acts: qt.rank_acts,
+            per_channel_bus_slots: qt.per_channel_bus_slots.clone(),
+            per_rank_acts: qt.per_rank_acts.clone(),
         }
     }
 }
@@ -216,7 +223,10 @@ impl PimDevice {
     /// Propagates [`PimError::BadConfig`] from validation.
     pub fn new(config: PimConfig) -> Result<Self, PimError> {
         config.validate()?;
-        let banks = (0..config.geometry.banks)
+        // One functional simulator per *global* bank across the whole
+        // `channels × ranks × banks` topology (values are independent of
+        // where a bank sits; only timing sees the hierarchy).
+        let banks = (0..config.total_banks())
             .map(|_| FunctionalSim::new(&config))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {

@@ -5,6 +5,12 @@
 //! passed"). A [`PolyLayout`] pins a length-`N` polynomial contiguously
 //! from an atom-aligned word address and answers the mapper's addressing
 //! questions.
+//!
+//! Layouts are *bank-local*: the same `(row, col, lane)` coordinates
+//! apply no matter where the bank sits in the device's
+//! `channels × ranks × banks` shape ([`crate::config::Topology`]) —
+//! placement never needs to know the topology, only the scheduler
+//! ([`crate::sched`]) does.
 
 use crate::config::PimConfig;
 use crate::PimError;

@@ -16,7 +16,8 @@
 //!
 //! * [`config`] — architecture parameters: `Na = 8`-word atom buffers,
 //!   1 KB rows, CU latencies C1 = 15 / C2 = 10 cycles, buffer count `Nb`
-//!   (Table I, §IV).
+//!   (Table I, §IV), and the device topology
+//!   ([`config::Topology`]: `channels × ranks × banks`).
 //! * [`cmd`] — the extended DRAM command set: `CU-read`, `CU-write`, `C1`,
 //!   `C2`, parameter broadcast, and the scalar-register µ-command fallback
 //!   used by the single-buffer strawman (§III.D, §IV.A).
@@ -30,7 +31,9 @@
 //!   inter-row, with in-place update, pipelined interleaving, and same-row
 //!   grouping (§III, §V).
 //! * [`sched`] — in-order issue engine that turns a logical command stream
-//!   into a timed, validated schedule with automatic row management.
+//!   into a timed, validated schedule with automatic row management; the
+//!   multi-bank entry points give every channel its own command bus and
+//!   every rank its own tRRD/tFAW window.
 //! * [`sim`] — functional co-simulation (the paper's front-end-driver
 //!   verification loop, §VI.A).
 //! * [`area`] — the Table II area model.

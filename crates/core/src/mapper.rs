@@ -18,6 +18,14 @@
 //! *order* automatically change the activation count, exactly as in real
 //! hardware.
 //!
+//! Mapping is also *topology-agnostic*: a program targets one bank, and
+//! the same program is valid on any bank of any
+//! `channels × ranks × banks` device ([`crate::config::Topology`]).
+//! Cross-bank concerns — which channel's bus a command claims, which
+//! rank's tFAW window an ACT consumes — appear only when the scheduler
+//! places programs on global banks
+//! ([`crate::sched::schedule_queues`]).
+//!
 //! The single-buffer configuration (`Nb = 1`, §III.B's strawman) cannot
 //! hold two operand atoms, so inter-atom stages fall back to scalar
 //! register µ-commands with three atom reads and two writes per butterfly

@@ -24,6 +24,15 @@
 //! the shared command bus and the rank's tRRD/tFAW window couple the banks.
 //! [`lpt_assign`] is the matching longest-processing-time bin-packing
 //! helper that builds balanced queues from per-job cost estimates.
+//!
+//! Both multi-bank entry points are topology-aware: banks are indexed
+//! globally across the config's `channels × ranks × banks` device shape
+//! ([`crate::config::Topology`]), each channel gets its own command bus,
+//! and each rank its own tRRD/tFAW window — so two banks couple through a
+//! bus only when they share a channel, and through an activation window
+//! only when they share a rank. [`lpt_assign_topology`] is the matching
+//! hierarchical scheduler: LPT across channels first (the scarce, fully
+//! independent resource), then LPT across the banks within each channel.
 
 use crate::cmd::{BufId, PimCommand};
 use crate::config::PimConfig;
@@ -115,10 +124,16 @@ pub struct QueueTimeline {
     pub job_end_ps: Vec<Vec<u64>>,
     /// Completion of the slowest bank, ps.
     pub end_ps: u64,
-    /// Shared-bus slots issued across all banks.
+    /// Shared-bus slots issued across all banks (summed over channels).
     pub bus_slots: u64,
-    /// Rank-level activation count (tRRD/tFAW-coupled, across banks).
+    /// Rank-level activation count (summed over ranks).
     pub rank_acts: u64,
+    /// Bus slots per channel (indexed by channel id) — the per-channel
+    /// contention picture behind the `bus_slots` total.
+    pub per_channel_bus_slots: Vec<u64>,
+    /// Activations per rank (indexed by global rank id,
+    /// `channel * ranks + rank`).
+    pub per_rank_acts: Vec<u64>,
 }
 
 impl QueueTimeline {
@@ -654,12 +669,38 @@ pub fn schedule_parallel(
 /// behind cost-model-driven batch scheduling: skewed queues let fast
 /// banks race ahead instead of idling at a full-chip barrier.
 ///
-/// `queues[b]` is bank `b`'s program sequence (may be empty).
+/// `queues[b]` is *global* bank `b`'s program sequence (may be empty);
+/// global bank ids enumerate the config topology channel-major (see
+/// [`crate::config::Topology::location`]), so queues on different
+/// channels share nothing and queues on different ranks of one channel
+/// share only the bus.
+///
+/// ```
+/// use ntt_pim_core::config::PimConfig;
+/// use ntt_pim_core::device::{NttDirection, PimDevice, StoredOrder};
+/// use ntt_pim_core::sched::schedule_queues;
+///
+/// # fn main() -> Result<(), ntt_pim_core::PimError> {
+/// let config = PimConfig::hbm2e(2).with_banks(2);
+/// let mut dev = PimDevice::new(config)?;
+/// let coeffs: Vec<u32> = (0..256).collect();
+/// // Bank 0 queues two transforms, bank 1 one: no barrier between them.
+/// let h0 = dev.load_in_bank(0, 0, &coeffs, 7681, StoredOrder::BitReversed)?;
+/// let h1 = dev.load_in_bank(1, 0, &coeffs, 7681, StoredOrder::BitReversed)?;
+/// let p0 = dev.build_ntt_program(&h0, NttDirection::Forward)?;
+/// let p1 = dev.build_ntt_program(&h1, NttDirection::Forward)?;
+/// let qt = schedule_queues(&config, &[vec![p0.clone(), p0], vec![p1]])?;
+/// assert_eq!(qt.job_end_ps[0].len(), 2);
+/// assert!(qt.job_end_ps[0][0] < qt.job_end_ps[0][1]);
+/// assert!(qt.end_ps >= qt.banks[1].end_ps);
+/// # Ok(())
+/// # }
+/// ```
 ///
 /// # Errors
 ///
-/// [`PimError::BadConfig`] when more queues than banks are supplied;
-/// otherwise as [`schedule`].
+/// [`PimError::BadConfig`] when more queues than (total) banks are
+/// supplied; otherwise as [`schedule`].
 pub fn schedule_queues(
     config: &PimConfig,
     queues: &[Vec<Program>],
@@ -670,24 +711,38 @@ pub fn schedule_queues(
 
 /// Shared issue loop of [`schedule_parallel`] and [`schedule_queues`]:
 /// round-robin command interleave across banks, one stateful engine per
-/// bank, program-boundary completion times recorded per queue.
+/// bank, program-boundary completion times recorded per queue. One
+/// command bus per channel, one [`RankTimer`] per rank — the topology's
+/// coupling structure.
 fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueTimeline, PimError> {
     config.validate()?;
-    if queues.len() > config.geometry.banks as usize {
+    let topo = config.topology;
+    if queues.len() > topo.total_banks() {
         return Err(PimError::BadConfig {
             reason: format!(
-                "{} program queues for {} banks",
+                "{} program queues for {} banks (topology {topo})",
                 queues.len(),
-                config.geometry.banks
+                topo.total_banks(),
             ),
         });
     }
     let resolved = config.timing.resolve();
     // The fair (slot-map) bus lives in dram-sim so chip-level models and
-    // this scheduler share one definition of "shared command bus".
-    let mut bus = dram_sim::chip::FairBus::new(resolved.cycle_ps);
-    // Banks share the rank: tRRD/tFAW couple their activations.
-    let mut rank = RankTimer::new(&resolved);
+    // this scheduler share one definition of "shared command bus"; each
+    // channel gets its own.
+    let mut buses: Vec<dram_sim::chip::FairBus> = (0..topo.channels)
+        .map(|_| dram_sim::chip::FairBus::new(resolved.cycle_ps))
+        .collect();
+    // Banks of one rank share that rank's timer: tRRD/tFAW couple their
+    // activations. Ranks are independent of each other.
+    let mut ranks: Vec<RankTimer> = (0..topo.total_ranks())
+        .map(|_| RankTimer::new(&resolved))
+        .collect();
+    // Per-bank routing: which bus and which rank timer bank b talks to.
+    let bank_channel: Vec<usize> = (0..queues.len())
+        .map(|b| topo.location(b).channel as usize)
+        .collect();
+    let bank_rank: Vec<usize> = (0..queues.len()).map(|b| topo.global_rank(b)).collect();
     let mut engines: Vec<Engine> = queues.iter().map(|_| Engine::new(config)).collect();
     let mut prog_idx = vec![0usize; queues.len()];
     let mut cmd_idx = vec![0usize; queues.len()];
@@ -708,7 +763,11 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
                 continue;
             }
             let prog = queues[b][prog_idx[b]];
-            engines[b].issue(&prog.commands[cmd_idx[b]], &mut bus, &mut rank)?;
+            engines[b].issue(
+                &prog.commands[cmd_idx[b]],
+                &mut buses[bank_channel[b]],
+                &mut ranks[bank_rank[b]],
+            )?;
             cmd_idx[b] += 1;
             for e in &engines[b].events[seen_events[b]..] {
                 max_end[b] = max_end[b].max(e.end_ps);
@@ -723,7 +782,11 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
                 // close it, and let the next program pay its own ACT.
                 // (Nothing follows on this bank → no row to hand over.)
                 if prog_idx[b] < queues[b].len() {
-                    engines[b].issue_inner(&PimCommand::Pre, &mut bus, &mut rank)?;
+                    engines[b].issue_inner(
+                        &PimCommand::Pre,
+                        &mut buses[bank_channel[b]],
+                        &mut ranks[bank_rank[b]],
+                    )?;
                     seen_events[b] = engines[b].events.len();
                 }
             }
@@ -735,12 +798,16 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
     }
     let banks: Vec<Timeline> = engines.into_iter().map(Engine::finish).collect();
     let end_ps = banks.iter().map(|t| t.end_ps).max().unwrap_or(0);
+    let per_channel_bus_slots: Vec<u64> = buses.iter().map(|b| b.issued()).collect();
+    let per_rank_acts: Vec<u64> = ranks.iter().map(RankTimer::total_acts).collect();
     Ok(QueueTimeline {
         banks,
         job_end_ps,
         end_ps,
-        bus_slots: bus.issued(),
-        rank_acts: rank.total_acts(),
+        bus_slots: per_channel_bus_slots.iter().sum(),
+        rank_acts: per_rank_acts.iter().sum(),
+        per_channel_bus_slots,
+        per_rank_acts,
     })
 }
 
@@ -778,6 +845,38 @@ pub fn lpt_assign(costs: &[f64], banks: usize) -> Vec<Vec<usize>> {
             .expect("banks > 0");
         queues[bank].push(job);
         load[bank] += costs[job].max(0.0);
+    }
+    queues
+}
+
+/// Hierarchical LPT over a `channels × ranks × banks` topology: jobs are
+/// first balanced across *channels* (the fully independent resource — a
+/// channel has its own command bus), then each channel's share is
+/// balanced across its `ranks × banks` banks with plain [`lpt_assign`].
+/// Returns per-*global-bank* job-index queues (`topology.total_banks()`
+/// entries, channel-major order as in
+/// [`crate::config::Topology::location`]).
+///
+/// On a single-channel topology this degenerates to exactly
+/// [`lpt_assign`] over all banks, so callers can use it unconditionally.
+///
+/// # Panics
+///
+/// Panics when the topology has an empty level.
+pub fn lpt_assign_topology(costs: &[f64], topology: &crate::config::Topology) -> Vec<Vec<usize>> {
+    assert!(
+        topology.is_valid(),
+        "cannot assign jobs to topology {topology}"
+    );
+    let per_channel = lpt_assign(costs, topology.channels as usize);
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); topology.total_banks()];
+    for (channel, jobs) in per_channel.iter().enumerate() {
+        let sub_costs: Vec<f64> = jobs.iter().map(|&j| costs[j]).collect();
+        let sub_queues = lpt_assign(&sub_costs, topology.banks_per_channel());
+        for (local_bank, sub) in sub_queues.into_iter().enumerate() {
+            queues[topology.channel_base(channel) + local_bank] =
+                sub.into_iter().map(|s| jobs[s]).collect();
+        }
     }
     queues
 }
@@ -1056,5 +1155,103 @@ mod tests {
         assert_eq!(queues[0], vec![0]);
         assert!(queues[1..].iter().all(Vec::is_empty));
         assert!(lpt_assign(&[], 2).iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn hierarchical_lpt_degenerates_to_flat_on_single_channel() {
+        use crate::config::Topology;
+        let costs = [8.0, 1.0, 7.0, 3.0, 3.0, 2.0, 2.0, 9.0];
+        for banks in [1u32, 2, 3, 4] {
+            assert_eq!(
+                lpt_assign_topology(&costs, &Topology::single_rank(banks)),
+                lpt_assign(&costs, banks as usize),
+                "banks={banks}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_lpt_balances_channels_before_banks() {
+        use crate::config::Topology;
+        // Two heavy jobs and six light ones on 2 channels × 1 rank × 2
+        // banks: the heavies must land on different channels, and every
+        // job must appear exactly once across the global queues.
+        let costs = [10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let topo = Topology::new(2, 1, 2);
+        let queues = lpt_assign_topology(&costs, &topo);
+        assert_eq!(queues.len(), 4);
+        let mut seen: Vec<usize> = queues.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        let ch_of_heavy0 = queues.iter().position(|q| q.contains(&0)).unwrap() / 2;
+        let ch_of_heavy1 = queues.iter().position(|q| q.contains(&1)).unwrap() / 2;
+        assert_ne!(ch_of_heavy0, ch_of_heavy1, "heavies split across channels");
+        // Channel loads balance: each channel carries 10 + 3×1 = 13.
+        for ch in 0..2 {
+            let load: f64 = queues[ch * 2..(ch + 1) * 2]
+                .iter()
+                .flatten()
+                .map(|&j| costs[j])
+                .sum();
+            assert!((load - 13.0).abs() < 1e-9, "channel {ch} load {load}");
+        }
+    }
+
+    #[test]
+    fn independent_channels_finish_like_idle_devices() {
+        // c channels × 1 rank × 1 bank running identical programs: no
+        // shared resource exists, so every bank finishes exactly when a
+        // lone single-bank schedule would.
+        use crate::config::Topology;
+        let c = PimConfig::hbm2e(2).with_topology(Topology::new(4, 1, 1));
+        let prog = program(&c, 512, MapperOptions::default());
+        // Yardstick: the same queue alone on a 1×1×1 device.
+        let lone = PimConfig::hbm2e(2);
+        let single = schedule_queues(&lone, &[vec![prog.clone()]]).unwrap();
+        let qt = schedule_queues(&c, &vec![vec![prog]; 4]).unwrap();
+        for (b, tl) in qt.banks.iter().enumerate() {
+            assert_eq!(tl.end_ps, single.end_ps, "bank {b}");
+        }
+        assert_eq!(qt.per_channel_bus_slots.len(), 4);
+        assert!(qt.per_channel_bus_slots.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(qt.bus_slots, qt.per_channel_bus_slots.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn sharded_topology_beats_single_rank_at_equal_bank_count() {
+        // 16 banks behind one bus/one rank vs the same 16 banks as
+        // 2 channels × 2 ranks × 4 banks: splitting the bus and the
+        // tRRD/tFAW windows must strictly reduce the makespan.
+        use crate::config::Topology;
+        let flat = PimConfig::hbm2e(2).with_banks(16);
+        let sharded = PimConfig::hbm2e(2).with_topology(Topology::new(2, 2, 4));
+        let prog = program(&flat, 1024, MapperOptions::default());
+        let queues: Vec<Vec<Program>> = vec![vec![prog.clone(), prog.clone()]; 16];
+        let qt_flat = schedule_queues(&flat, &queues).unwrap();
+        let qt_sharded = schedule_queues(&sharded, &queues).unwrap();
+        assert!(
+            qt_sharded.end_ps < qt_flat.end_ps,
+            "sharded {} !< flat {}",
+            qt_sharded.end_ps,
+            qt_flat.end_ps
+        );
+        // Same work either way: identical totals of bus commands.
+        assert_eq!(qt_sharded.bus_slots, qt_flat.bus_slots);
+        assert_eq!(qt_sharded.per_rank_acts.len(), 4);
+        assert_eq!(
+            qt_sharded.per_rank_acts.iter().sum::<u64>(),
+            qt_sharded.rank_acts
+        );
+    }
+
+    #[test]
+    fn queue_error_names_the_topology() {
+        use crate::config::Topology;
+        let c = PimConfig::hbm2e(2).with_topology(Topology::new(2, 1, 2));
+        let prog = program(&c, 256, MapperOptions::default());
+        let err = schedule_queues(&c, &vec![vec![prog]; 5]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("5 program queues"), "{msg}");
+        assert!(msg.contains("2x1x2"), "{msg}");
     }
 }

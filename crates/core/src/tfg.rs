@@ -12,7 +12,11 @@
 //!    data path.
 //!
 //! The memory controller computes `(ω0, rω)` per command from the host
-//! parameters; [`TwiddleGen`] is the hardware-side register pair.
+//! parameters; [`TwiddleGen`] is the hardware-side register pair. One
+//! generator exists per compute unit, i.e. per bank — a sharded device
+//! ([`crate::config::Topology`]) replicates it
+//! `channels × ranks × banks` times, which is why parameter broadcast
+//! stays per-bank and cheap instead of devicewide.
 
 use modmath::montgomery::Montgomery32;
 

@@ -12,8 +12,14 @@
 //! * functional storage ([`storage::BankStorage`]) so command streams can
 //!   be executed for *values*, not just times,
 //! * a shared command bus and multi-bank chip ([`chip`]) for bank-level
-//!   parallelism studies, and
+//!   parallelism studies,
+//! * a multi-channel, multi-rank topology model ([`channel`]) — per-channel
+//!   command buses, per-rank tRRD/tFAW windows — for device-level scaling
+//!   studies beyond the paper's single chip, and
 //! * per-command energy accounting ([`energy`]).
+//!
+//! A glossary of every modeled DRAM timing constraint, with the
+//! simulator's HBM2E defaults, lives in the [`timing`] module docs.
 //!
 //! Times are modeled in integer **picoseconds** so that mixed clock domains
 //! (DRAM latency fixed in nanoseconds, compute-unit latency scaling with
@@ -49,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod channel;
 pub mod chip;
 pub mod energy;
 pub mod rank;

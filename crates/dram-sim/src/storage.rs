@@ -9,6 +9,12 @@
 //! model: a CU-read takes its atom from the *sense amplifiers*, and a
 //! CU-write lands there and is only guaranteed in the array after the
 //! restore (modeled at precharge time, like DRAMsim3's open-page policy).
+//!
+//! Storage is strictly per-bank: a multi-channel, multi-rank device
+//! ([`crate::channel::Topology`]) is simply
+//! `channels × ranks × banks` independent [`BankStorage`] values —
+//! values never cross the hierarchy, only timing couples it
+//! ([`crate::channel::Channel`]).
 
 use crate::timing::Geometry;
 use crate::TimingError;

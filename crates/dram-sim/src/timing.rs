@@ -1,4 +1,31 @@
 //! DRAM timing and geometry parameters (the paper's Table I).
+//!
+//! # DRAM timing glossary
+//!
+//! Every constraint the simulator enforces, its meaning, the level of the
+//! hierarchy it applies to, and the default value ([`TimingParams::hbm2e`],
+//! memory clock 1200 MHz → 833 ps/cycle):
+//!
+//! | Parameter | Meaning | Scope | Default (cycles) | Default (ns) |
+//! |---|---|---|---|---|
+//! | `CL` | Column command → data valid at the sense amps / I/O | bank | 14 | 11.7 |
+//! | `tCCD` | Column command → next column command | bank | 2 | 1.7 |
+//! | `tRP` | Precharge → next activate (row close time) | bank | 14 | 11.7 |
+//! | `tRAS` | Activate → earliest precharge (row restore time) | bank | 34 | 28.3 |
+//! | `tRCD` | Activate → first column command (row open time) | bank | 14 | 11.7 |
+//! | `tRC` | Activate → next activate, same bank (`tRAS + tRP`) | bank | 48 | 40.0 |
+//! | `tWR` | End of write data → precharge (write recovery) | bank | 16 | 13.3 |
+//! | `tRRD` | Activate → activate across banks of one **rank** | rank | 5 | 4.2 |
+//! | `tFAW` | Rolling window holding at most four ACTs per **rank** | rank | 20 | 16.7 |
+//! | `tREFI` | Average interval between refresh commands | bank | 4680 | 3900 |
+//! | `tRFC` | Refresh cycle time (bank unusable during refresh) | bank | 312 | 260 |
+//!
+//! Bank-scope constraints live in [`crate::bank::BankTimer`]; rank-scope
+//! ones in [`crate::rank::RankTimer`]. The command bus adds one more
+//! implicit constraint — one command per memory cycle per **channel** —
+//! modeled by [`crate::chip::FairBus`], of which a
+//! [`crate::channel::Topology`]-shaped device gets one per channel
+//! (see [`crate::channel::Channel`] for the standalone composition).
 
 /// Raw timing parameters in memory-clock cycles, plus the clock they are
 /// specified at. This mirrors the paper's Table I exactly.

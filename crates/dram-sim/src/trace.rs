@@ -16,6 +16,12 @@
 //!
 //! Cycles are memory-clock cycles (the trace is clock-portable); parsing
 //! round-trips exactly.
+//!
+//! The `bank` column is a flat id. For a sharded device, callers write
+//! *global* bank ids and decode them with
+//! [`crate::channel::Topology::location`] — one trace per channel is the
+//! natural unit, since a channel's command bus is what serializes the
+//! commands a trace orders ([`crate::channel::Channel`]).
 
 use crate::bank::BankCommand;
 use crate::validate::TraceEntry;

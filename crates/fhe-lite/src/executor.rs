@@ -51,9 +51,9 @@ pub fn ntt_all_components(
     config: &PimConfig,
 ) -> Result<OffloadReport, FheError> {
     let k = poly.components();
-    if (config.geometry.banks as usize) < k {
+    if config.total_banks() < k {
         return Err(FheError::BadParams {
-            reason: format!("need {k} banks, device has {}", config.geometry.banks),
+            reason: format!("need {k} banks, device has {}", config.total_banks()),
         });
     }
     let mut dev = PimDevice::new(*config)?;
@@ -85,14 +85,8 @@ pub fn ntt_all_components(
     let mut sequential_ns = 0.0;
     for i in 0..k {
         let q = params.moduli()[i] as u32;
-        let mut single = PimDevice::new(PimConfig {
-            geometry: {
-                let mut g = config.geometry;
-                g.banks = 1;
-                g
-            },
-            ..*config
-        })?;
+        let mut single =
+            PimDevice::new(config.with_topology(ntt_pim_core::config::Topology::single_rank(1)))?;
         let coeffs: Vec<u32> = poly.residues(i).iter().map(|&c| c as u32).collect();
         let h = single.load_polynomial_bitrev(0, &coeffs, q)?;
         let rep = single.ntt(&h, ntt_pim_core::device::NttDirection::Forward)?;
@@ -137,10 +131,11 @@ pub fn polymul_all_components(
     }
     let n = params.n();
     let mut dev = PimDevice::new(*config)?;
-    let banks = config.geometry.banks as usize;
+    let banks = config.total_banks();
     // Every component is a length-n product and PIM timing is
-    // modulus-independent, so equal costs make LPT a balanced deal.
-    let assignment = ntt_pim_core::sched::lpt_assign(&vec![1.0; k], banks);
+    // modulus-independent, so equal costs make the hierarchical LPT a
+    // balanced deal across channels, ranks, and banks alike.
+    let assignment = ntt_pim_core::sched::lpt_assign_topology(&vec![1.0; k], &config.topology);
     let b_base = config.polymul_rhs_base(n);
     let mut out = RnsPoly::zero(params);
     let mut queues: Vec<Vec<ntt_pim_core::mapper::Program>> = vec![Vec::new(); banks];

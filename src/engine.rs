@@ -115,6 +115,11 @@ pub struct EngineCaps {
     /// `true` when latency/energy come from simulation or published
     /// numbers (a device), `false` when measured on the host (software).
     pub on_device: bool,
+    /// Independent execution lanes one batch can fan across: the total
+    /// bank count of the device's `channels × ranks × banks` topology for
+    /// the PIM engine, 1 for serial backends. Schedulers use this to size
+    /// fan-out without knowing the backend.
+    pub parallel_lanes: u32,
 }
 
 impl EngineCaps {
@@ -174,6 +179,35 @@ pub struct CostEstimate {
 /// All methods use natural coefficient order and expect inputs reduced
 /// mod `q`; every engine derives its root of unity from
 /// `ψ = root_of_unity(2N, q)` so outputs agree across backends.
+///
+/// ```
+/// use ntt_pim::engine::{CpuNttEngine, NttEngine, PimDeviceEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Any backend behind the same trait: check capability, then run.
+/// let mut engines: Vec<Box<dyn NttEngine>> = vec![
+///     Box::new(CpuNttEngine::golden()),
+///     Box::new(PimDeviceEngine::hbm2e(2)?),
+/// ];
+/// let (n, q) = (256usize, 12289u64);
+/// let input: Vec<u64> = (0..n as u64).map(|i| i * 7 % q).collect();
+/// let mut spectra = Vec::new();
+/// for engine in &mut engines {
+///     assert!(engine.supports(n, q));
+///     let mut data = input.clone();
+///     let report = engine.forward(&mut data, q)?;
+///     assert!(report.latency_ns > 0.0);
+///     // Roundtrip: inverse undoes forward on every backend.
+///     let mut back = data.clone();
+///     engine.inverse(&mut back, q)?;
+///     assert_eq!(back, input);
+///     spectra.push(data);
+/// }
+/// // Backends agree bit-for-bit inside their shared capability window.
+/// assert_eq!(spectra[0], spectra[1]);
+/// # Ok(())
+/// # }
+/// ```
 pub trait NttEngine {
     /// Display name (stable; used in tables and reports).
     fn name(&self) -> &str;
@@ -315,6 +349,7 @@ impl NttEngine for PimDeviceEngine {
             max_n: Some(1 << 20), // bounded by bank capacity, not the design
             bitwidth: 32,
             on_device: true,
+            parallel_lanes: self.device.config().total_banks() as u32,
         }
     }
 
@@ -522,6 +557,7 @@ impl NttEngine for CpuNttEngine {
             // 2^63 but is never the default inside this window).
             bitwidth: 62,
             on_device: false,
+            parallel_lanes: 1,
         }
     }
 
@@ -667,6 +703,9 @@ impl NttEngine for PublishedModelEngine {
             max_n: flex.max_n,
             bitwidth: flex.bitwidth,
             on_device: true,
+            // Published points are single-transform figures; no batch
+            // fan-out model exists for the comparators.
+            parallel_lanes: 1,
         }
     }
 
@@ -761,6 +800,7 @@ mod tests {
             max_n: Some(1024),
             bitwidth: 14,
             on_device: true,
+            parallel_lanes: 1,
         };
         assert!(caps.supports(256, 12289));
         assert!(!caps.supports(2048, 12289), "max_n");
@@ -905,5 +945,17 @@ mod tests {
         assert!(engines.len() >= 8);
         let n = engines.iter().filter(|e| e.caps().on_device).count();
         assert!(n >= 5, "device-modeled backends present");
+    }
+
+    #[test]
+    fn parallel_lanes_follow_the_device_topology() {
+        use crate::core::config::Topology;
+        assert_eq!(CpuNttEngine::golden().caps().parallel_lanes, 1);
+        assert_eq!(PublishedModelEngine::mentt().caps().parallel_lanes, 1);
+        assert_eq!(PimDeviceEngine::hbm2e(2).unwrap().caps().parallel_lanes, 1);
+        let sharded =
+            PimDeviceEngine::new(PimConfig::hbm2e(2).with_topology(Topology::new(2, 2, 4)))
+                .unwrap();
+        assert_eq!(sharded.caps().parallel_lanes, 16);
     }
 }

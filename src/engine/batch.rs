@@ -29,13 +29,23 @@
 //! Jobs may use different lengths, moduli, and kinds in one batch; the
 //! merged [`BatchOutcome`] reports wall-clock latency, energy, shared-bus
 //! pressure, rank activations, and per-bank/per-job accounting.
+//!
+//! The executor is topology-aware: on a sharded
+//! `channels × ranks × banks` device
+//! ([`crate::core::config::Topology`]), LPT packing happens
+//! *hierarchically* — across channels first (each channel has a private
+//! command bus), then across the banks within each channel
+//! ([`crate::core::sched::lpt_assign_topology`]) — and the timing model
+//! gives every channel its own bus and every rank its own tRRD/tFAW
+//! window, so adding channels or ranks buys real concurrency, not just
+//! more queue slots.
 
 use super::{EngineError, EngineReport, NttEngine, ReportSource};
-use crate::core::config::PimConfig;
+use crate::core::config::{PimConfig, Topology};
 use crate::core::device::{NttDirection, PimDevice, StoredOrder};
 use crate::core::layout::PolyLayout;
 use crate::core::mapper::Program;
-use crate::core::sched::lpt_assign;
+use crate::core::sched::lpt_assign_topology;
 use crate::core::PimError;
 use crate::math::prime;
 use std::collections::HashMap;
@@ -189,9 +199,14 @@ pub struct BatchOutcome {
     /// pressure; one slot per memory-clock cycle).
     pub bus_slots: u64,
     /// Rank-level row activations across the whole batch (the tRRD/tFAW
-    /// coupling between banks).
+    /// coupling between banks of one rank), summed over ranks.
     pub rank_acts: u64,
-    /// Per-bank accounting, indexed by bank id.
+    /// The device topology the batch ran on.
+    pub topology: Topology,
+    /// Command-bus slots per channel (indexed by channel id) — how evenly
+    /// the hierarchical scheduler spread bus pressure.
+    pub per_channel_bus_slots: Vec<u64>,
+    /// Per-bank accounting, indexed by global bank id.
     pub banks: Vec<BankUsage>,
     /// The policy that scheduled the batch.
     pub policy: SchedulePolicy,
@@ -218,7 +233,7 @@ impl BatchOutcome {
     }
 }
 
-/// Fans independent jobs across a PIM chip's banks under a scheduling
+/// Fans independent jobs across a PIM device's banks under a scheduling
 /// policy (cost-model-driven LPT by default).
 ///
 /// ```
@@ -234,6 +249,28 @@ impl BatchOutcome {
 /// let out = exec.run(&jobs)?;
 /// assert_eq!(out.spectra.len(), 8);
 /// assert_eq!(out.waves, 2); // 8 jobs over 4 banks: queues are 2 deep
+/// # Ok(())
+/// # }
+/// ```
+///
+/// Scaling out means handing the executor a sharded topology — results
+/// are bit-identical, only the timing (and the fan-out) changes:
+///
+/// ```
+/// use ntt_pim::core::config::{PimConfig, Topology};
+/// use ntt_pim::engine::batch::{BatchExecutor, NttJob};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 2 channels × 2 ranks × 4 banks = 16-way fan-out.
+/// let config = PimConfig::hbm2e(2).with_topology(Topology::new(2, 2, 4));
+/// let mut exec = BatchExecutor::new(config)?;
+/// assert_eq!(exec.bank_count(), 16);
+/// let q = 12289u64;
+/// let jobs: Vec<NttJob> = (0..16)
+///     .map(|j| NttJob::new((0..256).map(|i| (i * 5 + j) % q).collect(), q))
+///     .collect();
+/// let out = exec.run(&jobs)?;
+/// assert_eq!(out.per_channel_bus_slots.len(), 2); // one bus per channel
 /// # Ok(())
 /// # }
 /// ```
@@ -287,9 +324,15 @@ impl BatchExecutor {
         self.policy
     }
 
-    /// Number of banks jobs can fan across.
+    /// Number of banks jobs can fan across — total across the device's
+    /// `channels × ranks × banks` topology.
     pub fn bank_count(&self) -> usize {
-        self.device.config().geometry.banks as usize
+        self.device.config().total_banks()
+    }
+
+    /// The device topology jobs are scheduled over.
+    pub fn topology(&self) -> Topology {
+        self.device.config().topology
     }
 
     /// Access to the underlying device.
@@ -382,7 +425,9 @@ impl BatchExecutor {
         let banks = self.bank_count();
         let costs: Vec<f64> = jobs.iter().map(|j| self.job_cost(j)).collect();
         let queues = match self.policy {
-            SchedulePolicy::Lpt => lpt_assign(&costs, banks),
+            // Hierarchical: channels first (private buses), then banks.
+            // Degenerates to flat LPT on a single-channel topology.
+            SchedulePolicy::Lpt => lpt_assign_topology(&costs, &self.topology()),
             SchedulePolicy::RoundRobin => {
                 let mut queues: Vec<Vec<usize>> = vec![Vec::new(); banks];
                 for i in 0..jobs.len() {
@@ -461,7 +506,8 @@ impl BatchExecutor {
         }
         let depth = plan.queues.iter().map(Vec::len).max().unwrap_or(0);
 
-        let (latency_ns, energy_nj, bus_slots, rank_acts) = match self.policy {
+        let (latency_ns, energy_nj, bus_slots, rank_acts, per_channel_bus_slots) = match self.policy
+        {
             SchedulePolicy::Lpt => {
                 // Async drain: execute every queue functionally, then time
                 // all queues in one shared-bus schedule (banks advance to
@@ -489,6 +535,7 @@ impl BatchExecutor {
                     report.energy_nj,
                     report.bus_slots,
                     report.rank_acts,
+                    report.per_channel_bus_slots,
                 )
             }
             SchedulePolicy::RoundRobin => {
@@ -497,6 +544,7 @@ impl BatchExecutor {
                 // timed alone and the batch pays the sum of wave maxima.
                 let (mut latency, mut energy) = (0.0f64, 0.0f64);
                 let (mut bus, mut acts) = (0u64, 0u64);
+                let mut per_channel = vec![0u64; self.topology().channels as usize];
                 for w in 0..depth {
                     let mut wave_programs: Vec<Vec<Program>> = vec![Vec::new(); banks];
                     let wave_jobs: Vec<(usize, usize)> = plan
@@ -515,6 +563,9 @@ impl BatchExecutor {
                     energy += report.energy_nj;
                     bus += report.bus_slots;
                     acts += report.rank_acts;
+                    for (tot, &slots) in per_channel.iter_mut().zip(&report.per_channel_bus_slots) {
+                        *tot += slots;
+                    }
                     for (bank, ends) in report.job_end_ns.iter().enumerate() {
                         if let Some(&end) = ends.first() {
                             job_latency_ns[plan.queues[bank][w]] = end;
@@ -523,7 +574,7 @@ impl BatchExecutor {
                         }
                     }
                 }
-                (latency, energy, bus, acts)
+                (latency, energy, bus, acts, per_channel)
             }
         };
 
@@ -534,6 +585,8 @@ impl BatchExecutor {
             waves: depth,
             bus_slots,
             rank_acts,
+            topology: self.topology(),
+            per_channel_bus_slots,
             banks: usage,
             policy: self.policy,
             assignment: plan.queues,
@@ -833,6 +886,35 @@ mod tests {
     }
 
     #[test]
+    fn sharded_topology_runs_and_reports_per_channel() {
+        let config = PimConfig::hbm2e(2).with_topology(Topology::new(2, 2, 2));
+        let mut exec = BatchExecutor::new(config).unwrap();
+        assert_eq!(exec.bank_count(), 8);
+        assert_eq!(exec.topology(), Topology::new(2, 2, 2));
+        let jobs: Vec<NttJob> = (0..10).map(|i| job(256, 900 + i)).collect();
+        let out = exec.run(&jobs).unwrap();
+        assert_eq!(out.topology, Topology::new(2, 2, 2));
+        assert_eq!(out.per_channel_bus_slots.len(), 2);
+        assert_eq!(out.per_channel_bus_slots.iter().sum::<u64>(), out.bus_slots);
+        assert_eq!(out.banks.len(), 8);
+        // Values are topology-independent: the flat single-rank device
+        // with the same total bank count computes identical spectra.
+        let mut flat = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(8)).unwrap();
+        assert_eq!(out.spectra, flat.run(&jobs).unwrap().spectra);
+        // Round-robin on the sharded device reports per-channel slots too.
+        let mut rr = BatchExecutor::new(config)
+            .unwrap()
+            .with_policy(SchedulePolicy::RoundRobin);
+        let rr_out = rr.run(&jobs).unwrap();
+        assert_eq!(rr_out.spectra, out.spectra);
+        assert_eq!(rr_out.per_channel_bus_slots.len(), 2);
+        assert_eq!(
+            rr_out.per_channel_bus_slots.iter().sum::<u64>(),
+            rr_out.bus_slots
+        );
+    }
+
+    #[test]
     fn sequential_baseline_agrees_functionally() {
         let jobs: Vec<NttJob> = (0..3).map(|i| job(128, 400 + i)).collect();
         let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
@@ -863,6 +945,7 @@ mod tests {
                 max_n: None,
                 bitwidth: 62,
                 on_device: true,
+                parallel_lanes: 1,
             }
         }
 
