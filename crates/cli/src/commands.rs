@@ -24,6 +24,7 @@ COMMANDS:
     verify   functional verification against the software reference
     polymul  on-device negacyclic polynomial product
     batch    schedule --jobs NTTs across --banks banks (per-bank queues)
+    serve    closed-loop load test of the concurrent serving layer
     help     show this message
 
 COMMON OPTIONS:
@@ -45,6 +46,16 @@ BATCH OPTIONS:
     --lengths <...>  job lengths, cycled over the batch
                      (mixed sizes show the LPT gain)       [default: --n]
 
+SERVE OPTIONS:
+    --tenants <t>       concurrent closed-loop tenants        [default: 8]
+    --requests <r>      total requests across tenants         [default: 64]
+    --max-wait-us <w>   micro-batch flush deadline, µs        [default: 500]
+    --queue-depth <d>   admission bound (then Busy)           [default: 256]
+    --tenant-inflight <k>  per-tenant in-flight cap (0 = off) [default: 0]
+    --lengths <...>     request lengths, cycled               [default: 256,1024,2048,4096]
+    --smoke             small verified run (CI): golden-check every response
+    (serve defaults to the 2x2x4 topology; --channels/--ranks/--banks override)
+
 The device topology is channels x ranks x banks: jobs fan across the
 product (e.g. --channels 2 --ranks 2 --banks 4 = 16-way), with LPT
 balancing channels first, then the banks within each channel.
@@ -63,6 +74,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "verify" => verify(args),
         "polymul" => polymul(args),
         "batch" => batch(args),
+        "serve" => serve(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`; try `ntt-pim help`"
@@ -380,6 +392,204 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(outp)
 }
 
+/// Nearest-rank percentile of an ascending-sorted ns sample, in µs
+/// (the shared [`ntt_service::percentile`], unit-converted).
+fn percentile_us(sorted_ns: &[f64], p: usize) -> f64 {
+    ntt_service::percentile(sorted_ns, p) / 1000.0
+}
+
+fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    use ntt_pim::engine::batch::{NttJob, SchedulePolicy};
+    use ntt_service::{NttService, ServiceConfig, ServiceError};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    let smoke = args.has_flag("smoke");
+    let tenants: usize = args.get_or("tenants", if smoke { 4 } else { 8 })?;
+    let requests: usize = args.get_or("requests", if smoke { 16 } else { 64 })?;
+    if tenants == 0 || requests == 0 {
+        return Err(CliError::usage("--tenants and --requests must be >= 1"));
+    }
+    let max_wait_us: u64 = args.get_or("max-wait-us", 500)?;
+    let queue_depth: usize = args.get_or("queue-depth", 256)?;
+    let tenant_inflight: usize = args.get_or("tenant-inflight", 0)?;
+    let policy: SchedulePolicy = args.get_or("schedule", SchedulePolicy::Lpt)?;
+    let lengths: Vec<usize> = args.get_list_or(
+        "lengths",
+        if smoke {
+            vec![256, 512]
+        } else {
+            vec![256, 1024, 2048, 4096]
+        },
+    )?;
+    if lengths.is_empty() {
+        return Err(CliError::usage("--lengths must name at least one length"));
+    }
+    let nb: usize = args.get_or("nb", 2)?;
+    let topology = Topology::new(
+        args.get_or("channels", 2)?,
+        args.get_or("ranks", 2)?,
+        args.get_or("banks", 4)?,
+    );
+    let pim = PimConfig::hbm2e(nb)
+        .with_topology(topology)
+        .with_refresh(args.has_flag("refresh"));
+    pim.validate()?;
+
+    // One pre-generated job per request (mixed lengths, the RNS/FHE
+    // traffic shape); Dilithium's modulus supports every default length.
+    let jobs: Vec<NttJob> = (0..requests)
+        .map(|j| {
+            let n = lengths[j % lengths.len()];
+            let q = modulus_for(args, n)?;
+            Ok(NttJob::new(
+                (0..n as u64)
+                    .map(|i| (i.wrapping_mul(2654435761) ^ (j as u64) << 32) % q as u64)
+                    .collect(),
+                q as u64,
+            ))
+        })
+        .collect::<Result<_, CliError>>()?;
+
+    let service = NttService::start(
+        ServiceConfig::new(pim)
+            .with_policy(policy)
+            .with_max_wait(Duration::from_micros(max_wait_us))
+            .with_queue_depth(queue_depth)
+            .with_tenant_inflight(tenant_inflight)
+            .with_verify_golden(smoke),
+    )
+    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let max_batch = service.max_batch();
+
+    // Closed-loop load: each tenant thread walks its share of the job
+    // list (submit → wait → next), retrying briefly on Busy.
+    let wall_latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(requests));
+    let sim_latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(requests));
+    let busy_retries = Mutex::new(0u64);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let mut workers = Vec::new();
+        for t in 0..tenants {
+            let client = service.client();
+            let jobs = &jobs;
+            let (wall_latencies, sim_latencies, busy_retries) =
+                (&wall_latencies, &sim_latencies, &busy_retries);
+            workers.push(scope.spawn(move || -> Result<(), CliError> {
+                let tenant = format!("tenant-{t}");
+                for job in jobs.iter().skip(t).step_by(tenants) {
+                    let ticket = loop {
+                        match client.submit(tenant.clone(), job.clone()) {
+                            Ok(ticket) => break ticket,
+                            Err(ServiceError::Busy { .. } | ServiceError::TenantBusy { .. }) => {
+                                *busy_retries.lock().unwrap() += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(e) => return Err(CliError::runtime(e.to_string())),
+                        }
+                    };
+                    let response = ticket
+                        .wait()
+                        .map_err(|e| CliError::runtime(e.to_string()))?;
+                    wall_latencies
+                        .lock()
+                        .unwrap()
+                        .push(response.wall.as_nanos() as f64);
+                    sim_latencies.lock().unwrap().push(response.sim_latency_ns);
+                }
+                Ok(())
+            }));
+        }
+        for worker in workers {
+            worker.join().expect("tenant thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = t0.elapsed();
+    let stats = service.shutdown();
+
+    let mut wall = wall_latencies.into_inner().unwrap();
+    wall.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mut sim = sim_latencies.into_inner().unwrap();
+    sim.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    let lengths_str = lengths
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serving layer  lengths={lengths_str}  requests={requests}  tenants={tenants}  \
+         topology={topology} ({} lanes)  max_batch={max_batch}  max_wait={max_wait_us} µs",
+        topology.total_banks(),
+    );
+    let _ = writeln!(out, "  completed       : {:>12}", stats.completed);
+    let _ = writeln!(
+        out,
+        "  wall latency    : {:>9.2} µs p50 / {:.2} µs p99",
+        percentile_us(&wall, 50),
+        percentile_us(&wall, 99)
+    );
+    let _ = writeln!(
+        out,
+        "  sim latency     : {:>9.2} µs p50 / {:.2} µs p99",
+        percentile_us(&sim, 50),
+        percentile_us(&sim, 99)
+    );
+    let _ = writeln!(
+        out,
+        "  wall throughput : {:>12.0} req/s",
+        stats.completed as f64 / elapsed.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "  sim throughput  : {:>12.0} jobs/s (device time {:.2} µs over {} batches)",
+        stats.sim_jobs_per_s(),
+        stats.sim_busy_ns / 1000.0,
+        stats.batches
+    );
+    let _ = writeln!(
+        out,
+        "  mean occupancy  : {:>12.2} jobs/batch (max {})",
+        stats.mean_occupancy(),
+        stats.max_batch_seen
+    );
+    let _ = writeln!(
+        out,
+        "  rejection rate  : {:>11.1}% ({} busy rejections, {} retries)",
+        stats.rejection_rate() * 100.0,
+        stats.rejected_busy + stats.rejected_tenant,
+        busy_retries.into_inner().unwrap()
+    );
+    let _ = writeln!(
+        out,
+        "  plan cache      : {:>6} hits / {} misses / {} entries",
+        stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries
+    );
+    if stats.completed != requests as u64 {
+        return Err(CliError::runtime(format!(
+            "serve lost requests: {}/{requests} completed",
+            stats.completed
+        )));
+    }
+    if smoke {
+        if stats.verify_failures != 0 {
+            return Err(CliError::runtime(format!(
+                "serve smoke FAILED: {} golden verification failures",
+                stats.verify_failures
+            )));
+        }
+        let _ = writeln!(
+            out,
+            "  verification    : OK (every response matches the golden CPU NTT)"
+        );
+        let _ = writeln!(out, "serve smoke OK");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +686,27 @@ mod tests {
         // must parse and not disturb the report.
         let out = run_line("run --n 256 --nb 2 --channels 2 --ranks 2 --banks 2").unwrap();
         assert!(out.contains("N=256"));
+    }
+
+    #[test]
+    fn serve_smoke_reports_and_verifies() {
+        let out = run_line(
+            "serve --smoke --tenants 2 --requests 8 --channels 1 --ranks 1 --banks 4 \
+             --lengths 64,256 --max-wait-us 200",
+        )
+        .unwrap();
+        assert!(out.contains("serve smoke OK"), "{out}");
+        assert!(out.contains("verification    : OK"), "{out}");
+        assert!(out.contains("completed       :            8"), "{out}");
+        assert!(out.contains("mean occupancy"), "{out}");
+        assert!(out.contains("plan cache"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_requests() {
+        assert!(run_line("serve --tenants 0 --requests 4").is_err());
+        assert!(run_line("serve --tenants 2 --requests 0").is_err());
+        assert!(run_line("serve --smoke --lengths 100 --requests 2 --tenants 1").is_err());
     }
 
     #[test]

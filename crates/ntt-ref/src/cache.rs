@@ -1,0 +1,204 @@
+//! Shared, thread-safe NTT plan cache.
+//!
+//! Building an [`NttPlan`] costs O(N·log N) modular exponentiations
+//! (twiddle tables, ψ-power tables, and their Shoup quotients). A single
+//! long-lived engine amortizes that cost with a private memo, but a
+//! *serving* deployment runs many short-lived engines across worker
+//! threads — and without sharing, every worker rebuilds the identical
+//! tables for the same `(n, q)`. [`PlanCache`] is the shared memo: one
+//! `Arc<NttPlan>` per `(n, q)`, built exactly once per cache (racing
+//! builders agree on the first insert), handed out by reference count.
+//!
+//! The root derivation is centralized here: every cached plan uses
+//! `ψ = root_of_unity(2N, q)` and `ω = ψ²`, the same derivation as the
+//! simulated PIM memory controller, so plans from this cache are
+//! bit-compatible with every backend in the workspace.
+//!
+//! Hit/miss counters make cache effectiveness observable — the serving
+//! layer surfaces them in its stats so a cold cache (or a workload with
+//! unbounded `(n, q)` spread) is visible in production telemetry.
+
+use crate::plan::NttPlan;
+use modmath::prime::{self, NttField};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Point-in-time counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served from an already-built plan.
+    pub hits: u64,
+    /// Lookups that had to build (and insert) a new plan.
+    pub misses: u64,
+    /// Distinct `(n, q)` plans currently cached.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from cache (1.0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe `(n, q) → Arc<NttPlan>` cache with hit/miss counters.
+///
+/// ```
+/// use ntt_ref::cache::PlanCache;
+///
+/// # fn main() -> Result<(), modmath::Error> {
+/// let cache = PlanCache::new();
+/// let a = cache.get_or_build(256, 12289)?; // builds
+/// let b = cache.get_or_build(256, 12289)?; // shared, no rebuild
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<(usize, u64), Arc<NttPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared cache. Engines constructed without an
+    /// explicit cache share this one, so plans built anywhere in the
+    /// process (CLI, service workers, tests) are reused everywhere.
+    pub fn global() -> Arc<PlanCache> {
+        static GLOBAL: OnceLock<Arc<PlanCache>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(PlanCache::new())).clone()
+    }
+
+    /// Returns the cached plan for `(n, q)`, building it on first use.
+    ///
+    /// Concurrent first lookups may build the plan more than once, but
+    /// all callers receive the plan that won the insert race (plans for
+    /// one `(n, q)` are identical by construction), and the build happens
+    /// outside any lock so readers of other keys never wait on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-derivation failures: `n` not a power of two, `q`
+    /// not prime, or no 2N-th root of unity (`2N ∤ q-1`).
+    pub fn get_or_build(&self, n: usize, q: u64) -> Result<Arc<NttPlan>, modmath::Error> {
+        if let Some(plan) = self.plans.read().expect("plan cache poisoned").get(&(n, q)) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Derive ψ the same way the PIM memory controller does, so every
+        // consumer transforms with the identical root.
+        let psi = prime::root_of_unity(2 * n as u64, q)?;
+        let field = NttField::with_psi(n, q, psi)?;
+        let built = Arc::new(NttPlan::new(field));
+        let mut plans = self.plans.write().expect("plan cache poisoned");
+        Ok(plans.entry((n, q)).or_insert(built).clone())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.plans.read().expect("plan cache poisoned").len(),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.read().expect("plan cache poisoned").len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn builds_once_and_shares() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(64, 12289).unwrap();
+        let b = cache.get_or_build(64, 12289).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get_or_build(64, 7681).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "distinct (n, q) get distinct plans");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.hit_rate() > 0.3 && stats.hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn rejects_impossible_fields() {
+        let cache = PlanCache::new();
+        assert!(
+            cache.get_or_build(100, 12289).is_err(),
+            "not a power of two"
+        );
+        assert!(cache.get_or_build(64, 65535).is_err(), "not prime");
+        // q=7681 has 2^9 | q-1 but not 2^11: N=1024 needs a 2048th root.
+        assert!(
+            cache.get_or_build(1024, 7681).is_err(),
+            "2N does not divide q-1"
+        );
+        assert!(cache.is_empty(), "failed builds cache nothing");
+    }
+
+    #[test]
+    fn cached_plan_matches_direct_construction() {
+        let cache = PlanCache::new();
+        let plan = cache.get_or_build(256, 12289).unwrap();
+        let psi = prime::root_of_unity(512, 12289).unwrap();
+        let direct = NttPlan::new(NttField::with_psi(256, 12289, psi).unwrap());
+        let mut a: Vec<u64> = (0..256).map(|i| i * 7 % 12289).collect();
+        let mut b = a.clone();
+        plan.forward(&mut a);
+        direct.forward(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn concurrent_first_lookups_agree() {
+        let cache = Arc::new(PlanCache::new());
+        let plans: Vec<Arc<NttPlan>> = thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    s.spawn(move || cache.get_or_build(512, 12289).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        // Whatever the build race did, exactly one plan survived and
+        // every thread holds it.
+        assert_eq!(cache.len(), 1);
+        let winner = cache.get_or_build(512, 12289).unwrap();
+        assert!(plans.iter().all(|p| Arc::ptr_eq(p, &winner)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 9);
+        assert!(stats.misses >= 1);
+    }
+}

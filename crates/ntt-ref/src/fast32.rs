@@ -13,7 +13,7 @@
 
 use crate::plan::NttPlan;
 use modmath::prime::NttField;
-use std::sync::Mutex;
+use std::cell::RefCell;
 
 /// A prepared length-`N` forward/inverse NTT over a `< 2³¹` prime,
 /// backed by the shared Shoup-lazy datapath.
@@ -35,24 +35,18 @@ use std::sync::Mutex;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fast32Plan {
     plan: NttPlan,
-    /// Reused widening buffer so a transform costs no allocation in the
-    /// common case — this plan is a *measured* baseline, and allocator
-    /// time is not kernel time. A `Mutex` (not `RefCell`) keeps the plan
-    /// `Sync`; concurrent callers fall back to a local buffer instead of
-    /// blocking.
-    scratch: Mutex<Vec<u64>>,
 }
 
-impl Clone for Fast32Plan {
-    fn clone(&self) -> Self {
-        Self {
-            plan: self.plan.clone(),
-            scratch: Mutex::new(vec![0u64; self.plan.n()]),
-        }
-    }
+thread_local! {
+    /// Reused widening buffer so a transform costs no allocation in the
+    /// steady state — this plan is a *measured* baseline, and allocator
+    /// time is not kernel time. Per-thread (not a shared `Mutex`) so
+    /// concurrent service workers transforming through one shared plan
+    /// never serialize or contend on scratch space.
+    static SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Fast32Plan {
@@ -72,8 +66,7 @@ impl Fast32Plan {
         }
         let plan = NttPlan::new(*field);
         debug_assert!(plan.uses_lazy(), "q < 2^31 is always inside the lazy bound");
-        let scratch = Mutex::new(vec![0u64; plan.n()]);
-        Ok(Self { plan, scratch })
+        Ok(Self { plan })
     }
 
     /// Transform length.
@@ -106,27 +99,15 @@ impl Fast32Plan {
 
     fn run(&self, data: &mut [u32], f: impl FnOnce(&NttPlan, &mut [u64])) {
         assert_eq!(data.len(), self.plan.n(), "length mismatch");
-        let mut guard;
-        let mut local;
-        let buf: &mut Vec<u64> = match self.scratch.try_lock() {
-            Ok(g) => {
-                guard = g;
-                &mut guard
+        SCRATCH.with(|scratch| {
+            let mut buf = scratch.borrow_mut();
+            buf.clear();
+            buf.extend(data.iter().map(|&x| u64::from(x)));
+            f(&self.plan, &mut buf);
+            for (d, &x) in data.iter_mut().zip(buf.iter()) {
+                *d = x as u32; // outputs are reduced mod q < 2^31
             }
-            // Another thread holds the scratch (or a prior panic
-            // poisoned it): pay one allocation instead of blocking.
-            Err(_) => {
-                local = vec![0u64; data.len()];
-                &mut local
-            }
-        };
-        for (b, &x) in buf.iter_mut().zip(data.iter()) {
-            *b = u64::from(x);
-        }
-        f(&self.plan, buf);
-        for (d, &x) in data.iter_mut().zip(buf.iter()) {
-            *d = x as u32; // outputs are reduced mod q < 2^31
-        }
+        });
     }
 }
 
@@ -173,5 +154,47 @@ mod tests {
         // A 40-bit field cannot use the 32-bit datapath.
         let f = NttField::with_bits(64, 40).unwrap();
         assert!(Fast32Plan::new(&f).is_err());
+    }
+
+    /// Contention pin: one shared plan driven from many threads at once
+    /// must stay correct with per-thread scratch — no shared lock exists
+    /// to serialize on (the old `Mutex<Vec<u64>>` scratch made every
+    /// concurrent caller either queue or allocate).
+    #[test]
+    fn concurrent_threads_share_one_plan_without_serializing() {
+        use std::sync::Arc;
+
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Fast32Plan>();
+
+        let f = field(256);
+        let plan = Arc::new(Fast32Plan::new(&f).unwrap());
+        let q = plan.modulus();
+        // Mixed lengths per thread exercise scratch resizing across
+        // calls on the same thread-local buffer.
+        let small = Arc::new(Fast32Plan::new(&field(64)).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let plan = plan.clone();
+                let small = small.clone();
+                s.spawn(move || {
+                    for round in 0..50u32 {
+                        let orig: Vec<u32> = (0..256u32)
+                            .map(|i| (i.wrapping_mul(2654435761) ^ t ^ round) % q)
+                            .collect();
+                        let mut v = orig.clone();
+                        plan.forward(&mut v);
+                        plan.inverse(&mut v);
+                        assert_eq!(v, orig, "thread {t} round {round}");
+                        let sq = small.modulus();
+                        let sorig: Vec<u32> = (0..64u32).map(|i| (i * 97 + t) % sq).collect();
+                        let mut sv = sorig.clone();
+                        small.forward(&mut sv);
+                        small.inverse(&mut sv);
+                        assert_eq!(sv, sorig, "thread {t} round {round} (small)");
+                    }
+                });
+            }
+        });
     }
 }

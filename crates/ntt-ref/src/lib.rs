@@ -30,6 +30,8 @@
 //! * [`fast32`] — a 32-bit façade over the shared Shoup-lazy datapath,
 //!   the *tuned* software baseline used for honest measured-CPU
 //!   comparisons.
+//! * [`cache`] — the shared, thread-safe `(n, q) → NttPlan` cache, so
+//!   concurrent workers build each twiddle/Shoup table set once.
 //! * [`radix4`] — mixed radix-4/2 DIT, the classic compute-bound
 //!   optimization the memory-bound PIM mapping deliberately skips.
 //! * [`naive`] — O(N²) evaluation, the ground truth.
@@ -61,6 +63,7 @@
 
 pub mod baseline;
 pub mod blocked;
+pub mod cache;
 pub mod fast32;
 pub mod four_step;
 pub mod iterative;

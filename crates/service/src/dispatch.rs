@@ -1,0 +1,239 @@
+//! The dispatcher thread: turns a stream of independent requests into
+//! dense micro-batches and routes every result back to its ticket.
+//!
+//! Lifecycle of one micro-batch:
+//!
+//! 1. **Open** — block (in short polls, so shutdown stays responsive)
+//!    until a first request arrives; its arrival starts the `max_wait`
+//!    deadline clock.
+//! 2. **Fill** — keep collecting until the batch holds `max_batch`
+//!    requests (the device's lane count by default: a full batch exactly
+//!    fills the topology) or the deadline passes, whichever comes first.
+//!    Shutdown also closes the window early — nothing admitted is ever
+//!    dropped.
+//! 3. **Flush** — validate each request *individually* (a malformed one
+//!    fails its own ticket, never its batch-mates), execute the valid
+//!    rest through [`BatchExecutor`] over the full
+//!    `channels × ranks × banks` topology, optionally re-check every
+//!    result against the golden CPU model, then answer each ticket with
+//!    its result, its simulated per-job latency, and the batch's merged
+//!    device report.
+
+use crate::stats::StatsInner;
+use crate::{BatchSummary, Pending, Response, ServiceError, Shared};
+use ntt_pim::engine::batch::{self, BatchExecutor, JobKind, NttJob};
+use ntt_pim::engine::{CpuNttEngine, NttEngine};
+use ntt_ref::cache::PlanCache;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Poll granularity: how often the collect loops re-check the shutdown
+/// flag while waiting for requests. Bounds shutdown latency without
+/// burning CPU (idle service ≈ 1k wakeups/s on one thread).
+const POLL: Duration = Duration::from_millis(1);
+
+pub(crate) struct Dispatcher {
+    exec: BatchExecutor,
+    rx: mpsc::Receiver<Pending>,
+    shared: Arc<Shared>,
+    max_batch: usize,
+    max_wait: Duration,
+    /// Golden verification engine, reading plans through the shared
+    /// cache (present when the service was configured to verify).
+    verify: Option<CpuNttEngine>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(
+        exec: BatchExecutor,
+        rx: mpsc::Receiver<Pending>,
+        shared: Arc<Shared>,
+        max_batch: usize,
+        max_wait: Duration,
+        verify_cache: Option<Arc<PlanCache>>,
+    ) -> Self {
+        Self {
+            exec,
+            rx,
+            shared,
+            max_batch,
+            max_wait,
+            verify: verify_cache.map(|cache| {
+                CpuNttEngine::with_cache(ntt_pim::engine::CpuDataflow::IterativeDit, cache)
+            }),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while let Some(batch) = self.collect() {
+            self.flush(batch);
+        }
+    }
+
+    /// Collects the next micro-batch: `None` only when shutting down
+    /// with nothing left to serve.
+    fn collect(&mut self) -> Option<Vec<Pending>> {
+        // Phase 1: wait for the batch opener.
+        let opener = loop {
+            if self.shared.closing.load(Ordering::Acquire) {
+                // Serve the backlog to the last request. An empty channel
+                // is not enough to exit: a submitter that passed the
+                // closing check may still be between its admission
+                // (depth increment) and its channel send — exiting then
+                // would drop an admitted request. Only a fully released
+                // depth proves nothing is in flight; otherwise fall
+                // through to the timed recv to pick the straggler up.
+                match self.rx.try_recv() {
+                    Ok(pending) => break pending,
+                    Err(mpsc::TryRecvError::Disconnected) => return None,
+                    Err(mpsc::TryRecvError::Empty) => {
+                        if self.shared.depth.load(Ordering::Acquire) == 0 {
+                            return None;
+                        }
+                    }
+                }
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(pending) => break pending,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => return None,
+            }
+        };
+        // Phase 2: fill until full, deadline, or shutdown.
+        let deadline = Instant::now() + self.max_wait;
+        let mut batch = vec![opener];
+        while batch.len() < self.max_batch {
+            if self.shared.closing.load(Ordering::Acquire) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.rx.recv_timeout((deadline - now).min(POLL)) {
+                Ok(pending) => batch.push(pending),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Some(batch)
+    }
+
+    /// Executes one micro-batch and answers every ticket.
+    fn flush(&mut self, batch: Vec<Pending>) {
+        let config = *self.exec.config();
+        // Per-request validation: reject on the request's own ticket.
+        // The surviving jobs move out of their `Pending`s — the executor
+        // and the verifier borrow them, nothing is cloned.
+        let mut valid: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut jobs: Vec<NttJob> = Vec::with_capacity(batch.len());
+        for mut pending in batch {
+            let job = std::mem::replace(&mut pending.job, NttJob::new(Vec::new(), 0));
+            match batch::validate_job(&config, &job) {
+                Ok(()) => {
+                    valid.push(pending);
+                    jobs.push(job);
+                }
+                Err(e) => {
+                    self.stat(|s| s.rejected_invalid += 1);
+                    self.respond(
+                        pending,
+                        Err(ServiceError::Invalid {
+                            reason: e.to_string(),
+                        }),
+                    );
+                }
+            }
+        }
+        if valid.is_empty() {
+            return;
+        }
+        let mut outcome = match self.exec.run(&jobs) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                // Validation passed but the device failed: every ticket
+                // of the batch learns why.
+                self.stat(|s| s.exec_failures += 1);
+                let reason = e.to_string();
+                for pending in valid {
+                    self.respond(
+                        pending,
+                        Err(ServiceError::Exec {
+                            reason: reason.clone(),
+                        }),
+                    );
+                }
+                return;
+            }
+        };
+        let verified: Vec<bool> = match &mut self.verify {
+            Some(golden) => jobs
+                .iter()
+                .zip(&outcome.spectra)
+                .map(|(job, got)| verify_one(golden, job, got))
+                .collect(),
+            None => vec![true; jobs.len()],
+        };
+        let size = valid.len();
+        self.stat(|s| {
+            s.batches += 1;
+            s.batched_jobs += size as u64;
+            s.max_batch_seen = s.max_batch_seen.max(size as u64);
+            s.sim_busy_ns += outcome.latency_ns;
+            s.energy_nj += outcome.energy_nj;
+            s.bus_slots += outcome.bus_slots;
+            s.rank_acts += outcome.rank_acts;
+            s.verify_failures += verified.iter().filter(|&&ok| !ok).count() as u64;
+            s.completed += verified.iter().filter(|&&ok| ok).count() as u64;
+        });
+        let summary = Arc::new(BatchSummary {
+            size,
+            latency_ns: outcome.latency_ns,
+            energy_nj: outcome.energy_nj,
+            policy: outcome.policy,
+            topology: outcome.topology,
+            queue: outcome.queue_report.clone(),
+        });
+        for (i, pending) in valid.into_iter().enumerate() {
+            let result = if verified[i] {
+                Ok(Response {
+                    result: std::mem::take(&mut outcome.spectra[i]),
+                    sim_latency_ns: outcome.job_latency_ns[i],
+                    wall: pending.submitted.elapsed(),
+                    batch: summary.clone(),
+                })
+            } else {
+                Err(ServiceError::VerifyFailed)
+            };
+            self.respond(pending, result);
+        }
+    }
+
+    /// Answers one ticket and releases its admission slots. The release
+    /// happens *before* the send: a caller woken by its response must be
+    /// able to resubmit immediately without racing its own slot. A
+    /// dropped ticket (caller gave up) still releases — the send result
+    /// is irrelevant.
+    fn respond(&self, pending: Pending, result: Result<Response, ServiceError>) {
+        self.shared.release(&pending.tenant);
+        let _ = pending.tx.send(result);
+    }
+
+    fn stat(&self, update: impl FnOnce(&mut StatsInner)) {
+        update(&mut self.shared.stats.lock().expect("stats poisoned"));
+    }
+}
+
+/// Recomputes one job on the golden CPU model and compares.
+fn verify_one(golden: &mut CpuNttEngine, job: &NttJob, got: &[u64]) -> bool {
+    let mut expect = job.coeffs.clone();
+    let ok = match &job.kind {
+        JobKind::Forward => golden.forward(&mut expect, job.q).is_ok(),
+        JobKind::Inverse => golden.inverse(&mut expect, job.q).is_ok(),
+        JobKind::NegacyclicPolymul { rhs } => {
+            golden.negacyclic_polymul(&mut expect, rhs, job.q).is_ok()
+        }
+    };
+    ok && expect == got
+}

@@ -37,10 +37,11 @@ use crate::baselines::{CryptoPimModel, FpgaModel, MenttModel, NttAccelerator, X8
 use crate::core::config::PimConfig;
 use crate::core::device::{NttDirection, PimDevice};
 use crate::core::PimError;
-use crate::math::prime::{self, NttField};
+use crate::math::prime;
+use crate::reference::cache::{PlanCache, PlanCacheStats};
 use crate::reference::plan::NttPlan;
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Error type of the unified execution layer.
@@ -488,24 +489,28 @@ pub fn cpu_kernel_label(q: u64) -> &'static str {
     }
 }
 
-/// A CPU reference dataflow as an [`NttEngine`], with per-`(N, q)` plan
-/// caching. Latency is measured host wall clock (the honest "x86 CPU"
-/// comparison point); energy is not modeled. Transforms run the
-/// Shoup-lazy kernel for every modulus inside the capability window
-/// (see [`cpu_kernel_label`]).
+/// A CPU reference dataflow as an [`NttEngine`], with `(N, q)` plans
+/// served from a shared thread-safe [`PlanCache`]. Latency is measured
+/// host wall clock (the honest "x86 CPU" comparison point); energy is
+/// not modeled. Transforms run the Shoup-lazy kernel for every modulus
+/// inside the capability window (see [`cpu_kernel_label`]).
+///
+/// Engines built with [`Self::new`]/[`Self::golden`] share the
+/// process-wide [`PlanCache::global`] cache, so short-lived per-thread
+/// instances (the serving layer's pattern) never rebuild the O(N·log N)
+/// twiddle/Shoup tables another engine already built. Hand
+/// [`Self::with_cache`] an explicit cache to isolate or audit lookups.
 #[derive(Debug, Clone)]
 pub struct CpuNttEngine {
     dataflow: CpuDataflow,
-    plans: HashMap<(usize, u64), NttPlan>,
+    cache: Arc<PlanCache>,
 }
 
 impl CpuNttEngine {
-    /// An engine running the given dataflow.
+    /// An engine running the given dataflow, sharing the process-wide
+    /// plan cache.
     pub fn new(dataflow: CpuDataflow) -> Self {
-        Self {
-            dataflow,
-            plans: HashMap::new(),
-        }
+        Self::with_cache(dataflow, PlanCache::global())
     }
 
     /// The golden iterative-DIT engine.
@@ -513,15 +518,27 @@ impl CpuNttEngine {
         Self::new(CpuDataflow::IterativeDit)
     }
 
-    fn plan(&mut self, n: usize, q: u64) -> Result<&NttPlan, EngineError> {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.plans.entry((n, q)) {
-            // Derive ψ the same way the PIM memory controller does, so
-            // every backend transforms with the identical root.
-            let psi = prime::root_of_unity(2 * n as u64, q)?;
-            let field = NttField::with_psi(n, q, psi)?;
-            e.insert(NttPlan::new(field));
-        }
-        Ok(&self.plans[&(n, q)])
+    /// An engine serving its plans from `cache` (shared with any number
+    /// of sibling engines across threads).
+    pub fn with_cache(dataflow: CpuDataflow, cache: Arc<PlanCache>) -> Self {
+        Self { dataflow, cache }
+    }
+
+    /// The plan cache this engine reads through.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Hit/miss counters of the engine's plan cache.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    fn plan(&self, n: usize, q: u64) -> Result<Arc<NttPlan>, EngineError> {
+        // The cache centralizes the ψ derivation (root_of_unity(2N, q)),
+        // the same derivation as the PIM memory controller, so every
+        // backend transforms with the identical root.
+        self.cache.get_or_build(n, q).map_err(EngineError::from)
     }
 
     fn run<F: FnOnce(&NttPlan, &mut [u64])>(
@@ -532,7 +549,7 @@ impl CpuNttEngine {
     ) -> Result<EngineReport, EngineError> {
         let plan = self.plan(data.len(), q)?;
         let t0 = Instant::now();
-        f(plan, data);
+        f(&plan, data);
         Ok(EngineReport {
             latency_ns: t0.elapsed().as_nanos() as f64,
             energy_nj: None,
@@ -594,7 +611,7 @@ impl NttEngine for CpuNttEngine {
         check_pair(self, a, b, q)?;
         let plan = self.plan(a.len(), q)?;
         let t0 = Instant::now();
-        let product = crate::reference::poly::mul_negacyclic(plan, a, b);
+        let product = crate::reference::poly::mul_negacyclic(&plan, a, b);
         let latency_ns = t0.elapsed().as_nanos() as f64;
         a.copy_from_slice(&product);
         Ok(EngineReport {
@@ -777,6 +794,7 @@ pub fn all_engines(nb: usize) -> Result<Vec<Box<dyn NttEngine>>, PimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::math::prime::NttField;
 
     const Q: u64 = 12289;
 
@@ -945,6 +963,32 @@ mod tests {
         assert!(engines.len() >= 8);
         let n = engines.iter().filter(|e| e.caps().on_device).count();
         assert!(n >= 5, "device-modeled backends present");
+    }
+
+    #[test]
+    fn engines_share_plans_through_the_cache() {
+        // Two "worker" engines on one explicit cache: the second worker's
+        // transforms are all cache hits — the O(N log N) table build
+        // happened exactly once.
+        let cache = Arc::new(PlanCache::new());
+        let mut w1 = CpuNttEngine::with_cache(CpuDataflow::IterativeDit, cache.clone());
+        let mut w2 = CpuNttEngine::with_cache(CpuDataflow::Stockham, cache.clone());
+        let x = poly(256, Q, 9);
+        let mut a = x.clone();
+        w1.forward(&mut a, Q).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        let mut b = x.clone();
+        w2.forward(&mut b, Q).unwrap();
+        assert_eq!(a, b, "dataflows agree through the shared plan");
+        let stats = w2.cache_stats();
+        assert_eq!(stats.misses, 1, "no rebuild for the second engine");
+        assert!(stats.hits >= 1);
+        assert_eq!(stats.entries, 1);
+        // Default-constructed engines all share the global cache.
+        let g1 = CpuNttEngine::golden();
+        let g2 = CpuNttEngine::new(CpuDataflow::FourStep);
+        assert!(Arc::ptr_eq(g1.plan_cache(), g2.plan_cache()));
+        assert!(Arc::ptr_eq(g1.plan_cache(), &PlanCache::global()));
     }
 
     #[test]

@@ -42,7 +42,7 @@
 
 use super::{EngineError, EngineReport, NttEngine, ReportSource};
 use crate::core::config::{PimConfig, Topology};
-use crate::core::device::{NttDirection, PimDevice, StoredOrder};
+use crate::core::device::{NttDirection, PimDevice, QueueReport, StoredOrder};
 use crate::core::layout::PolyLayout;
 use crate::core::mapper::Program;
 use crate::core::sched::lpt_assign_topology;
@@ -216,6 +216,14 @@ pub struct BatchOutcome {
     /// Simulated per-job latency, ns, in job order: each job's completion
     /// minus its bank-queue predecessor's completion.
     pub job_latency_ns: Vec<f64>,
+    /// The full device-level queue report behind the summary fields above
+    /// (per-bank completion/energy, per-job end times, per-channel bus
+    /// slots, per-rank ACTs). Under round-robin this is the
+    /// barrier-merged report across waves
+    /// ([`QueueReport::absorb_serial`]); under LPT it is the single async
+    /// drain. Serving-layer front-ends attach it to every response of a
+    /// micro-batch.
+    pub queue_report: QueueReport,
 }
 
 impl BatchOutcome {
@@ -335,6 +343,11 @@ impl BatchExecutor {
         self.device.config().topology
     }
 
+    /// The device configuration jobs are validated against.
+    pub fn config(&self) -> &PimConfig {
+        self.device.config()
+    }
+
     /// Access to the underlying device.
     pub fn device_mut(&mut self) -> &mut PimDevice {
         &mut self.device
@@ -346,47 +359,13 @@ impl BatchExecutor {
     /// offending job index.
     fn validate(&self, jobs: &[NttJob]) -> Result<(), EngineError> {
         let config = self.device.config();
-        let shape = |i: usize, reason: String| EngineError::Shape {
-            reason: format!("job {i}: {reason}"),
-        };
         for (i, job) in jobs.iter().enumerate() {
-            let n = job.n();
-            if !n.is_power_of_two() || n < 4 {
-                return Err(shape(i, format!("length {n} is not a power of two >= 4")));
-            }
-            if job.q > u64::from(u32::MAX) {
-                return Err(shape(
-                    i,
-                    format!("q={} exceeds the 32-bit PIM datapath", job.q),
-                ));
-            }
-            if !prime::is_prime(job.q) {
-                return Err(shape(i, format!("q={} is not prime", job.q)));
-            }
-            if (job.q - 1) % (2 * n as u64) != 0 {
-                return Err(shape(
-                    i,
-                    format!("q={} has no 2N-th root of unity (2N ∤ q-1)", job.q),
-                ));
-            }
-            // Capacity: the operand(s) must fit the bank.
-            PolyLayout::new(config, 0, n).map_err(|e| shape(i, e.to_string()))?;
-            if job.coeffs.iter().any(|&c| c >= job.q) {
-                return Err(shape(i, "coefficients not reduced modulo q".into()));
-            }
-            if let JobKind::NegacyclicPolymul { rhs } = &job.kind {
-                if rhs.len() != n {
-                    return Err(shape(
-                        i,
-                        format!("operand lengths differ ({n} vs {})", rhs.len()),
-                    ));
-                }
-                if rhs.iter().any(|&c| c >= job.q) {
-                    return Err(shape(i, "rhs coefficients not reduced modulo q".into()));
-                }
-                PolyLayout::new(config, config.polymul_rhs_base(n), n)
-                    .map_err(|e| shape(i, format!("second operand: {e}")))?;
-            }
+            validate_job(config, job).map_err(|e| match e {
+                EngineError::Shape { reason } => EngineError::Shape {
+                    reason: format!("job {i}: {reason}"),
+                },
+                other => other,
+            })?;
         }
         Ok(())
     }
@@ -506,8 +485,7 @@ impl BatchExecutor {
         }
         let depth = plan.queues.iter().map(Vec::len).max().unwrap_or(0);
 
-        let (latency_ns, energy_nj, bus_slots, rank_acts, per_channel_bus_slots) = match self.policy
-        {
+        let queue_report = match self.policy {
             SchedulePolicy::Lpt => {
                 // Async drain: execute every queue functionally, then time
                 // all queues in one shared-bus schedule (banks advance to
@@ -527,24 +505,21 @@ impl BatchExecutor {
                         job_latency_ns[plan.queues[bank][slot]] = end - prev;
                         prev = end;
                     }
-                    usage[bank].busy_ns = report.per_bank_ns[bank];
-                    usage[bank].energy_nj = report.per_bank_energy_nj[bank];
                 }
-                (
-                    report.latency_ns,
-                    report.energy_nj,
-                    report.bus_slots,
-                    report.rank_acts,
-                    report.per_channel_bus_slots,
-                )
+                report
             }
             SchedulePolicy::RoundRobin => {
                 // Wave drain: queue position w across all banks forms wave
                 // w; a full-chip barrier separates waves, so each wave is
                 // timed alone and the batch pays the sum of wave maxima.
-                let (mut latency, mut energy) = (0.0f64, 0.0f64);
-                let (mut bus, mut acts) = (0u64, 0u64);
-                let mut per_channel = vec![0u64; self.topology().channels as usize];
+                // The per-wave reports merge into one batch-level report
+                // with the barrier semantics of `absorb_serial`.
+                let topology = self.topology();
+                let mut merged = QueueReport::empty(
+                    banks,
+                    topology.channels as usize,
+                    (topology.channels * topology.ranks) as usize,
+                );
                 for w in 0..depth {
                     let mut wave_programs: Vec<Vec<Program>> = vec![Vec::new(); banks];
                     let wave_jobs: Vec<(usize, usize)> = plan
@@ -559,38 +534,35 @@ impl BatchExecutor {
                         wave_programs[bank].push(program);
                     }
                     let report = self.device.schedule_queues(&wave_programs)?;
-                    latency += report.latency_ns;
-                    energy += report.energy_nj;
-                    bus += report.bus_slots;
-                    acts += report.rank_acts;
-                    for (tot, &slots) in per_channel.iter_mut().zip(&report.per_channel_bus_slots) {
-                        *tot += slots;
-                    }
                     for (bank, ends) in report.job_end_ns.iter().enumerate() {
                         if let Some(&end) = ends.first() {
                             job_latency_ns[plan.queues[bank][w]] = end;
-                            usage[bank].busy_ns += report.per_bank_ns[bank];
-                            usage[bank].energy_nj += report.per_bank_energy_nj[bank];
                         }
                     }
+                    merged.absorb_serial(&report);
                 }
-                (latency, energy, bus, acts, per_channel)
+                merged
             }
         };
+        for (bank, usage) in usage.iter_mut().enumerate() {
+            usage.busy_ns = queue_report.per_bank_ns[bank];
+            usage.energy_nj = queue_report.per_bank_energy_nj[bank];
+        }
 
         Ok(BatchOutcome {
             spectra,
-            latency_ns,
-            energy_nj,
+            latency_ns: queue_report.latency_ns,
+            energy_nj: queue_report.energy_nj,
             waves: depth,
-            bus_slots,
-            rank_acts,
+            bus_slots: queue_report.bus_slots,
+            rank_acts: queue_report.rank_acts,
             topology: self.topology(),
-            per_channel_bus_slots,
+            per_channel_bus_slots: queue_report.per_channel_bus_slots.clone(),
             banks: usage,
             policy: self.policy,
             assignment: plan.queues,
             job_latency_ns,
+            queue_report,
         })
     }
 
@@ -603,6 +575,61 @@ impl BatchExecutor {
     pub fn run_forward(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
         self.run(jobs)
     }
+}
+
+/// Validates one job against a device configuration's capability window:
+/// power-of-two length, prime 32-bit modulus with a 2N-th root of unity,
+/// reduced coefficients, and bank capacity for every operand.
+///
+/// This is the per-job half of [`BatchExecutor`]'s whole-batch
+/// validation, exposed so admission-controlled front-ends (the serving
+/// layer) can reject a malformed request *on its own ticket* instead of
+/// letting it poison the micro-batch it would have joined.
+///
+/// # Errors
+///
+/// [`EngineError::Shape`] describing the violation (without a job index
+/// — the caller knows which request it is holding).
+pub fn validate_job(config: &PimConfig, job: &NttJob) -> Result<(), EngineError> {
+    let shape = |reason: String| EngineError::Shape { reason };
+    let n = job.n();
+    if !n.is_power_of_two() || n < 4 {
+        return Err(shape(format!("length {n} is not a power of two >= 4")));
+    }
+    if job.q > u64::from(u32::MAX) {
+        return Err(shape(format!(
+            "q={} exceeds the 32-bit PIM datapath",
+            job.q
+        )));
+    }
+    if !prime::is_prime(job.q) {
+        return Err(shape(format!("q={} is not prime", job.q)));
+    }
+    if (job.q - 1) % (2 * n as u64) != 0 {
+        return Err(shape(format!(
+            "q={} has no 2N-th root of unity (2N ∤ q-1)",
+            job.q
+        )));
+    }
+    // Capacity: the operand(s) must fit the bank.
+    PolyLayout::new(config, 0, n).map_err(|e| shape(e.to_string()))?;
+    if job.coeffs.iter().any(|&c| c >= job.q) {
+        return Err(shape("coefficients not reduced modulo q".into()));
+    }
+    if let JobKind::NegacyclicPolymul { rhs } = &job.kind {
+        if rhs.len() != n {
+            return Err(shape(format!(
+                "operand lengths differ ({n} vs {})",
+                rhs.len()
+            )));
+        }
+        if rhs.iter().any(|&c| c >= job.q) {
+            return Err(shape("rhs coefficients not reduced modulo q".into()));
+        }
+        PolyLayout::new(config, config.polymul_rhs_base(n), n)
+            .map_err(|e| shape(format!("second operand: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Sequential baseline: runs the same jobs one by one on any engine,
@@ -912,6 +939,41 @@ mod tests {
             rr_out.per_channel_bus_slots.iter().sum::<u64>(),
             rr_out.bus_slots
         );
+    }
+
+    #[test]
+    fn queue_report_backs_the_summary_under_both_policies() {
+        let config = PimConfig::hbm2e(2).with_topology(Topology::new(2, 1, 2));
+        let jobs: Vec<NttJob> = (0..6).map(|i| job(256, 700 + i)).collect();
+        for policy in [SchedulePolicy::Lpt, SchedulePolicy::RoundRobin] {
+            let mut exec = BatchExecutor::new(config).unwrap().with_policy(policy);
+            let out = exec.run(&jobs).unwrap();
+            let qr = &out.queue_report;
+            assert_eq!(qr.latency_ns, out.latency_ns, "{policy}");
+            assert_eq!(qr.bus_slots, out.bus_slots, "{policy}");
+            assert_eq!(qr.rank_acts, out.rank_acts, "{policy}");
+            assert_eq!(qr.per_channel_bus_slots, out.per_channel_bus_slots);
+            assert_eq!(qr.job_count(), jobs.len(), "{policy}");
+            assert_eq!(qr.per_rank_acts.iter().sum::<u64>(), out.rank_acts);
+            for (bank, u) in out.banks.iter().enumerate() {
+                assert_eq!(u.busy_ns, qr.per_bank_ns[bank], "{policy} bank {bank}");
+                assert_eq!(u.energy_nj, qr.per_bank_energy_nj[bank]);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_job_is_the_per_request_admission_check() {
+        let config = PimConfig::hbm2e(2);
+        assert!(validate_job(&config, &job(256, 1)).is_ok());
+        let err = validate_job(&config, &NttJob::new(vec![1; 64], 65535)).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("not prime")
+                && !reason.contains("job ")),
+            "no index in the per-request form: {err}"
+        );
+        let err = validate_job(&config, &NttJob::new(vec![1, 2, 3], Q)).unwrap_err();
+        assert!(matches!(&err, EngineError::Shape { reason } if reason.contains("power of two")));
     }
 
     #[test]
