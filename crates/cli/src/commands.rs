@@ -568,6 +568,12 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         "  plan cache      : {:>6} hits / {} misses / {} entries",
         stats.plan_cache.hits, stats.plan_cache.misses, stats.plan_cache.entries
     );
+    let _ = writeln!(
+        out,
+        "  host kernel     : {:>12} (lane width {})",
+        ntt_ref::lanes::kernel_label(),
+        ntt_ref::lanes::LANE_WIDTH
+    );
     if stats.completed != requests as u64 {
         return Err(CliError::runtime(format!(
             "serve lost requests: {}/{requests} completed",
@@ -583,7 +589,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         }
         let _ = writeln!(
             out,
-            "  verification    : OK (every response matches the golden CPU NTT)"
+            "  verification    : OK (every response matches the golden CPU NTT; \
+             {} of {} verifications rode the lane-batched kernel)",
+            stats.verify_lane_jobs, stats.completed
         );
         let _ = writeln!(out, "serve smoke OK");
     }
@@ -700,6 +708,15 @@ mod tests {
         assert!(out.contains("completed       :            8"), "{out}");
         assert!(out.contains("mean occupancy"), "{out}");
         assert!(out.contains("plan cache"), "{out}");
+        assert!(
+            out.contains(ntt_ref::lanes::kernel_label())
+                && out.contains(&format!("lane width {}", ntt_ref::lanes::LANE_WIDTH)),
+            "serve must name the active host kernel and lane width: {out}"
+        );
+        assert!(
+            out.contains("rode the lane-batched kernel"),
+            "serve must report the lane-verified count: {out}"
+        );
     }
 
     #[test]

@@ -90,6 +90,51 @@ pub fn mul_lazy(x: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
     r
 }
 
+/// Exclusive upper bound on moduli the *narrow* Shoup datapath accepts:
+/// with `q < 2³¹` every operand reduced to `[0, 2q)` fits in 32 bits, so
+/// [`mul_lazy_narrow`] can assemble the quotient estimate from 32×32→64
+/// multiplies — a single `vpmuludq` each on AVX2, instead of emulating a
+/// full 64×64→128 product.
+pub const NARROW_MODULUS_BOUND: u64 = 1 << 31;
+
+/// Whether modulus `q` qualifies for the narrow (32-bit Shoup) datapath.
+///
+/// # Example
+///
+/// ```
+/// assert!(modmath::shoup::narrow(8380417));
+/// assert!(!modmath::shoup::narrow(1 << 31));
+/// ```
+#[inline]
+#[must_use]
+pub fn narrow(q: u64) -> bool {
+    (2..NARROW_MODULUS_BOUND).contains(&q)
+}
+
+/// Narrow lazy Shoup multiply: `x·w mod q` up to one redundant `q`, i.e.
+/// a value in `[0, 2q)` — the same contract as [`mul_lazy`], restricted
+/// to `q <` [`NARROW_MODULUS_BOUND`] and `x < 2³²`, computed entirely in
+/// 32×32→64 multiplies.
+///
+/// The quotient estimate reuses the standard 64-bit Shoup constant: its
+/// top half is exactly the base-2³² quotient,
+/// `⌊⌊w·2⁶⁴/q⌋ / 2³²⌋ = ⌊w·2³²/q⌋`, so no separate table is needed. The
+/// returned *representative* may differ from [`mul_lazy`]'s by `q` (the
+/// two quotient estimates can disagree by one), so the two datapaths are
+/// congruent mod `q` but not bit-identical leg for leg — callers that
+/// normalize at the end produce identical `[0, q)` outputs either way.
+#[inline]
+#[must_use]
+pub fn mul_lazy_narrow(x: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    debug_assert!(narrow(q), "narrow datapath requires q < 2^31");
+    debug_assert!(x >> 32 == 0, "narrow operand out of range");
+    debug_assert!(w < q, "Shoup constants must be reduced");
+    let hi = (x * (w_shoup >> 32)) >> 32;
+    let r = x * w - hi * q;
+    debug_assert!(r < 2 * q, "lazy product out of range");
+    r
+}
+
 /// Fully reduced Shoup multiply: `x·w mod q` in `[0, q)`, any `u64` `x`.
 #[inline]
 #[must_use]
@@ -148,6 +193,36 @@ pub fn normalize(data: &mut [u64], q: u64) {
     }
 }
 
+/// Lane-batched Harvey CT butterfly: one twiddle `(w, w')` applied to `L`
+/// independent even/odd leg pairs in lockstep — the arithmetic unit of the
+/// structure-of-arrays NTT datapath (`ntt_ref::lanes`), where one twiddle
+/// load amortizes over `L` residues.
+///
+/// Per lane this is exactly the scalar Harvey butterfly (same operation
+/// sequence, bit-identical results): reduce the even leg `[0,4q) → [0,2q)`,
+/// one lazy Shoup multiply of the odd leg, then the unreduced add and the
+/// `+2q` subtract, both `< 4q`. The fixed-width loop carries no
+/// cross-lane dependency, so the compiler unrolls and vectorizes it.
+///
+/// Inputs must be `< 4q`; in debug builds the `[0, 4q)` invariant of every
+/// leg is asserted through the underlying primitives.
+#[inline(always)]
+pub fn butterfly_lazy_lanes<const L: usize>(
+    even: &mut [u64; L],
+    odd: &mut [u64; L],
+    w: u64,
+    w_shoup: u64,
+    q: u64,
+) {
+    debug_assert!(w < q, "Shoup constants must be reduced");
+    for l in 0..L {
+        let u = reduce_twice(even[l], q);
+        let t = mul_lazy(odd[l], w, w_shoup, q);
+        even[l] = add_lazy(u, t, q); // < 4q
+        odd[l] = sub_lazy(u, t, q); // < 4q
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +237,30 @@ mod tests {
         assert!(!supports(1));
         assert!(check_modulus(12289).is_ok());
         assert!(check_modulus(LAZY_MODULUS_BOUND).is_err());
+    }
+
+    #[test]
+    fn narrow_bound_is_exactly_two_to_the_31() {
+        assert!(narrow(NARROW_MODULUS_BOUND - 1));
+        assert!(!narrow(NARROW_MODULUS_BOUND));
+        assert!(!narrow(1));
+    }
+
+    #[test]
+    fn mul_lazy_narrow_matches_widening_up_to_one_q() {
+        for q in [7681u64, 12289, 8380417, 2_013_265_921, (1 << 31) - 1] {
+            let mut w = 1u64;
+            for i in 0..200u64 {
+                w = w.wrapping_mul(6364136223846793005).wrapping_add(i) % q;
+                let ws = precompute(w, q);
+                // Exercise x across the full narrow operand range [0, 2³²)
+                // (a superset of the reduced lazy range [0, 2q)).
+                let x = i.wrapping_mul(0x9E3779B97F4A7C15) & 0xffff_ffff;
+                let lazy = mul_lazy_narrow(x, w, ws, q);
+                assert!(lazy < 2 * q, "q={q} w={w} x={x}");
+                assert_eq!(lazy % q, mulmod_u128(x, w, q), "q={q} w={w} x={x}");
+            }
+        }
     }
 
     #[test]
@@ -224,5 +323,41 @@ mod tests {
     fn precompute_of_one_is_floor_2_64_over_q() {
         let q = 12289u64;
         assert_eq!(precompute(1, q), (u128::pow(2, 64) / q as u128) as u64);
+    }
+
+    #[test]
+    fn lane_butterfly_is_bit_identical_to_scalar_legs() {
+        for q in [7681u64, 12289, 8380417, Q_EDGE] {
+            let mut state = q ^ 0x9E3779B97F4A7C15;
+            let mut rnd = move |bound: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 1) % bound
+            };
+            for _ in 0..50 {
+                let w = rnd(q);
+                let ws = precompute(w, q);
+                let mut even = [0u64; 8];
+                let mut odd = [0u64; 8];
+                for l in 0..8 {
+                    even[l] = rnd(4 * q);
+                    odd[l] = rnd(4 * q);
+                }
+                // Scalar reference: the exact leg sequence, one lane at a time.
+                let mut expect_even = even;
+                let mut expect_odd = odd;
+                for l in 0..8 {
+                    let u = reduce_twice(expect_even[l], q);
+                    let t = mul_lazy(expect_odd[l], w, ws, q);
+                    expect_even[l] = add_lazy(u, t, q);
+                    expect_odd[l] = sub_lazy(u, t, q);
+                }
+                butterfly_lazy_lanes(&mut even, &mut odd, w, ws, q);
+                assert_eq!(even, expect_even, "q={q}");
+                assert_eq!(odd, expect_odd, "q={q}");
+                assert!(even.iter().chain(&odd).all(|&x| x < 4 * q));
+            }
+        }
     }
 }

@@ -47,6 +47,9 @@ thread_local! {
     /// concurrent service workers transforming through one shared plan
     /// never serialize or contend on scratch space.
     static SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Reused per-polynomial widening buffers for the batch entry points
+    /// (one `Vec<u64>` per batch slot, recycled across calls).
+    static BATCH_SCRATCH: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Fast32Plan {
@@ -95,6 +98,57 @@ impl Fast32Plan {
     /// Panics if `data.len() != self.n()`.
     pub fn inverse(&self, data: &mut [u32]) {
         self.run(data, |plan, buf| plan.inverse(buf));
+    }
+
+    /// Forward cyclic NTT of a whole batch through the lane-batched SoA
+    /// kernel ([`crate::lanes`]) — the u32 datapath rides the same lane
+    /// kernel as the u64 one instead of keeping a second scalar loop.
+    /// Returns how many polynomials rode the lane kernel (the ragged tail
+    /// runs scalar).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `self.n()`.
+    pub fn forward_batch(&self, polys: &mut [Vec<u32>]) -> usize {
+        self.run_batch(polys, crate::lanes::forward_batch)
+    }
+
+    /// Inverse cyclic NTT of a whole batch (includes `N⁻¹` scaling);
+    /// lane-batched counterpart of [`Self::inverse`]. Returns how many
+    /// polynomials rode the lane kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `self.n()`.
+    pub fn inverse_batch(&self, polys: &mut [Vec<u32>]) -> usize {
+        self.run_batch(polys, crate::lanes::inverse_batch)
+    }
+
+    fn run_batch(
+        &self,
+        polys: &mut [Vec<u32>],
+        f: fn(&NttPlan, &mut [Vec<u64>]) -> usize,
+    ) -> usize {
+        let n = self.plan.n();
+        for p in polys.iter() {
+            assert_eq!(p.len(), n, "length mismatch");
+        }
+        BATCH_SCRATCH.with(|scratch| {
+            let mut bufs = scratch.borrow_mut();
+            let want = polys.len().max(bufs.len());
+            bufs.resize_with(want, Vec::new);
+            for (buf, p) in bufs.iter_mut().zip(polys.iter()) {
+                buf.clear();
+                buf.extend(p.iter().map(|&x| u64::from(x)));
+            }
+            let lanes_done = f(&self.plan, &mut bufs[..polys.len()]);
+            for (p, buf) in polys.iter_mut().zip(bufs.iter()) {
+                for (d, &x) in p.iter_mut().zip(buf.iter()) {
+                    *d = x as u32; // outputs are reduced mod q < 2^31
+                }
+            }
+            lanes_done
+        })
     }
 
     fn run(&self, data: &mut [u32], f: impl FnOnce(&NttPlan, &mut [u64])) {
@@ -147,6 +201,30 @@ mod tests {
         plan.forward(&mut v);
         plan.inverse(&mut v);
         assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn batch_rides_the_lane_kernel_and_matches_scalar() {
+        let f = field(256);
+        let plan = Fast32Plan::new(&f).unwrap();
+        let q = plan.modulus();
+        // 11 polynomials: one full lane group + a ragged scalar tail.
+        let orig: Vec<Vec<u32>> = (0..11u32)
+            .map(|t| {
+                (0..256u32)
+                    .map(|i| i.wrapping_mul(2654435761).wrapping_add(t * 97) % q)
+                    .collect()
+            })
+            .collect();
+        let mut batch = orig.clone();
+        assert_eq!(plan.forward_batch(&mut batch), crate::lanes::LANE_WIDTH);
+        let mut expect = orig.clone();
+        for e in expect.iter_mut() {
+            plan.forward(e);
+        }
+        assert_eq!(batch, expect);
+        assert_eq!(plan.inverse_batch(&mut batch), crate::lanes::LANE_WIDTH);
+        assert_eq!(batch, orig);
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! AVX2 backend for the lane-batched butterfly stage (`--features simd`,
+//! `x86_64` only). Selected at runtime: the dispatcher in [`super`] calls
+//! [`stage_pass`] / [`stage_pair_pass`] only when [`available`] reports
+//! AVX2, and the portable SoA-scalar passes remain the fallback on every
+//! other host.
+//!
+//! AVX2 has no 64×64→128 vector multiply, so the generic Shoup
+//! `mulhi`/`mullo` are assembled from 32×32→64 `vpmuludq` partial
+//! products (4 for the high half, 3 for the low half — 10 per four-lane
+//! lazy multiply). The value semantics are exactly those of the portable
+//! butterfly: identical per-lane operation sequence, wrapping arithmetic,
+//! bit-identical outputs. Narrow moduli (`q < 2³¹`, the `NARROW` variants)
+//! reduce the odd leg under 2³² first, after which the whole lazy multiply
+//! is three exact `vpmuludq`s — the big win of this backend; per lane that
+//! is exactly the portable [`modmath::shoup::mul_lazy_narrow`] sequence.
+//! Unsigned 64-bit compares (the conditional subtracts) use the sign-flip
+//! + signed-compare trick with the constant pre-flipped per stage.
+
+use core::arch::x86_64::{
+    __m256i, _mm256_add_epi64, _mm256_and_si256, _mm256_cmpgt_epi64, _mm256_loadu_si256,
+    _mm256_mul_epu32, _mm256_set1_epi64x, _mm256_slli_epi64, _mm256_srli_epi64,
+    _mm256_storeu_si256, _mm256_sub_epi64, _mm256_xor_si256,
+};
+
+use super::LANE_WIDTH;
+
+/// Whether the running CPU supports the AVX2 stage pass.
+pub(super) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// One butterfly stage over a row range, AVX2 path; drop-in for
+/// `portable_stage_pass` (same contract, bit-identical results).
+///
+/// # Panics
+///
+/// Panics if the running CPU lacks AVX2 (the dispatcher checks
+/// [`available`] first, so this is a programming-error backstop that
+/// keeps the wrapper sound).
+pub(super) fn stage_pass(soa: &mut [u64], pairs: &[u64], q: u64) {
+    assert!(available(), "AVX2 stage pass dispatched without AVX2");
+    // SAFETY: the `avx2` target feature is present (checked above), and
+    // `stage_pass_avx2` has no other safety requirements.
+    unsafe { stage_pass_avx2::<false>(soa, pairs, q) }
+}
+
+/// [`stage_pass`] on the narrow (32-bit Shoup) datapath; requires
+/// `q < 2³¹`.
+///
+/// # Panics
+///
+/// Panics if the running CPU lacks AVX2.
+pub(super) fn stage_pass_narrow(soa: &mut [u64], pairs: &[u64], q: u64) {
+    assert!(available(), "AVX2 stage pass dispatched without AVX2");
+    // SAFETY: as for `stage_pass`.
+    unsafe { stage_pass_avx2::<true>(soa, pairs, q) }
+}
+
+/// Two consecutive stages fused into one sweep, AVX2 path; drop-in for
+/// `portable_stage_pair_pass` (same contract, bit-identical results).
+///
+/// # Panics
+///
+/// Panics if the running CPU lacks AVX2 (the dispatcher checks
+/// [`available`] first, so this is a programming-error backstop that
+/// keeps the wrapper sound).
+pub(super) fn stage_pair_pass(soa: &mut [u64], lo: &[u64], hi: &[u64], q: u64) {
+    assert!(available(), "AVX2 stage-pair pass dispatched without AVX2");
+    // SAFETY: the `avx2` target feature is present (checked above), and
+    // `stage_pair_avx2` has no other safety requirements.
+    unsafe { stage_pair_avx2::<false>(soa, lo, hi, q) }
+}
+
+/// [`stage_pair_pass`] on the narrow (32-bit Shoup) datapath; requires
+/// `q < 2³¹`.
+///
+/// # Panics
+///
+/// Panics if the running CPU lacks AVX2.
+pub(super) fn stage_pair_pass_narrow(soa: &mut [u64], lo: &[u64], hi: &[u64], q: u64) {
+    assert!(available(), "AVX2 stage-pair pass dispatched without AVX2");
+    // SAFETY: as for `stage_pair_pass`.
+    unsafe { stage_pair_avx2::<true>(soa, lo, hi, q) }
+}
+
+const SIGN: i64 = i64::MIN; // 1 << 63, the unsigned→signed compare flip
+
+/// Per-stage vector constants shared by every butterfly of a pass.
+#[derive(Clone, Copy)]
+struct Consts {
+    q_v: __m256i,
+    two_q: __m256i,
+    /// `x ≥ 2q` (unsigned) becomes `(x ^ SIGN) > ((2q−1) ^ SIGN)` (signed).
+    two_q_m1_flip: __m256i,
+    sign: __m256i,
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn consts(q: u64) -> Consts {
+    Consts {
+        q_v: _mm256_set1_epi64x(q as i64),
+        two_q: _mm256_set1_epi64x((2 * q) as i64),
+        two_q_m1_flip: _mm256_set1_epi64x((2 * q - 1) as i64 ^ SIGN),
+        sign: _mm256_set1_epi64x(SIGN),
+    }
+}
+
+/// `reduce_twice` on four lanes: subtract `2q` where `x ≥ 2q`.
+#[target_feature(enable = "avx2")]
+unsafe fn reduce_twice_vec(x: __m256i, c: Consts) -> __m256i {
+    let ge = _mm256_cmpgt_epi64(_mm256_xor_si256(x, c.sign), c.two_q_m1_flip);
+    _mm256_sub_epi64(x, _mm256_and_si256(ge, c.two_q))
+}
+
+/// One Harvey lazy butterfly on four lanes, value semantics exactly those
+/// of the portable leg sequence (`reduce_twice`, then `mul_lazy` /
+/// `mul_lazy_narrow`, then `add`/`sub`). The `NARROW` path expects `ws`
+/// splatted from the *top half* of the Shoup constant (`w' >> 32`).
+#[target_feature(enable = "avx2")]
+unsafe fn butterfly_vec<const NARROW: bool>(
+    a: __m256i,
+    b: __m256i,
+    w: __m256i,
+    ws: __m256i,
+    c: Consts,
+) -> (__m256i, __m256i) {
+    // u = reduce_twice(even).
+    let u = reduce_twice_vec(a, c);
+    let t = if NARROW {
+        // Reduce the odd leg under 2³², then every product is exact in
+        // one 32×32→64 `vpmuludq`: t = o·w − ⌊o·(w'≫32)/2³²⌋·q.
+        let o = reduce_twice_vec(b, c);
+        let hi = _mm256_srli_epi64(_mm256_mul_epu32(o, ws), 32);
+        _mm256_sub_epi64(_mm256_mul_epu32(o, w), _mm256_mul_epu32(hi, c.q_v))
+    } else {
+        // t = mul_lazy(odd, w, w', q) = odd·w − ⌊odd·w'/2⁶⁴⌋·q, all
+        // multiplies wrapping to 64 bits.
+        let hi = mulhi_epu64(b, ws);
+        _mm256_sub_epi64(mullo_epu64(b, w), mullo_epu64(hi, c.q_v))
+    };
+    // even' = u + t, odd' = u + 2q − t: both < 4q.
+    (
+        _mm256_add_epi64(u, t),
+        _mm256_sub_epi64(_mm256_add_epi64(u, c.two_q), t),
+    )
+}
+
+/// The `w'` lane value a pass should splat: the full 64-bit Shoup
+/// constant on the generic path, its top half on the narrow path.
+#[inline(always)]
+fn ws_lane<const NARROW: bool>(ws: u64) -> i64 {
+    (if NARROW { ws >> 32 } else { ws }) as i64
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn stage_pass_avx2<const NARROW: bool>(soa: &mut [u64], pairs: &[u64], q: u64) {
+    let band = (pairs.len() / 2) * LANE_WIDTH;
+    let c = consts(q);
+    for group in soa.chunks_exact_mut(2 * band) {
+        let (even, odd) = group.split_at_mut(band);
+        for (pair, (e, o)) in pairs.chunks_exact(2).zip(
+            even.chunks_exact_mut(LANE_WIDTH)
+                .zip(odd.chunks_exact_mut(LANE_WIDTH)),
+        ) {
+            let w = _mm256_set1_epi64x(pair[0] as i64);
+            let ws = _mm256_set1_epi64x(ws_lane::<NARROW>(pair[1]));
+            for half in 0..2 {
+                let ep = e.as_mut_ptr().wrapping_add(4 * half) as *mut __m256i;
+                let op = o.as_mut_ptr().wrapping_add(4 * half) as *mut __m256i;
+                let (x0, x1) = butterfly_vec::<NARROW>(
+                    _mm256_loadu_si256(ep),
+                    _mm256_loadu_si256(op),
+                    w,
+                    ws,
+                    c,
+                );
+                _mm256_storeu_si256(ep, x0);
+                _mm256_storeu_si256(op, x1);
+            }
+        }
+    }
+}
+
+/// Same supergroup walk as `portable_stage_pair_pass`: four quarters
+/// `Q0..Q3` of `m` rows each, stage `s` on `(Q0, Q1)` and `(Q2, Q3)` with
+/// `lo[j]`, stage `s+1` on `(Q0, Q2)` with `hi[j]` and `(Q1, Q3)` with
+/// `hi[j+m]`, all four values chained in registers.
+#[target_feature(enable = "avx2")]
+unsafe fn stage_pair_avx2<const NARROW: bool>(soa: &mut [u64], lo: &[u64], hi: &[u64], q: u64) {
+    let m = lo.len() / 2;
+    debug_assert_eq!(hi.len(), 2 * lo.len(), "upper stage has 2m twiddles");
+    let band = m * LANE_WIDTH;
+    let c = consts(q);
+    for group in soa.chunks_exact_mut(4 * band) {
+        let (q01, q23) = group.split_at_mut(2 * band);
+        let (r0, r1) = q01.split_at_mut(band);
+        let (r2, r3) = q23.split_at_mut(band);
+        for j in 0..m {
+            let wl = _mm256_set1_epi64x(lo[2 * j] as i64);
+            let wls = _mm256_set1_epi64x(ws_lane::<NARROW>(lo[2 * j + 1]));
+            let wa = _mm256_set1_epi64x(hi[2 * j] as i64);
+            let was = _mm256_set1_epi64x(ws_lane::<NARROW>(hi[2 * j + 1]));
+            let wb = _mm256_set1_epi64x(hi[2 * (j + m)] as i64);
+            let wbs = _mm256_set1_epi64x(ws_lane::<NARROW>(hi[2 * (j + m) + 1]));
+            for half in 0..2 {
+                let off = j * LANE_WIDTH + 4 * half;
+                let p0 = r0.as_mut_ptr().wrapping_add(off) as *mut __m256i;
+                let p1 = r1.as_mut_ptr().wrapping_add(off) as *mut __m256i;
+                let p2 = r2.as_mut_ptr().wrapping_add(off) as *mut __m256i;
+                let p3 = r3.as_mut_ptr().wrapping_add(off) as *mut __m256i;
+                let (x0, x1) = butterfly_vec::<NARROW>(
+                    _mm256_loadu_si256(p0),
+                    _mm256_loadu_si256(p1),
+                    wl,
+                    wls,
+                    c,
+                );
+                let (x2, x3) = butterfly_vec::<NARROW>(
+                    _mm256_loadu_si256(p2),
+                    _mm256_loadu_si256(p3),
+                    wl,
+                    wls,
+                    c,
+                );
+                let (y0, y2) = butterfly_vec::<NARROW>(x0, x2, wa, was, c);
+                let (y1, y3) = butterfly_vec::<NARROW>(x1, x3, wb, wbs, c);
+                _mm256_storeu_si256(p0, y0);
+                _mm256_storeu_si256(p1, y1);
+                _mm256_storeu_si256(p2, y2);
+                _mm256_storeu_si256(p3, y3);
+            }
+        }
+    }
+}
+
+/// High 64 bits of the unsigned 64×64 product, per lane, from four
+/// `vpmuludq` 32×32 partials with the standard carry gather.
+#[target_feature(enable = "avx2")]
+unsafe fn mulhi_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let m32 = _mm256_set1_epi64x(0xffff_ffff);
+    let a_hi = _mm256_srli_epi64(a, 32);
+    let b_hi = _mm256_srli_epi64(b, 32);
+    let ll = _mm256_mul_epu32(a, b);
+    let lh = _mm256_mul_epu32(a, b_hi);
+    let hl = _mm256_mul_epu32(a_hi, b);
+    let hh = _mm256_mul_epu32(a_hi, b_hi);
+    let t = _mm256_add_epi64(hl, _mm256_srli_epi64(ll, 32));
+    let u = _mm256_add_epi64(lh, _mm256_and_si256(t, m32));
+    _mm256_add_epi64(
+        _mm256_add_epi64(hh, _mm256_srli_epi64(t, 32)),
+        _mm256_srli_epi64(u, 32),
+    )
+}
+
+/// Low 64 bits of the (wrapping) 64×64 product, per lane: the `ll`
+/// partial plus both cross terms shifted up.
+#[target_feature(enable = "avx2")]
+unsafe fn mullo_epu64(a: __m256i, b: __m256i) -> __m256i {
+    let ll = _mm256_mul_epu32(a, b);
+    let cross = _mm256_add_epi64(
+        _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+        _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+    );
+    _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{portable_stage_pair_pass, portable_stage_pass};
+    use super::*;
+    use modmath::shoup;
+
+    fn lcg(seed: u64) -> impl FnMut(u64) -> u64 {
+        let mut state = seed | 1;
+        move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 1) % bound
+        }
+    }
+
+    fn twiddles(rnd: &mut impl FnMut(u64) -> u64, count: usize, q: u64) -> Vec<u64> {
+        (0..count)
+            .flat_map(|_| {
+                let w = rnd(q);
+                [w, shoup::precompute(w, q)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn avx2_stage_pass_is_bit_identical_to_portable() {
+        if !available() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        for q in [12289u64, 8380417, (1 << 62) - 57] {
+            let mut rnd = lcg(q);
+            // Stage with m = 4 over 16 rows (2 groups of 2m = 8 rows).
+            let pairs = twiddles(&mut rnd, 4, q);
+            let mut soa: Vec<u64> = (0..16 * LANE_WIDTH).map(|_| rnd(4 * q)).collect();
+            let mut expect = soa.clone();
+            portable_stage_pass::<false>(&mut expect, &pairs, q);
+            stage_pass(&mut soa, &pairs, q);
+            assert_eq!(soa, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn avx2_narrow_stage_pass_is_bit_identical_to_portable() {
+        if !available() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        for q in [12289u64, 8380417, 2_013_265_921, (1 << 31) - 1] {
+            let mut rnd = lcg(q.rotate_left(3));
+            let pairs = twiddles(&mut rnd, 4, q);
+            let mut soa: Vec<u64> = (0..16 * LANE_WIDTH).map(|_| rnd(4 * q)).collect();
+            let mut expect = soa.clone();
+            portable_stage_pass::<true>(&mut expect, &pairs, q);
+            stage_pass_narrow(&mut soa, &pairs, q);
+            assert_eq!(soa, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn avx2_stage_pair_pass_is_bit_identical_to_portable() {
+        if !available() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        for q in [12289u64, 8380417, (1 << 62) - 57] {
+            let mut rnd = lcg(q.rotate_left(7));
+            // Fused stages with m = 4 over 32 rows (2 supergroups of 4m
+            // = 16 rows each).
+            let lo = twiddles(&mut rnd, 4, q);
+            let hi = twiddles(&mut rnd, 8, q);
+            let mut soa: Vec<u64> = (0..32 * LANE_WIDTH).map(|_| rnd(4 * q)).collect();
+            let mut expect = soa.clone();
+            portable_stage_pair_pass::<false>(&mut expect, &lo, &hi, q);
+            stage_pair_pass(&mut soa, &lo, &hi, q);
+            assert_eq!(soa, expect, "q={q}");
+        }
+    }
+
+    #[test]
+    fn avx2_narrow_stage_pair_pass_is_bit_identical_to_portable() {
+        if !available() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        for q in [12289u64, 8380417, 2_013_265_921, (1 << 31) - 1] {
+            let mut rnd = lcg(q.rotate_left(11));
+            let lo = twiddles(&mut rnd, 4, q);
+            let hi = twiddles(&mut rnd, 8, q);
+            let mut soa: Vec<u64> = (0..32 * LANE_WIDTH).map(|_| rnd(4 * q)).collect();
+            let mut expect = soa.clone();
+            portable_stage_pair_pass::<true>(&mut expect, &lo, &hi, q);
+            stage_pair_pass_narrow(&mut soa, &lo, &hi, q);
+            assert_eq!(soa, expect, "q={q}");
+        }
+    }
+}

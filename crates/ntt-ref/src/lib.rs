@@ -27,6 +27,11 @@
 //!   parallel FFT algorithms \[17\]).
 //! * [`stockham`] — self-sorting dataflow \[18\].
 //! * [`four_step`] — cache-friendly four-step decomposition (extension).
+//! * [`lanes`] — the lane-batched structure-of-arrays datapath: `L`
+//!   polynomials per butterfly in lockstep, each twiddle (and Shoup
+//!   quotient) loaded once per `L` residues. The throughput kernel for
+//!   batched service traffic, with an optional AVX2 backend behind the
+//!   `simd` feature.
 //! * [`fast32`] — a 32-bit façade over the shared Shoup-lazy datapath,
 //!   the *tuned* software baseline used for honest measured-CPU
 //!   comparisons.
@@ -58,7 +63,11 @@
 //!
 //! [`ntt-pim-core`]: ../ntt_pim_core/index.html
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the optional AVX2 intrinsics of the
+// lane-batched kernel, so the blanket `forbid` relaxes to `deny` (with one
+// scoped `allow` on `lanes::simd`) only when the `simd` feature is on.
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod baseline;
@@ -67,6 +76,7 @@ pub mod cache;
 pub mod fast32;
 pub mod four_step;
 pub mod iterative;
+pub mod lanes;
 pub mod naive;
 pub mod pease;
 pub mod plan;

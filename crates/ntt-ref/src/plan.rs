@@ -54,6 +54,15 @@ pub struct NttPlan {
     dit_tw_shoup: Vec<Vec<u64>>,
     /// Shoup quotients matching `dit_tw_inv`.
     dit_tw_inv_shoup: Vec<Vec<u64>>,
+    /// The SoA twiddle layout of the lane-batched kernel
+    /// ([`crate::lanes`]): per stage, `(w, w')` interleaved as
+    /// `[w₀, w'₀, w₁, w'₁, …]` so each butterfly group reads its twiddle
+    /// and Shoup quotient from one contiguous pair. Built once per plan
+    /// (and therefore once per [`crate::cache::PlanCache`] entry); empty
+    /// stages when the modulus exceeds the lazy bound.
+    dit_tw_pairs: Vec<Vec<u64>>,
+    /// Same interleaved layout for the inverse twiddles.
+    dit_tw_inv_pairs: Vec<Vec<u64>>,
     /// Per-stage geometric steps `ω^(N / 2^(s+1))`, stored at build.
     dit_steps: Vec<u64>,
     /// Same for `ω⁻¹`.
@@ -132,12 +141,28 @@ impl NttPlan {
         };
         let (dit_tw, dit_steps) = build(w);
         let (dit_tw_inv, dit_steps_inv) = build(w_inv);
+        let pairs = |tables: &[Vec<u64>], shoups: &[Vec<u64>]| -> Vec<Vec<u64>> {
+            tables
+                .iter()
+                .zip(shoups)
+                .map(|(tws, tws_shoup)| {
+                    tws.iter()
+                        .zip(tws_shoup)
+                        .flat_map(|(&w, &ws)| [w, ws])
+                        .collect()
+                })
+                .collect()
+        };
+        let dit_tw_shoup = quotients(&dit_tw);
+        let dit_tw_inv_shoup = quotients(&dit_tw_inv);
         let n_inv = field.n_inv();
         Self {
             field,
             log_n,
-            dit_tw_shoup: quotients(&dit_tw),
-            dit_tw_inv_shoup: quotients(&dit_tw_inv),
+            dit_tw_pairs: pairs(&dit_tw, &dit_tw_shoup),
+            dit_tw_inv_pairs: pairs(&dit_tw_inv, &dit_tw_inv_shoup),
+            dit_tw_shoup,
+            dit_tw_inv_shoup,
             dit_tw,
             dit_tw_inv,
             dit_steps,
@@ -215,6 +240,19 @@ impl NttPlan {
             &self.dit_tw_inv_shoup[s as usize]
         } else {
             &self.dit_tw_shoup[s as usize]
+        }
+    }
+
+    /// The SoA twiddle layout of DIT stage `s` for the lane-batched kernel:
+    /// `(w, w')` interleaved as `[w₀, w'₀, w₁, w'₁, …]` (`2·2^s` words), so
+    /// one contiguous read per butterfly group serves both the twiddle and
+    /// its Shoup quotient. Empty when the plan is not on the lazy datapath.
+    #[inline]
+    pub fn dit_stage_twiddle_pairs(&self, s: u32, inverse: bool) -> &[u64] {
+        if inverse {
+            &self.dit_tw_inv_pairs[s as usize]
+        } else {
+            &self.dit_tw_pairs[s as usize]
         }
     }
 
@@ -342,6 +380,42 @@ impl NttPlan {
             }
         }
     }
+
+    /// Forward cyclic NTT of a whole batch through the lane-batched SoA
+    /// kernel ([`crate::lanes`]); polynomials beyond the last full lane
+    /// group (and every polynomial on non-lazy plans) run the scalar
+    /// path. Returns how many polynomials rode the lane kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `self.n()`.
+    pub fn forward_batch(&self, polys: &mut [Vec<u64>]) -> usize {
+        crate::lanes::forward_batch(self, polys)
+    }
+
+    /// Inverse cyclic NTT of a whole batch (includes `N⁻¹` scaling);
+    /// lane-batched counterpart of [`Self::inverse`]. Returns how many
+    /// polynomials rode the lane kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial's length differs from `self.n()`.
+    pub fn inverse_batch(&self, polys: &mut [Vec<u64>]) -> usize {
+        crate::lanes::inverse_batch(self, polys)
+    }
+
+    /// Negacyclic polynomial products `lhs[i] ← lhs[i] * rhs[i]` in
+    /// `Z_q[X]/(X^N + 1)` for a whole batch, lane-batched counterpart of
+    /// [`crate::poly::mul_negacyclic`]. Returns how many products rode
+    /// the lane kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lhs.len() != rhs.len()` or any polynomial's length
+    /// differs from `self.n()`.
+    pub fn negacyclic_polymul_batch(&self, lhs: &mut [Vec<u64>], rhs: &[Vec<u64>]) -> usize {
+        crate::lanes::negacyclic_polymul_batch(self, lhs, rhs)
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +478,24 @@ mod tests {
         }
         assert_eq!(p.psi_pows_shoup().len(), p.psi_pows().len());
         assert_eq!(p.n_inv_shoup(), modmath::shoup::precompute(p.n_inv(), q));
+    }
+
+    #[test]
+    fn twiddle_pairs_interleave_twiddle_and_quotient() {
+        let p = plan(64);
+        assert!(p.uses_lazy());
+        for s in 0..p.log_n() {
+            for inverse in [false, true] {
+                let tws = p.dit_stage_twiddles(s, inverse);
+                let quot = p.dit_stage_twiddles_shoup(s, inverse);
+                let pairs = p.dit_stage_twiddle_pairs(s, inverse);
+                assert_eq!(pairs.len(), 2 * tws.len());
+                for j in 0..tws.len() {
+                    assert_eq!(pairs[2 * j], tws[j], "s={s} j={j}");
+                    assert_eq!(pairs[2 * j + 1], quot[j], "s={s} j={j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Property-based tests of the lane-batched SoA datapath
+//! (`ntt_ref::lanes`): batched outputs bit-identical to the scalar
+//! Shoup-lazy kernel across random `(n, q, batch)` shapes including
+//! ragged tails, correct behaviour at the 62-bit capability edge, the
+//! widening-fallback rejection path just above it, and thread safety of
+//! the shared SoA scratch under an 8-thread load.
+
+use modmath::prime::NttField;
+use modmath::shoup;
+use ntt_ref::lanes::{self, LANE_WIDTH};
+use ntt_ref::plan::NttPlan;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memoized `NttField::with_bits` — the prime searches are the expensive
+/// part of these properties, and each `(n, bits)` pair is drawn many
+/// times across cases.
+fn cached_field(n: usize, bits: u32) -> NttField {
+    static FIELDS: OnceLock<Mutex<HashMap<(usize, u32), NttField>>> = OnceLock::new();
+    let fields = FIELDS.get_or_init(Mutex::default);
+    *fields
+        .lock()
+        .unwrap()
+        .entry((n, bits))
+        .or_insert_with(|| NttField::with_bits(n, bits).expect("field exists"))
+}
+
+fn random_poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 1) % q
+        })
+        .collect()
+}
+
+fn random_batch(count: usize, n: usize, q: u64, seed: u64) -> Vec<Vec<u64>> {
+    (0..count)
+        .map(|i| random_poly(n, q, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect()
+}
+
+/// A lazy-capable plan across the whole modulus spectrum plus a batch
+/// size covering empty groups, exact lane groups, and ragged tails.
+fn batch_strategy() -> impl Strategy<Value = (NttPlan, usize, u64)> {
+    (
+        2u32..=7,
+        prop::sample::select(vec![14u32, 24, 31, 50, 62]),
+        1usize..=2 * LANE_WIDTH + 3,
+        any::<u64>(),
+    )
+        .prop_map(|(log_n, bits, batch, seed)| {
+            (
+                NttPlan::new(cached_field(1usize << log_n, bits)),
+                batch,
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_transforms_are_bit_identical_to_scalar((plan, batch, seed) in batch_strategy()) {
+        prop_assert!(plan.uses_lazy());
+        let n = plan.n();
+        let q = plan.modulus();
+        let orig = random_batch(batch, n, q, seed);
+        let full_lanes = (batch / LANE_WIDTH) * LANE_WIDTH;
+        type BatchFn = fn(&NttPlan, &mut [Vec<u64>]) -> usize;
+        type ScalarFn = fn(&NttPlan, &mut [u64]);
+        let legs: [(BatchFn, ScalarFn); 4] = [
+            (lanes::forward_batch, |p, v| p.forward(v)),
+            (lanes::inverse_batch, |p, v| p.inverse(v)),
+            (lanes::forward_negacyclic_batch, |p, v| p.forward_negacyclic(v)),
+            (lanes::inverse_negacyclic_batch, |p, v| p.inverse_negacyclic(v)),
+        ];
+        for (batched, scalar) in legs {
+            let mut got = orig.clone();
+            // Lane count: every full group rides the kernel, the ragged
+            // tail (batch % L) takes the scalar path.
+            prop_assert_eq!(batched(&plan, &mut got), full_lanes);
+            for (g, poly) in got.iter().zip(&orig) {
+                let mut expect = poly.clone();
+                scalar(&plan, &mut expect);
+                prop_assert_eq!(g, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_polymul_is_bit_identical_to_scalar((plan, batch, seed) in batch_strategy()) {
+        let q = plan.modulus();
+        let lhs = random_batch(batch, plan.n(), q, seed);
+        let rhs = random_batch(batch, plan.n(), q, !seed);
+        let mut got = lhs.clone();
+        let full_lanes = (batch / LANE_WIDTH) * LANE_WIDTH;
+        prop_assert_eq!(lanes::negacyclic_polymul_batch(&plan, &mut got, &rhs), full_lanes);
+        for ((g, a), b) in got.iter().zip(&lhs).zip(&rhs) {
+            prop_assert_eq!(g, &ntt_ref::poly::mul_negacyclic(&plan, a, b));
+        }
+    }
+
+    #[test]
+    fn edge_modulus_rides_the_lanes_and_roundtrips(log_n in 2u32..=6, seed in any::<u64>()) {
+        // The largest NTT prime under 2^62: still lane-capable, and the
+        // lazy legs' 4q only just fits in a u64.
+        let n = 1usize << log_n;
+        let field = cached_field(n, 62);
+        let q = field.modulus();
+        prop_assert!(q > (1 << 61), "edge prime is a genuine 62-bit value");
+        prop_assert!(shoup::supports(q));
+        let plan = NttPlan::new(field);
+        let orig = random_batch(LANE_WIDTH, n, q, seed);
+        let mut batch = orig.clone();
+        prop_assert_eq!(lanes::forward_batch(&plan, &mut batch), LANE_WIDTH);
+        for (g, poly) in batch.iter().zip(&orig) {
+            let mut expect = poly.clone();
+            plan.forward(&mut expect);
+            prop_assert_eq!(g, &expect);
+        }
+        prop_assert_eq!(lanes::inverse_batch(&plan, &mut batch), LANE_WIDTH);
+        prop_assert_eq!(batch, orig);
+    }
+
+    #[test]
+    fn oversized_modulus_falls_back_to_scalar(log_n in 2u32..=6, seed in any::<u64>()) {
+        // A 63-bit prime exceeds the lazy bound: the batch entry points
+        // must report zero lane-processed polynomials and still produce
+        // the scalar (widening) results.
+        let n = 1usize << log_n;
+        let field = cached_field(n, 63);
+        let q = field.modulus();
+        prop_assert!(!shoup::supports(q));
+        let plan = NttPlan::new(field);
+        prop_assert!(!plan.uses_lazy());
+        let orig = random_batch(LANE_WIDTH + 1, n, q, seed);
+        let mut batch = orig.clone();
+        prop_assert_eq!(lanes::forward_batch(&plan, &mut batch), 0);
+        for (g, poly) in batch.iter().zip(&orig) {
+            let mut expect = poly.clone();
+            plan.forward(&mut expect);
+            prop_assert_eq!(g, &expect);
+        }
+        let rhs = random_batch(LANE_WIDTH + 1, n, q, !seed);
+        let mut lhs = orig.clone();
+        prop_assert_eq!(lanes::negacyclic_polymul_batch(&plan, &mut lhs, &rhs), 0);
+    }
+}
+
+#[test]
+#[should_panic(expected = "lazy bound")]
+fn raw_soa_legs_refuse_oversized_moduli() {
+    // The raw SoA legs are Shoup-only: calling them with a > 2^62
+    // modulus must panic rather than silently overflow.
+    let plan = NttPlan::new(cached_field(8, 63));
+    let mut soa = vec![0u64; 8 * LANE_WIDTH];
+    lanes::forward_batch_lazy(&plan, &mut soa);
+}
+
+#[test]
+fn eight_threads_share_the_soa_scratch_without_interference() {
+    // The SoA scratch buffers are thread-local: eight threads hammering
+    // the same shared plan concurrently must each see bit-identical
+    // results round after round, with every round riding the lane
+    // kernel.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 50;
+    let n = 64;
+    let plan = Arc::new(NttPlan::new(cached_field(n, 31)));
+    let q = plan.modulus();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let plan = Arc::clone(&plan);
+            std::thread::spawn(move || {
+                let orig = random_batch(LANE_WIDTH, n, q, 0xC0FFEE ^ t as u64);
+                let mut expect = orig.clone();
+                assert_eq!(lanes::forward_batch(&plan, &mut expect), LANE_WIDTH);
+                for _ in 0..ROUNDS {
+                    let mut got = orig.clone();
+                    assert_eq!(lanes::forward_batch(&plan, &mut got), LANE_WIDTH);
+                    assert_eq!(got, expect, "thread {t} saw a corrupted transform");
+                    assert_eq!(lanes::inverse_batch(&plan, &mut got), LANE_WIDTH);
+                    assert_eq!(got, orig, "thread {t} failed to roundtrip");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+}

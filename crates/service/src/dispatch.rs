@@ -14,8 +14,9 @@
 //! 3. **Flush** — validate each request *individually* (a malformed one
 //!    fails its own ticket, never its batch-mates), execute the valid
 //!    rest through [`BatchExecutor`] over the full
-//!    `channels × ranks × banks` topology, optionally re-check every
-//!    result against the golden CPU model, then answer each ticket with
+//!    `channels × ranks × banks` topology, optionally re-check the whole
+//!    micro-batch against the golden CPU model in one lane-batched sweep
+//!    ([`batch::run_lane_batched`]), then answer each ticket with
 //!    its result, its simulated per-job latency, and the batch's merged
 //!    device report.
 
@@ -167,12 +168,27 @@ impl Dispatcher {
                 return;
             }
         };
+        // Golden verify recomputes the whole micro-batch in one sweep
+        // through the lane-batched CPU kernel (same-(kind, n, q) jobs
+        // share each twiddle load), falling back to job-by-job scalar
+        // verification if the batched path rejects the batch.
+        let mut verify_lane_jobs = 0u64;
         let verified: Vec<bool> = match &mut self.verify {
-            Some(golden) => jobs
-                .iter()
-                .zip(&outcome.spectra)
-                .map(|(job, got)| verify_one(golden, job, got))
-                .collect(),
+            Some(golden) => match batch::run_lane_batched(golden, &jobs) {
+                Ok((expected, _, lane_jobs)) => {
+                    verify_lane_jobs = lane_jobs as u64;
+                    expected
+                        .iter()
+                        .zip(&outcome.spectra)
+                        .map(|(want, got)| want == got)
+                        .collect()
+                }
+                Err(_) => jobs
+                    .iter()
+                    .zip(&outcome.spectra)
+                    .map(|(job, got)| verify_one(golden, job, got))
+                    .collect(),
+            },
             None => vec![true; jobs.len()],
         };
         let size = valid.len();
@@ -185,6 +201,7 @@ impl Dispatcher {
             s.bus_slots += outcome.bus_slots;
             s.rank_acts += outcome.rank_acts;
             s.verify_failures += verified.iter().filter(|&&ok| !ok).count() as u64;
+            s.verify_lane_jobs += verify_lane_jobs;
             s.completed += verified.iter().filter(|&&ok| ok).count() as u64;
         });
         let summary = Arc::new(BatchSummary {

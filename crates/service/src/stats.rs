@@ -12,6 +12,7 @@ pub(crate) struct StatsInner {
     pub(crate) rejected_invalid: u64,
     pub(crate) exec_failures: u64,
     pub(crate) verify_failures: u64,
+    pub(crate) verify_lane_jobs: u64,
     pub(crate) batches: u64,
     pub(crate) batched_jobs: u64,
     pub(crate) max_batch_seen: u64,
@@ -31,6 +32,7 @@ impl StatsInner {
             rejected_invalid: self.rejected_invalid,
             exec_failures: self.exec_failures,
             verify_failures: self.verify_failures,
+            verify_lane_jobs: self.verify_lane_jobs,
             batches: self.batches,
             batched_jobs: self.batched_jobs,
             max_batch_seen: self.max_batch_seen,
@@ -60,6 +62,11 @@ pub struct ServiceStats {
     pub exec_failures: u64,
     /// Responses that failed golden verification.
     pub verify_failures: u64,
+    /// Jobs whose golden verification rode the lane-batched CPU kernel
+    /// (the whole micro-batch recomputes in one SoA sweep; tails shorter
+    /// than the lane width verify through the scalar kernel and are not
+    /// counted here).
+    pub verify_lane_jobs: u64,
     /// Micro-batches flushed (by size or deadline).
     pub batches: u64,
     /// Valid jobs executed across all batches.

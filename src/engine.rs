@@ -16,7 +16,10 @@
 //!   capability window (`q < 2⁶²`) coincides with the lazy bound, so the
 //!   widening kernel only runs when explicitly requested (benches) or
 //!   for out-of-window experiments; [`cpu_kernel_label`] names the
-//!   kernel a given modulus gets.
+//!   kernel a given modulus gets. Same-`(n, q)` micro-batches ride the
+//!   lane-batched SoA kernel ([`crate::reference::lanes`]) through the
+//!   inherent `*_batch` methods; [`cpu_batch_kernel_label`] names that
+//!   kernel.
 //! * [`PublishedModelEngine`] — the Table III comparator models from
 //!   [`crate::baselines`], computing functionally via the golden CPU
 //!   path while reporting the device's *published* latency/energy.
@@ -489,6 +492,22 @@ pub fn cpu_kernel_label(q: u64) -> &'static str {
     }
 }
 
+/// Which software kernel a *batch* of `batch` same-`(n, q)` transforms
+/// runs on the CPU backend: the lane-batched SoA kernel
+/// ([`crate::reference::lanes`]) once the batch fills at least one lane
+/// group, the scalar kernels below that. The label names the active lane
+/// backend (`"lanes8"` portable, `"lanes8-avx2"` with the `simd` feature
+/// on an AVX2 host).
+pub fn cpu_batch_kernel_label(q: u64, batch: usize) -> &'static str {
+    if !modmath::shoup::supports(q) {
+        "widening"
+    } else if batch >= crate::reference::lanes::LANE_WIDTH {
+        crate::reference::lanes::kernel_label()
+    } else {
+        "shoup-lazy"
+    }
+}
+
 /// A CPU reference dataflow as an [`NttEngine`], with `(N, q)` plans
 /// served from a shared thread-safe [`PlanCache`]. Latency is measured
 /// host wall clock (the honest "x86 CPU" comparison point); energy is
@@ -556,6 +575,129 @@ impl CpuNttEngine {
             activations: None,
             source: ReportSource::Measured,
         })
+    }
+
+    fn measured(latency_ns: f64) -> EngineReport {
+        EngineReport {
+            latency_ns,
+            energy_nj: None,
+            activations: None,
+            source: ReportSource::Measured,
+        }
+    }
+
+    /// Validates a same-`(n, q)` batch and fetches its plan (`None` for
+    /// an empty batch).
+    fn batch_plan(&self, polys: &[Vec<u64>], q: u64) -> Result<Option<Arc<NttPlan>>, EngineError> {
+        let Some(first) = polys.first() else {
+            return Ok(None);
+        };
+        let n = first.len();
+        for p in polys {
+            if p.len() != n {
+                return Err(EngineError::Shape {
+                    reason: "batch polynomial lengths differ".into(),
+                });
+            }
+            check_input(self, p, q)?;
+        }
+        self.plan(n, q).map(Some)
+    }
+
+    fn run_batch(
+        &mut self,
+        polys: &mut [Vec<u64>],
+        q: u64,
+        f: fn(&NttPlan, &mut [Vec<u64>]) -> usize,
+    ) -> Result<(EngineReport, usize), EngineError> {
+        let Some(plan) = self.batch_plan(polys, q)? else {
+            return Ok((Self::measured(0.0), 0));
+        };
+        let t0 = Instant::now();
+        let lanes_done = f(&plan, polys);
+        Ok((Self::measured(t0.elapsed().as_nanos() as f64), lanes_done))
+    }
+
+    /// Forward cyclic NTT of a whole same-`(n, q)` batch, in place.
+    ///
+    /// Batches of at least [`crate::reference::lanes::LANE_WIDTH`]
+    /// polynomials ride the lane-batched SoA kernel
+    /// ([`crate::reference::lanes`]); the ragged tail — and any batch
+    /// over a widening-only modulus — runs the scalar kernel. Outputs
+    /// are bit-identical either way, and identical across CPU dataflows
+    /// (the batch path always runs the iterative-DIT datapath, whose
+    /// values every dataflow agrees on). Returns the measured report
+    /// plus how many polynomials rode the lane kernel; see
+    /// [`cpu_batch_kernel_label`] for the kernel-name side of the same
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] when polynomial lengths differ or any
+    /// coefficient is unreduced; [`EngineError::Unsupported`] outside
+    /// the capability window.
+    pub fn forward_batch(
+        &mut self,
+        polys: &mut [Vec<u64>],
+        q: u64,
+    ) -> Result<(EngineReport, usize), EngineError> {
+        self.run_batch(polys, q, crate::reference::lanes::forward_batch)
+    }
+
+    /// Inverse cyclic NTT of a whole same-`(n, q)` batch (includes the
+    /// `N⁻¹` scaling); lane-batched counterpart of
+    /// [`NttEngine::inverse`]. Same selection policy and return contract
+    /// as [`Self::forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::forward_batch`].
+    pub fn inverse_batch(
+        &mut self,
+        polys: &mut [Vec<u64>],
+        q: u64,
+    ) -> Result<(EngineReport, usize), EngineError> {
+        self.run_batch(polys, q, crate::reference::lanes::inverse_batch)
+    }
+
+    /// Negacyclic products `lhs[i] ← lhs[i]·rhs[i] mod (Xᴺ + 1, q)` for
+    /// a whole same-`(n, q)` batch; lane-batched counterpart of
+    /// [`NttEngine::negacyclic_polymul`]. Same selection policy and
+    /// return contract as [`Self::forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::forward_batch`], plus [`EngineError::Shape`] when
+    /// `lhs` and `rhs` differ in batch size or operand length.
+    pub fn negacyclic_polymul_batch(
+        &mut self,
+        lhs: &mut [Vec<u64>],
+        rhs: &[Vec<u64>],
+        q: u64,
+    ) -> Result<(EngineReport, usize), EngineError> {
+        if lhs.len() != rhs.len() {
+            return Err(EngineError::Shape {
+                reason: "batch lengths differ".into(),
+            });
+        }
+        let Some(plan) = self.batch_plan(lhs, q)? else {
+            return Ok((Self::measured(0.0), 0));
+        };
+        for (a, b) in lhs.iter().zip(rhs) {
+            if a.len() != b.len() {
+                return Err(EngineError::Shape {
+                    reason: "operand lengths differ".into(),
+                });
+            }
+            if b.iter().any(|&c| c >= q) {
+                return Err(EngineError::Shape {
+                    reason: "coefficients must be reduced modulo q".into(),
+                });
+            }
+        }
+        let t0 = Instant::now();
+        let lanes_done = crate::reference::lanes::negacyclic_polymul_batch(&plan, lhs, rhs);
+        Ok((Self::measured(t0.elapsed().as_nanos() as f64), lanes_done))
     }
 }
 
@@ -864,6 +1006,63 @@ mod tests {
             assert!(plan.uses_lazy(), "q={q}");
         }
         assert_eq!(cpu_kernel_label(1 << 62), "widening");
+    }
+
+    #[test]
+    fn cpu_batch_kernel_label_tracks_lane_policy() {
+        let lane = crate::reference::lanes::LANE_WIDTH;
+        assert_eq!(
+            cpu_batch_kernel_label(Q, lane),
+            crate::reference::lanes::kernel_label()
+        );
+        assert_eq!(cpu_batch_kernel_label(Q, lane - 1), "shoup-lazy");
+        assert_eq!(cpu_batch_kernel_label(1 << 62, 64), "widening");
+    }
+
+    #[test]
+    fn cpu_batch_entry_points_match_scalar_and_count_lanes() {
+        let mut e = CpuNttEngine::golden();
+        let lane = crate::reference::lanes::LANE_WIDTH;
+        let batch = lane + 3; // one lane group + a ragged scalar tail
+        let orig: Vec<Vec<u64>> = (0..batch as u64).map(|i| poly(256, Q, 50 + i)).collect();
+
+        let mut fwd = orig.clone();
+        let (rep, lanes) = e.forward_batch(&mut fwd, Q).unwrap();
+        assert_eq!(rep.source, ReportSource::Measured);
+        assert_eq!(lanes, lane);
+        for (i, p) in orig.iter().enumerate() {
+            let mut expect = p.clone();
+            e.forward(&mut expect, Q).unwrap();
+            assert_eq!(fwd[i], expect, "poly {i}");
+        }
+
+        let (_, lanes) = e.inverse_batch(&mut fwd, Q).unwrap();
+        assert_eq!(lanes, lane);
+        assert_eq!(fwd, orig, "batch roundtrip");
+
+        let rhs: Vec<Vec<u64>> = (0..batch as u64).map(|i| poly(256, Q, 80 + i)).collect();
+        let mut prod = orig.clone();
+        let (_, lanes) = e.negacyclic_polymul_batch(&mut prod, &rhs, Q).unwrap();
+        assert_eq!(lanes, lane);
+        for (i, (a, b)) in orig.iter().zip(&rhs).enumerate() {
+            let mut expect = a.clone();
+            e.negacyclic_polymul(&mut expect, b, Q).unwrap();
+            assert_eq!(prod[i], expect, "poly {i}");
+        }
+
+        // Validation mirrors the scalar entry points.
+        let mut bad = vec![vec![Q; 256]; lane];
+        assert!(matches!(
+            e.forward_batch(&mut bad, Q),
+            Err(EngineError::Shape { .. })
+        ));
+        let mut ragged = vec![poly(256, Q, 1), poly(128, Q, 2)];
+        assert!(matches!(
+            e.forward_batch(&mut ragged, Q),
+            Err(EngineError::Shape { .. })
+        ));
+        let (rep, lanes) = e.forward_batch(&mut [], Q).unwrap();
+        assert_eq!((rep.latency_ns, lanes), (0.0, 0));
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! window, so adding channels or ranks buys real concurrency, not just
 //! more queue slots.
 
-use super::{EngineError, EngineReport, NttEngine, ReportSource};
+use super::{CpuNttEngine, EngineError, EngineReport, NttEngine, ReportSource};
 use crate::core::config::{PimConfig, Topology};
 use crate::core::device::{NttDirection, PimDevice, QueueReport, StoredOrder};
 use crate::core::layout::PolyLayout;
@@ -687,10 +687,88 @@ pub fn run_sequential(
     ))
 }
 
+/// Lane-batched CPU execution of a mixed job batch: groups same-`(kind,
+/// n, q)` jobs (first-seen order) and drives each group through
+/// [`CpuNttEngine`]'s lane-batched entry points
+/// ([`CpuNttEngine::forward_batch`] and friends), scattering the spectra
+/// back into job order. This is how the serving layer's golden-verify
+/// mode consumes a whole micro-batch in one sweep instead of job by job.
+///
+/// Returns the job-order spectra, the merged measured report, and how
+/// many jobs' transforms rode the lane kernel (group tails shorter than
+/// [`crate::reference::lanes::LANE_WIDTH`] run the scalar kernel —
+/// bit-identical results either way, so the count is a performance
+/// counter, not a correctness signal). Output spectra are bit-identical
+/// to [`run_sequential`] over the same jobs on a CPU engine.
+///
+/// # Errors
+///
+/// Propagates the engine's validation errors
+/// ([`EngineError::Shape`]/[`EngineError::Unsupported`]); no partial
+/// results are returned.
+pub fn run_lane_batched(
+    cpu: &mut CpuNttEngine,
+    jobs: &[NttJob],
+) -> Result<(Vec<Vec<u64>>, EngineReport, usize), EngineError> {
+    // Few distinct (kind, n, q) combinations per micro-batch: a linear
+    // scan keeps first-seen group order without hashing.
+    let mut groups: Vec<(u8, usize, u64, Vec<usize>)> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let tag = match job.kind {
+            JobKind::Forward => 0u8,
+            JobKind::Inverse => 1,
+            JobKind::NegacyclicPolymul { .. } => 2,
+        };
+        let (n, q) = (job.n(), job.q);
+        match groups
+            .iter_mut()
+            .find(|g| g.0 == tag && g.1 == n && g.2 == q)
+        {
+            Some(g) => g.3.push(i),
+            None => groups.push((tag, n, q, vec![i])),
+        }
+    }
+    let mut spectra: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
+    let mut latency_ns = 0.0;
+    let mut lane_jobs = 0usize;
+    for (tag, _, q, idx) in &groups {
+        let mut batch: Vec<Vec<u64>> = idx.iter().map(|&i| jobs[i].coeffs.clone()).collect();
+        let (rep, lanes) = match tag {
+            0 => cpu.forward_batch(&mut batch, *q)?,
+            1 => cpu.inverse_batch(&mut batch, *q)?,
+            _ => {
+                let rhs: Vec<Vec<u64>> = idx
+                    .iter()
+                    .map(|&i| match &jobs[i].kind {
+                        JobKind::NegacyclicPolymul { rhs } => rhs.clone(),
+                        _ => unreachable!("group holds only polymul jobs"),
+                    })
+                    .collect();
+                cpu.negacyclic_polymul_batch(&mut batch, &rhs, *q)?
+            }
+        };
+        latency_ns += rep.latency_ns;
+        lane_jobs += lanes;
+        for (&i, data) in idx.iter().zip(batch) {
+            spectra[i] = data;
+        }
+    }
+    Ok((
+        spectra,
+        EngineReport {
+            latency_ns,
+            energy_nj: None,
+            activations: None,
+            source: ReportSource::Measured,
+        },
+        lane_jobs,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{CpuNttEngine, EngineCaps};
+    use crate::engine::EngineCaps;
 
     const Q: u64 = 12289;
 
@@ -986,6 +1064,65 @@ mod tests {
         assert_eq!(batch.spectra, seq);
         assert!(rep.latency_ns > 0.0);
         assert_eq!(rep.source, ReportSource::Measured);
+    }
+
+    #[test]
+    fn lane_batched_matches_sequential_on_mixed_kinds_and_moduli() {
+        let q2 = 7681u64; // also supports N=256
+        let mut jobs = Vec::new();
+        // 9 forwards at Q (one lane group + tail), 9 inverses, 3 polymuls
+        // (all-scalar: below the lane width), 2 forwards at q2.
+        for i in 0..9u64 {
+            jobs.push(NttJob::forward(poly(256, Q, 1000 + i), Q));
+        }
+        for i in 0..9u64 {
+            jobs.push(NttJob::inverse(poly(256, Q, 1100 + i), Q));
+        }
+        for i in 0..3u64 {
+            jobs.push(NttJob::negacyclic_polymul(
+                poly(256, Q, 1200 + i),
+                poly(256, Q, 1300 + i),
+                Q,
+            ));
+        }
+        for i in 0..2u64 {
+            jobs.push(NttJob::forward(poly(256, q2, 1400 + i), q2));
+        }
+        // Interleave kinds so the grouping has to reorder and scatter.
+        jobs.swap(0, 12);
+        jobs.swap(5, 21);
+        let mut cpu = CpuNttEngine::golden();
+        let (seq, _) = run_sequential(&mut cpu, &jobs).unwrap();
+        let (batched, rep, lane_jobs) = run_lane_batched(&mut cpu, &jobs).unwrap();
+        assert_eq!(batched, seq, "lane-batched spectra must be bit-identical");
+        assert_eq!(rep.source, ReportSource::Measured);
+        let lane = crate::reference::lanes::LANE_WIDTH;
+        assert_eq!(
+            lane_jobs,
+            2 * lane,
+            "one full lane group each for the forward and inverse groups"
+        );
+    }
+
+    #[test]
+    fn lane_batched_handles_empty_and_propagates_errors() {
+        let mut cpu = CpuNttEngine::golden();
+        let (spectra, rep, lane_jobs) = run_lane_batched(&mut cpu, &[]).unwrap();
+        assert!(spectra.is_empty());
+        assert_eq!(rep.latency_ns, 0.0);
+        assert_eq!(lane_jobs, 0);
+        // Unreduced coefficients fail validation before anything runs.
+        let bad = NttJob::forward(vec![Q; 64], Q);
+        assert!(matches!(
+            run_lane_batched(&mut cpu, &[bad]),
+            Err(EngineError::Shape { .. })
+        ));
+        // Mismatched polymul operands are rejected too.
+        let bad = NttJob::negacyclic_polymul(poly(64, Q, 1), poly(128, Q, 2), Q);
+        assert!(matches!(
+            run_lane_batched(&mut cpu, &[bad]),
+            Err(EngineError::Shape { .. })
+        ));
     }
 
     /// Test double whose reports cycle through provenance kinds, to pin
