@@ -10,6 +10,10 @@
 //! * Barrett reduction for moduli that are not NTT-internal ([`barrett`]),
 //! * Shoup constant-multiplication with Harvey lazy reduction ([`shoup`])
 //!   — the tuned datapath every software NTT kernel runs on,
+//! * bound-typed lazy residues ([`bound`]) — `Lazy<B>` newtypes that move
+//!   the `[0, B·q)` magnitude contract of the lazy datapath into the type
+//!   system, so an out-of-headroom butterfly composition is a compile
+//!   error instead of a debug assertion,
 //! * deterministic primality testing and NTT-friendly prime search
 //!   ([`prime`]), and
 //! * bit-reversal permutation helpers ([`bitrev`]).
@@ -54,6 +58,7 @@
 pub mod arith;
 pub mod barrett;
 pub mod bitrev;
+pub mod bound;
 pub mod montgomery;
 pub mod prime;
 pub mod shoup;

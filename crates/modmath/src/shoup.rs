@@ -204,8 +204,10 @@ pub fn normalize(data: &mut [u64], q: u64) {
 /// `+2q` subtract, both `< 4q`. The fixed-width loop carries no
 /// cross-lane dependency, so the compiler unrolls and vectorizes it.
 ///
-/// Inputs must be `< 4q`; in debug builds the `[0, 4q)` invariant of every
-/// leg is asserted through the underlying primitives.
+/// Inputs must be `< 4q`; the leg composition runs on the bound-typed ops
+/// of [`crate::bound`], so the `[0, 4q)` stage invariant is checked by
+/// the type system at compile time (and the values replayed by
+/// `debug_assert` in debug builds).
 #[inline(always)]
 pub fn butterfly_lazy_lanes<const L: usize>(
     even: &mut [u64; L],
@@ -214,12 +216,13 @@ pub fn butterfly_lazy_lanes<const L: usize>(
     w_shoup: u64,
     q: u64,
 ) {
+    use crate::bound::{self, Lazy};
     debug_assert!(w < q, "Shoup constants must be reduced");
     for l in 0..L {
-        let u = reduce_twice(even[l], q);
-        let t = mul_lazy(odd[l], w, w_shoup, q);
-        even[l] = add_lazy(u, t, q); // < 4q
-        odd[l] = sub_lazy(u, t, q); // < 4q
+        let u = bound::reduce_twice(Lazy::assume(even[l], q), q);
+        let t = bound::mul_lazy(Lazy::assume(odd[l], q), w, w_shoup, q);
+        even[l] = bound::add_lazy(u, t, q).get(); // < 4q
+        odd[l] = bound::sub_lazy(u, t, q).get(); // < 4q
     }
 }
 

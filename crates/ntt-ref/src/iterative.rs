@@ -24,6 +24,7 @@
 
 use crate::plan::NttPlan;
 use modmath::arith::{add_mod, mul_mod, sub_mod};
+use modmath::bound::{self, Lazy};
 use modmath::shoup;
 
 /// Cooley–Tukey DIT butterfly stages over data already in bit-reversed
@@ -75,9 +76,11 @@ pub fn dit_from_bitrev_widening(plan: &NttPlan, data: &mut [u64], inverse: bool)
 /// into a following scaling pass) to return to `[0, q)`.
 ///
 /// Every butterfly is: conditionally reduce the even leg to `[0, 2q)`,
-/// one lazy Shoup multiply of the odd leg (any `u64` in, `[0, 2q)` out),
-/// then an unreduced add and a `+2q` subtract, both `< 4q`. In debug
-/// builds the `[0, 4q)` invariant is asserted at every step.
+/// one lazy Shoup multiply of the odd leg, then an unreduced add and a
+/// `+2q` subtract, both `< 4q`. The leg composition runs on the
+/// bound-typed ops of [`modmath::bound`], so the `[0, 4q)` stage
+/// invariant is enforced by the type system at compile time; in debug
+/// builds the values are additionally replayed by `debug_assert`.
 ///
 /// # Panics
 ///
@@ -97,11 +100,12 @@ pub fn dit_from_bitrev_lazy(plan: &NttPlan, data: &mut [u64], inverse: bool) {
         let tws_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
         for k in (0..n).step_by(2 * m) {
             for j in 0..m {
-                // Harvey CT butterfly: legs live in [0, 4q) between stages.
-                let u = shoup::reduce_twice(data[k + j], q);
-                let t = shoup::mul_lazy(data[k + j + m], tws[j], tws_shoup[j], q);
-                data[k + j] = shoup::add_lazy(u, t, q); // < 4q
-                data[k + j + m] = shoup::sub_lazy(u, t, q); // < 4q
+                // Harvey CT butterfly: legs live in [0, 4q) between
+                // stages — Lazy<4> in, Lazy<4> out.
+                let u = bound::reduce_twice(Lazy::assume(data[k + j], q), q);
+                let t = bound::mul_lazy(Lazy::assume(data[k + j + m], q), tws[j], tws_shoup[j], q);
+                data[k + j] = bound::add_lazy(u, t, q).get();
+                data[k + j + m] = bound::sub_lazy(u, t, q).get();
             }
         }
     }
@@ -156,8 +160,10 @@ pub fn dif_to_bitrev_widening(plan: &NttPlan, data: &mut [u64], inverse: bool) {
 /// The DIF stages on the lazy datapath. Inputs must be `< 2q`; every
 /// intermediate stays in `[0, 2q)` (the GS butterfly multiplies *after*
 /// the subtract, so the `[0, 4q)` sum/difference feeds straight into a
-/// lazy multiply or a conditional subtract). Outputs are in `[0, 2q)` —
-/// one [`modmath::shoup::reduce_once`] pass normalizes.
+/// lazy multiply or a conditional subtract — `Lazy<2>` in, `Lazy<2>`
+/// out, with the transient `Lazy<4>` absorbed inside the butterfly).
+/// Outputs are in `[0, 2q)` — one [`modmath::shoup::reduce_once`] pass
+/// normalizes.
 ///
 /// # Panics
 ///
@@ -177,11 +183,11 @@ pub fn dif_to_bitrev_lazy(plan: &NttPlan, data: &mut [u64], inverse: bool) {
         let tws_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
         for k in (0..n).step_by(2 * m) {
             for j in 0..m {
-                let u = data[k + j]; // < 2q
-                let v = data[k + j + m]; // < 2q
-                data[k + j] = shoup::reduce_twice(shoup::add_lazy(u, v, q), q); // < 2q
+                let u = Lazy::<2>::assume(data[k + j], q);
+                let v = Lazy::<2>::assume(data[k + j + m], q);
+                data[k + j] = bound::reduce_twice(bound::add_lazy(u, v, q), q).get();
                 data[k + j + m] =
-                    shoup::mul_lazy(shoup::sub_lazy(u, v, q), tws[j], tws_shoup[j], q);
+                    bound::mul_lazy(bound::sub_lazy(u, v, q), tws[j], tws_shoup[j], q).get();
             }
         }
     }

@@ -54,6 +54,7 @@ use core::cell::RefCell;
 
 use modmath::arith;
 use modmath::bitrev::bit_reverse;
+use modmath::bound::{self, Lazy};
 use modmath::shoup;
 
 use crate::plan::NttPlan;
@@ -107,6 +108,11 @@ pub fn kernel_label() -> &'static str {
 /// Panics if `soa.len() != plan.n() * LANE_WIDTH` or the plan is not on
 /// the lazy datapath ([`NttPlan::uses_lazy`]).
 pub fn forward_batch_lazy(plan: &NttPlan, soa: &mut [u64]) {
+    assert_eq!(soa.len(), plan.n() * LANE_WIDTH, "SoA length mismatch");
+    assert!(
+        plan.uses_lazy(),
+        "modulus exceeds the Shoup lazy bound (q < 2^62)"
+    );
     dit_stages_soa(plan, soa, false);
 }
 
@@ -119,6 +125,11 @@ pub fn forward_batch_lazy(plan: &NttPlan, soa: &mut [u64]) {
 /// Panics if `soa.len() != plan.n() * LANE_WIDTH` or the plan is not on
 /// the lazy datapath.
 pub fn inverse_batch_lazy(plan: &NttPlan, soa: &mut [u64]) {
+    assert_eq!(soa.len(), plan.n() * LANE_WIDTH, "SoA length mismatch");
+    assert!(
+        plan.uses_lazy(),
+        "modulus exceeds the Shoup lazy bound (q < 2^62)"
+    );
     dit_stages_soa(plan, soa, true);
 }
 
@@ -220,17 +231,25 @@ fn drive_stages(
 /// so the fused two-stage pass can chain butterflies in registers. The
 /// generic path is exactly the scalar leg sequence of
 /// [`shoup::butterfly_lazy_lanes`]; the `NARROW` path first reduces the
-/// odd leg under 2³² and multiplies through [`shoup::mul_lazy_narrow`] —
-/// same `[0, 4q)` leg bounds, congruent mod `q`.
+/// odd leg under 2³² and multiplies through the narrow Shoup datapath —
+/// same `[0, 4q)` leg bounds, congruent mod `q`. The composition runs on
+/// the bound-typed ops of [`modmath::bound`] (`Lazy<4>` legs in and out),
+/// so the stage invariant is enforced by the type system.
 #[inline(always)]
-fn butterfly_one<const NARROW: bool>(e: u64, o: u64, w: u64, ws: u64, q: u64) -> (u64, u64) {
-    let u = shoup::reduce_twice(e, q);
+fn butterfly_one<const NARROW: bool>(
+    e: Lazy<4>,
+    o: Lazy<4>,
+    w: u64,
+    ws: u64,
+    q: u64,
+) -> (Lazy<4>, Lazy<4>) {
+    let u = bound::reduce_twice(e, q);
     let t = if NARROW {
-        shoup::mul_lazy_narrow(shoup::reduce_twice(o, q), w, ws, q)
+        bound::mul_lazy_narrow(bound::reduce_twice(o, q), w, ws, q)
     } else {
-        shoup::mul_lazy(o, w, ws, q)
+        bound::mul_lazy(o, w, ws, q)
     };
-    (shoup::add_lazy(u, t, q), shoup::sub_lazy(u, t, q))
+    (bound::add_lazy(u, t, q), bound::sub_lazy(u, t, q))
 }
 
 /// [`butterfly_one`] over one full SoA row pair; the generic path is
@@ -245,9 +264,10 @@ fn butterfly_row<const NARROW: bool>(
 ) {
     if NARROW {
         for l in 0..LANE_WIDTH {
-            let (a, b) = butterfly_one::<true>(e[l], o[l], w, ws, q);
-            e[l] = a;
-            o[l] = b;
+            let (a, b) =
+                butterfly_one::<true>(Lazy::assume(e[l], q), Lazy::assume(o[l], q), w, ws, q);
+            e[l] = a.get();
+            o[l] = b.get();
         }
     } else {
         shoup::butterfly_lazy_lanes(e, o, w, ws, q);
@@ -286,14 +306,26 @@ fn portable_stage_pair_pass<const NARROW: bool>(soa: &mut [u64], lo: &[u64], hi:
             let c: &mut [u64; LANE_WIDTH] = c.try_into().expect("lane-width row");
             let d: &mut [u64; LANE_WIDTH] = d.try_into().expect("lane-width row");
             for i in 0..LANE_WIDTH {
-                let (x0, x1) = butterfly_one::<NARROW>(a[i], b[i], wl, wls, q);
-                let (x2, x3) = butterfly_one::<NARROW>(c[i], d[i], wl, wls, q);
+                let (x0, x1) = butterfly_one::<NARROW>(
+                    Lazy::assume(a[i], q),
+                    Lazy::assume(b[i], q),
+                    wl,
+                    wls,
+                    q,
+                );
+                let (x2, x3) = butterfly_one::<NARROW>(
+                    Lazy::assume(c[i], q),
+                    Lazy::assume(d[i], q),
+                    wl,
+                    wls,
+                    q,
+                );
                 let (y0, y2) = butterfly_one::<NARROW>(x0, x2, wa, was, q);
                 let (y1, y3) = butterfly_one::<NARROW>(x1, x3, wb, wbs, q);
-                a[i] = y0;
-                b[i] = y1;
-                c[i] = y2;
-                d[i] = y3;
+                a[i] = y0.get();
+                b[i] = y1.get();
+                c[i] = y2.get();
+                d[i] = y3.get();
             }
         }
     }

@@ -10,6 +10,7 @@
 
 use crate::plan::NttPlan;
 use modmath::arith::{add_mod, mul_mod, sub_mod};
+use modmath::bound::{self, Lazy};
 use modmath::shoup;
 
 /// Forward cyclic NTT, natural order in and out, Stockham dataflow
@@ -61,15 +62,17 @@ fn transform(plan: &NttPlan, data: &mut [u64], inverse: bool) {
         if lazy {
             // GS-shaped butterfly on the lazy datapath: values stay in
             // [0, 2q) stage to stage (multiply happens after the subtract,
-            // absorbing the [0, 4q) difference immediately).
+            // absorbing the [0, 4q) difference immediately) — Lazy<2> in,
+            // Lazy<2> out, with the bound algebra checked at compile time.
             let table_shoup = plan.dit_stage_twiddles_shoup(s, inverse);
             for j in 0..l {
                 let (w, ws) = (table[j], table_shoup[j]);
                 for k in 0..m {
-                    let a = cur[k + j * m]; // < 2q
-                    let b = cur[k + j * m + l * m]; // < 2q
-                    next[k + 2 * j * m] = shoup::reduce_twice(shoup::add_lazy(a, b, q), q);
-                    next[k + 2 * j * m + m] = shoup::mul_lazy(shoup::sub_lazy(a, b, q), w, ws, q);
+                    let a = Lazy::<2>::assume(cur[k + j * m], q);
+                    let b = Lazy::<2>::assume(cur[k + j * m + l * m], q);
+                    next[k + 2 * j * m] = bound::reduce_twice(bound::add_lazy(a, b, q), q).get();
+                    next[k + 2 * j * m + m] =
+                        bound::mul_lazy(bound::sub_lazy(a, b, q), w, ws, q).get();
                 }
             }
         } else {
