@@ -95,6 +95,9 @@ struct Consts {
     sign: __m256i,
 }
 
+// SAFETY: callers must have verified AVX2 support (every public-facing
+// wrapper asserts `available()` first); the function only builds splat
+// registers and touches no memory.
 #[target_feature(enable = "avx2")]
 unsafe fn consts(q: u64) -> Consts {
     Consts {
@@ -106,6 +109,8 @@ unsafe fn consts(q: u64) -> Consts {
 }
 
 /// `reduce_twice` on four lanes: subtract `2q` where `x ≥ 2q`.
+// SAFETY: callers must have verified AVX2 support; register-only
+// arithmetic, no memory access.
 #[target_feature(enable = "avx2")]
 unsafe fn reduce_twice_vec(x: __m256i, c: Consts) -> __m256i {
     let ge = _mm256_cmpgt_epi64(_mm256_xor_si256(x, c.sign), c.two_q_m1_flip);
@@ -116,6 +121,8 @@ unsafe fn reduce_twice_vec(x: __m256i, c: Consts) -> __m256i {
 /// of the portable leg sequence (`reduce_twice`, then `mul_lazy` /
 /// `mul_lazy_narrow`, then `add`/`sub`). The `NARROW` path expects `ws`
 /// splatted from the *top half* of the Shoup constant (`w' >> 32`).
+// SAFETY: callers must have verified AVX2 support; register-only
+// arithmetic, no memory access.
 #[target_feature(enable = "avx2")]
 unsafe fn butterfly_vec<const NARROW: bool>(
     a: __m256i,
@@ -152,6 +159,11 @@ fn ws_lane<const NARROW: bool>(ws: u64) -> i64 {
     (if NARROW { ws >> 32 } else { ws }) as i64
 }
 
+// SAFETY: callers must have verified AVX2 support. Every load/store
+// pointer is derived from an in-bounds subslice of `soa` immediately
+// before use: the chunking yields `LANE_WIDTH`-element (= 8 × u64) rows,
+// so `row[4·half..]` always holds the four u64 lanes one `__m256i`
+// unaligned access touches.
 #[target_feature(enable = "avx2")]
 unsafe fn stage_pass_avx2<const NARROW: bool>(soa: &mut [u64], pairs: &[u64], q: u64) {
     let band = (pairs.len() / 2) * LANE_WIDTH;
@@ -165,8 +177,8 @@ unsafe fn stage_pass_avx2<const NARROW: bool>(soa: &mut [u64], pairs: &[u64], q:
             let w = _mm256_set1_epi64x(pair[0] as i64);
             let ws = _mm256_set1_epi64x(ws_lane::<NARROW>(pair[1]));
             for half in 0..2 {
-                let ep = e.as_mut_ptr().wrapping_add(4 * half) as *mut __m256i;
-                let op = o.as_mut_ptr().wrapping_add(4 * half) as *mut __m256i;
+                let ep = e[4 * half..].as_mut_ptr() as *mut __m256i;
+                let op = o[4 * half..].as_mut_ptr() as *mut __m256i;
                 let (x0, x1) = butterfly_vec::<NARROW>(
                     _mm256_loadu_si256(ep),
                     _mm256_loadu_si256(op),
@@ -185,6 +197,11 @@ unsafe fn stage_pass_avx2<const NARROW: bool>(soa: &mut [u64], pairs: &[u64], q:
 /// `Q0..Q3` of `m` rows each, stage `s` on `(Q0, Q1)` and `(Q2, Q3)` with
 /// `lo[j]`, stage `s+1` on `(Q0, Q2)` with `hi[j]` and `(Q1, Q3)` with
 /// `hi[j+m]`, all four values chained in registers.
+// SAFETY: callers must have verified AVX2 support. Every load/store
+// pointer is derived from an in-bounds subslice of one of the four
+// band-sized quarters immediately before use: `off + 4 ≤ band` holds for
+// every `(j, half)` the loops produce, so each `__m256i` unaligned access
+// stays inside its quarter.
 #[target_feature(enable = "avx2")]
 unsafe fn stage_pair_avx2<const NARROW: bool>(soa: &mut [u64], lo: &[u64], hi: &[u64], q: u64) {
     let m = lo.len() / 2;
@@ -204,10 +221,10 @@ unsafe fn stage_pair_avx2<const NARROW: bool>(soa: &mut [u64], lo: &[u64], hi: &
             let wbs = _mm256_set1_epi64x(ws_lane::<NARROW>(hi[2 * (j + m) + 1]));
             for half in 0..2 {
                 let off = j * LANE_WIDTH + 4 * half;
-                let p0 = r0.as_mut_ptr().wrapping_add(off) as *mut __m256i;
-                let p1 = r1.as_mut_ptr().wrapping_add(off) as *mut __m256i;
-                let p2 = r2.as_mut_ptr().wrapping_add(off) as *mut __m256i;
-                let p3 = r3.as_mut_ptr().wrapping_add(off) as *mut __m256i;
+                let p0 = r0[off..].as_mut_ptr() as *mut __m256i;
+                let p1 = r1[off..].as_mut_ptr() as *mut __m256i;
+                let p2 = r2[off..].as_mut_ptr() as *mut __m256i;
+                let p3 = r3[off..].as_mut_ptr() as *mut __m256i;
                 let (x0, x1) = butterfly_vec::<NARROW>(
                     _mm256_loadu_si256(p0),
                     _mm256_loadu_si256(p1),
@@ -235,6 +252,8 @@ unsafe fn stage_pair_avx2<const NARROW: bool>(soa: &mut [u64], lo: &[u64], hi: &
 
 /// High 64 bits of the unsigned 64×64 product, per lane, from four
 /// `vpmuludq` 32×32 partials with the standard carry gather.
+// SAFETY: callers must have verified AVX2 support; register-only
+// arithmetic, no memory access.
 #[target_feature(enable = "avx2")]
 unsafe fn mulhi_epu64(a: __m256i, b: __m256i) -> __m256i {
     let m32 = _mm256_set1_epi64x(0xffff_ffff);
@@ -254,6 +273,8 @@ unsafe fn mulhi_epu64(a: __m256i, b: __m256i) -> __m256i {
 
 /// Low 64 bits of the (wrapping) 64×64 product, per lane: the `ll`
 /// partial plus both cross terms shifted up.
+// SAFETY: callers must have verified AVX2 support; register-only
+// arithmetic, no memory access.
 #[target_feature(enable = "avx2")]
 unsafe fn mullo_epu64(a: __m256i, b: __m256i) -> __m256i {
     let ll = _mm256_mul_epu32(a, b);
