@@ -1,0 +1,78 @@
+//! CLI for the workspace analyzer.
+//!
+//! ```text
+//! cargo run -p analyzer -- [--check] [--root <dir>] [--out <report.json>]
+//! ```
+//!
+//! * `--check` — exit non-zero if any unsuppressed finding remains (CI gate).
+//! * `--root <dir>` — workspace root to scan (default: current directory).
+//! * `--out <path>` — also write the JSON report there (default:
+//!   `target/analyzer-report.json` when writable, else skipped).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut out: Option<PathBuf> = Some(PathBuf::from("target/analyzer-report.json"));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a value"),
+            },
+            "--help" | "-h" => {
+                println!("usage: analyzer [--check] [--root <dir>] [--out <report.json>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match analyzer::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analyzer: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}: {}:{}: {}", f.lint, f.path, f.line, f.message);
+    }
+    println!(
+        "analyzer: {} file(s) scanned, {} finding(s), {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed
+    );
+
+    if let Some(path) = out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => println!("analyzer: report written to {}", path.display()),
+            Err(e) => eprintln!("analyzer: could not write {}: {e}", path.display()),
+        }
+    }
+
+    if check && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("analyzer: {err}");
+    eprintln!("usage: analyzer [--check] [--root <dir>] [--out <report.json>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,107 @@
+//! Machine-readable JSON report for CI artifacts.
+//!
+//! Hand-rolled serialization (this crate is std-only by design); the schema
+//! is small and stable:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "files_scanned": 42,
+//!   "suppressed": 6,
+//!   "findings": [
+//!     {"lint": "...", "path": "...", "line": 7, "message": "..."}
+//!   ]
+//! }
+//! ```
+
+use crate::lints::Finding;
+
+/// Aggregated result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total violations silenced by valid allow-markers.
+    pub suppressed: usize,
+    /// All unsuppressed findings, in path/line order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// True when the tree is clean (CI gate condition).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.lint),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report {
+            files_scanned: 2,
+            suppressed: 1,
+            findings: vec![],
+        };
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"files_scanned\": 2"));
+        r.findings.push(Finding {
+            lint: "malformed_allow",
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "bad \"quote\"\nnewline".into(),
+        });
+        let j = r.to_json();
+        assert!(!r.is_clean());
+        assert!(j.contains("\\\"quote\\\"\\nnewline"), "{j}");
+        assert!(j.contains("\"line\": 3"));
+    }
+}

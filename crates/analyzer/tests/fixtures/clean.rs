@@ -1,0 +1,24 @@
+//! Fixture: a file that exercises every lint's *passing* shape — justified
+//! unsafe, marker-suppressed residue math, an asserting lazy leg, and a
+//! SIMD item with its portable sibling.
+
+// SAFETY: caller must pass a valid, aligned pointer; this fixture is never
+// compiled, only lexed.
+unsafe fn justified(p: *const u64) -> u64 {
+    *p
+}
+
+pub fn generator(i: u64, q: u64) -> u64 {
+    // analyzer: allow(raw_residue_op) — deterministic input generator for a fixture.
+    (i * 2654435761 + 1) % q
+}
+
+pub fn add_lazy_checked(a: u64, b: u64, q: u64) -> u64 {
+    debug_assert!(a < 2 * q && b < 2 * q, "lazy operands out of range");
+    a + b
+}
+
+#[cfg(feature = "simd")]
+pub fn vectorized() {}
+
+pub fn portable_fallback() {}

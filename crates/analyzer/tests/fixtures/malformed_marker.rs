@@ -1,0 +1,12 @@
+//! Fixture: broken allow-markers must trip `malformed_allow` — one with no
+//! reason, one naming a lint that does not exist.
+
+pub fn f(x: u64, q: u64) -> u64 {
+    // analyzer: allow(raw_residue_op)
+    x % q
+}
+
+pub fn g(x: u64, q: u64) -> u64 {
+    // analyzer: allow(imaginary_lint) — this lint is not in the catalogue
+    x % q
+}

@@ -1,0 +1,6 @@
+//! Fixture: a `*_lazy` leg whose body never replays its magnitude contract
+//! must trip `missing_bound_assert`.
+
+pub fn butterfly_lazy_unchecked(a: u64, b: u64, q: u64) -> (u64, u64) {
+    (a + b, a + 2 * q - b)
+}

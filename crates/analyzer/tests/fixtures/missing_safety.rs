@@ -1,0 +1,8 @@
+//! Fixture: an `unsafe` function with no `// SAFETY:` comment anywhere
+//! near it must trip `missing_safety_comment`.
+
+fn context() {}
+
+unsafe fn totally_unjustified(p: *const u64) -> u64 {
+    *p
+}

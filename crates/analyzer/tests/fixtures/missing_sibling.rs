@@ -1,0 +1,5 @@
+//! Fixture: a SIMD-gated item with no portable fallback in the same file
+//! must trip `missing_portable_sibling`.
+
+#[cfg(feature = "simd")]
+pub fn vectorized_only() {}

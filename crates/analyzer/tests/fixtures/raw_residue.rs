@@ -1,0 +1,14 @@
+//! Fixture: raw residue arithmetic in the residue scope (the test maps this
+//! file to a `crates/ntt-ref/src/...` path) must trip `raw_residue_op`.
+
+pub fn leaky_reduce(x: u64, q: u64) -> u64 {
+    x % q
+}
+
+pub fn leaky_wrap(a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b)
+}
+
+pub fn leaky_widen(x: u64, w: u64, q: u64) -> u64 {
+    ((x as u128 * w as u128) % q as u128) as u64
+}

@@ -42,6 +42,7 @@ pub fn measure_forward(n: usize, iterations: u32) -> CpuMeasurement {
     let field = NttField::with_bits(n, 31).expect("31-bit NTT prime exists");
     let plan = NttPlan::new(field);
     let q = plan.modulus();
+    // analyzer: allow(raw_residue_op) — deterministic benchmark input generator, not datapath math.
     let mut data: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761 + 1) % q).collect();
 
     // Warm-up: touches tables and data once, and guards against a cold
@@ -88,8 +89,8 @@ pub fn measure_forward_fast32(n: usize, iterations: u32) -> CpuMeasurement {
     let field = NttField::with_bits(n, 30).expect("30-bit NTT prime exists");
     let plan = crate::fast32::Fast32Plan::new(&field).expect("q < 2^31");
     let q = plan.modulus();
-    let mut data: Vec<u32> = (0..n as u32)
-        .map(|i| i.wrapping_mul(2654435761) % q)
+    let mut data: Vec<u32> = (0..n as u32) // analyzer: allow(raw_residue_op) — index widening for input generation only.
+        .map(|i| i.wrapping_mul(2654435761) % q) // analyzer: allow(raw_residue_op) — deterministic input generator, not datapath math.
         .collect();
     plan.forward(&mut data);
     let mut best = Duration::MAX;

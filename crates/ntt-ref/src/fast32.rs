@@ -79,7 +79,7 @@ impl Fast32Plan {
 
     /// The modulus.
     pub fn modulus(&self) -> u32 {
-        self.plan.modulus() as u32
+        self.plan.modulus() as u32 // analyzer: allow(raw_residue_op) — q < 2^31 checked by Fast32Plan::new.
     }
 
     /// Forward cyclic NTT, natural order in and out.
@@ -144,7 +144,7 @@ impl Fast32Plan {
             let lanes_done = f(&self.plan, &mut bufs[..polys.len()]);
             for (p, buf) in polys.iter_mut().zip(bufs.iter()) {
                 for (d, &x) in p.iter_mut().zip(buf.iter()) {
-                    *d = x as u32; // outputs are reduced mod q < 2^31
+                    *d = x as u32; // analyzer: allow(raw_residue_op) — outputs are reduced mod q < 2^31.
                 }
             }
             lanes_done
@@ -159,7 +159,7 @@ impl Fast32Plan {
             buf.extend(data.iter().map(|&x| u64::from(x)));
             f(&self.plan, &mut buf);
             for (d, &x) in data.iter_mut().zip(buf.iter()) {
-                *d = x as u32; // outputs are reduced mod q < 2^31
+                *d = x as u32; // analyzer: allow(raw_residue_op) — outputs are reduced mod q < 2^31.
             }
         });
     }
