@@ -45,6 +45,9 @@ BATCH OPTIONS:
                      or round-robin (barrier waves)        [default: lpt]
     --lengths <...>  job lengths, cycled over the batch
                      (mixed sizes show the LPT gain)       [default: --n]
+    --split          run job 0 as one large length---n NTT split across
+                     the whole topology (four-step column/row sub-jobs
+                     with a dependency barrier; requires --schedule lpt)
 
 SERVE OPTIONS:
     --tenants <t>       concurrent closed-loop tenants        [default: 8]
@@ -294,17 +297,26 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         .with_refresh(args.has_flag("refresh"));
     config.validate()?;
 
-    // One job per seed; all independent (the RNS/FHE pattern).
+    // One job per seed; all independent (the RNS/FHE pattern). With
+    // --split, job 0 is the one large transform fanned across the
+    // topology; the rest stay ordinary single-bank jobs riding along.
+    let split = args.has_flag("split");
     let jobs: Vec<NttJob> = (0..jobs_n)
         .map(|j| {
-            let nj = lengths[j % lengths.len()];
+            let nj = if split && j == 0 {
+                n
+            } else {
+                lengths[j % lengths.len()]
+            };
             let q = modulus_for(args, nj)?;
-            Ok(NttJob::new(
-                (0..nj as u64)
-                    .map(|i| (i.wrapping_mul(2654435761) ^ j as u64) % q as u64)
-                    .collect(),
-                q as u64,
-            ))
+            let coeffs = (0..nj as u64)
+                .map(|i| (i.wrapping_mul(2654435761) ^ j as u64) % q as u64)
+                .collect();
+            Ok(if split && j == 0 {
+                NttJob::split_large(coeffs, q as u64)
+            } else {
+                NttJob::new(coeffs, q as u64)
+            })
         })
         .collect::<Result<_, CliError>>()?;
 
@@ -383,6 +395,18 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
             u.jobs,
             u.busy_ns / 1000.0,
             u.energy_nj
+        );
+    }
+    for sr in &out.splits {
+        let _ = writeln!(
+            outp,
+            "  split job {:>4} : {}x{} sub-jobs, column stage {:.2} µs, \
+             done {:.2} µs",
+            sr.job,
+            sr.rows,
+            sr.cols,
+            sr.column_stage_ns / 1000.0,
+            sr.latency_ns / 1000.0
         );
     }
     let _ = writeln!(
@@ -674,6 +698,24 @@ mod tests {
         let out = run_line("batch --jobs 4 --banks 4 --lengths 64,128").unwrap();
         assert!(out.contains("lengths=64,128"), "{out}");
         assert!(out.contains("schedule       :          lpt"), "{out}");
+    }
+
+    #[test]
+    fn batch_split_reports_stages_and_verifies() {
+        // Job 0 (the split, verified against the golden CPU forward)
+        // co-packs with two ordinary N=256 jobs.
+        let out = run_line("batch --n 1024 --jobs 3 --banks 4 --lengths 256 --split").unwrap();
+        assert!(out.contains("split job    0 : 32x32 sub-jobs"), "{out}");
+        assert!(out.contains("column stage"), "{out}");
+        assert!(out.contains("verification   : OK"), "{out}");
+    }
+
+    #[test]
+    fn batch_split_requires_lpt_and_a_splittable_length() {
+        let e = run_line("batch --n 1024 --jobs 1 --banks 4 --split --schedule round-robin")
+            .unwrap_err();
+        assert!(e.to_string().contains("lpt"), "{e}");
+        assert!(run_line("batch --n 8 --jobs 1 --banks 4 --split").is_err());
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct QueueReport {
     pub per_channel_bus_slots: Vec<u64>,
     /// Activations per rank (global rank order, `channel * ranks + rank`).
     pub per_rank_acts: Vec<u64>,
+    /// Completion time of each dependency barrier, ns from batch start
+    /// (dense barrier-id order). Empty for barrier-free schedules; filled
+    /// by [`PimDevice::schedule_queues_dag`] — for a split large
+    /// transform, `barrier_ns[k]` is the stage boundary where the last
+    /// column sub-job finished and the row stage became eligible.
+    pub barrier_ns: Vec<f64>,
 }
 
 impl QueueReport {
@@ -187,6 +193,7 @@ impl QueueReport {
             rank_acts: 0,
             per_channel_bus_slots: vec![0; channels],
             per_rank_acts: vec![0; total_ranks],
+            barrier_ns: Vec::new(),
         }
     }
 
@@ -209,6 +216,8 @@ impl QueueReport {
         for (mine, theirs) in self.job_end_ns.iter_mut().zip(&other.job_end_ns) {
             mine.extend(theirs.iter().map(|&end| barrier + end));
         }
+        self.barrier_ns
+            .extend(other.barrier_ns.iter().map(|&end| barrier + end));
         for (mine, &theirs) in self.per_bank_ns.iter_mut().zip(&other.per_bank_ns) {
             *mine += theirs;
         }
@@ -256,6 +265,7 @@ impl QueueReport {
             rank_acts: qt.rank_acts,
             per_channel_bus_slots: qt.per_channel_bus_slots.clone(),
             per_rank_acts: qt.per_rank_acts.clone(),
+            barrier_ns: qt.barrier_ps.iter().map(|&ps| ps as f64 / 1000.0).collect(),
         }
     }
 }
@@ -508,6 +518,107 @@ impl PimDevice {
     pub fn schedule_queues(&self, queues: &[Vec<Program>]) -> Result<QueueReport, PimError> {
         let qt = sched::schedule_queues(&self.config, queues)?;
         Ok(QueueReport::from_queues(&qt))
+    }
+
+    /// [`Self::schedule_queues`] with dependency barriers
+    /// ([`crate::sched::schedule_queues_dag`]): the timing path of a
+    /// *split large transform*, where stage-1 column sub-jobs all signal
+    /// one barrier and the stage-2 row sub-jobs wait on it. Ordinary
+    /// programs ride in the same queues untagged and are never gated.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::schedule_queues`], plus [`PimError::BadConfig`] when
+    /// the dependency tags deadlock.
+    pub fn schedule_queues_dag(
+        &self,
+        queues: &[Vec<sched::DagJob<'_>>],
+    ) -> Result<QueueReport, PimError> {
+        let qt = sched::schedule_queues_dag(&self.config, queues)?;
+        Ok(QueueReport::from_queues(&qt))
+    }
+
+    /// Maps a stage-1 *column* sub-job of a four-step split: one forward
+    /// NTT of length `N₁` over the explicitly supplied root `omega`
+    /// (`ω^cols` of the parent transform — a power of the parent's root,
+    /// not whatever root a fresh search would find, so the sub-transform
+    /// composes into the parent bit-exactly). Expects bit-reversed
+    /// storage like every forward DIT program; leaves a natural-order
+    /// column spectrum for the host to gather into the twiddle matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] on natural-order storage or an unreduced
+    /// `omega`.
+    pub fn build_column_program(
+        &self,
+        handle: &PolyHandle,
+        omega: u32,
+    ) -> Result<Program, PimError> {
+        if handle.order != StoredOrder::BitReversed {
+            return Err(PimError::BadRegion {
+                reason: "column sub-job expects bit-reversed storage".into(),
+            });
+        }
+        if omega >= handle.q {
+            return Err(PimError::BadRegion {
+                reason: format!("column root {omega} not reduced mod {}", handle.q),
+            });
+        }
+        let params = NttParams { q: handle.q, omega };
+        let opts = MapperOptions {
+            dataflow: Dataflow::DitFromBitrev,
+            inverse: false,
+            ..self.opts
+        };
+        mapper::map_ntt(&self.config, &handle.layout, &params, &opts)
+    }
+
+    /// Maps a stage-2+3 *row* sub-job of a four-step split: the fused
+    /// twiddle scaling `x_c ← x_c · row_twiddle^c` (`row_twiddle = ω^r`
+    /// for row `r` — step 2 of the decomposition) followed by one forward
+    /// NTT of length `N₂` over the explicit root `omega` (`ω^rows` of the
+    /// parent). Expects natural storage (the gathered twiddle-matrix
+    /// row); runs DIF, so the result lands bit-reversed — read it back
+    /// through a [`StoredOrder::BitReversed`] handle and the host
+    /// transpose (step 4) sees natural row spectra.
+    ///
+    /// # Errors
+    ///
+    /// [`PimError::BadRegion`] on bit-reversed storage or unreduced
+    /// roots.
+    pub fn build_twiddle_row_program(
+        &self,
+        handle: &PolyHandle,
+        omega: u32,
+        row_twiddle: u32,
+    ) -> Result<Program, PimError> {
+        if handle.order != StoredOrder::Natural {
+            return Err(PimError::BadRegion {
+                reason: "row sub-job expects natural storage".into(),
+            });
+        }
+        if omega >= handle.q || row_twiddle >= handle.q {
+            return Err(PimError::BadRegion {
+                reason: format!(
+                    "row roots ({omega}, {row_twiddle}) not reduced mod {}",
+                    handle.q
+                ),
+            });
+        }
+        let params = NttParams { q: handle.q, omega };
+        let opts = MapperOptions {
+            dataflow: Dataflow::DifToBitrev,
+            inverse: false,
+            ..self.opts
+        };
+        let mut program =
+            mapper::map_scale(&self.config, &handle.layout, handle.q, 1, row_twiddle)?;
+        let ntt = mapper::map_ntt(&self.config, &handle.layout, &params, &opts)?;
+        program.c1_ops += ntt.c1_ops;
+        program.c2_ops += ntt.c2_ops;
+        program.commands.extend(ntt.commands);
+        Ok(program)
     }
 
     /// Completes the in-place update of the handle's order after
@@ -783,6 +894,79 @@ mod tests {
         let expect = ntt_ref::naive::negacyclic_convolution(&a64, &b64, Q as u64);
         let got64: Vec<u64> = got.iter().map(|&v| v as u64).collect();
         assert_eq!(got64, expect);
+    }
+
+    #[test]
+    fn stage_builders_compose_into_the_four_step_identity() {
+        // Drive a 4×16 split of N = 64 through the stage builders by
+        // hand (the batch executor automates this) and check the result
+        // is bit-identical to the host four-step — which is itself
+        // bit-identical to the plain forward NTT.
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let (n, rows, cols) = (64usize, 4usize, 16usize);
+        let x = poly(n, 99);
+        let q = Q as u64;
+        let omega = modmath::prime::root_of_unity(n as u64, q).unwrap();
+        let col_root = modmath::arith::pow_mod(omega, cols as u64, q) as u32;
+        let row_root = modmath::arith::pow_mod(omega, rows as u64, q) as u32;
+        // Stage 1: column transforms (length `rows`, root ω^cols).
+        let mut matrix = vec![vec![0u32; cols]; rows];
+        for c in 0..cols {
+            let col: Vec<u32> = (0..rows).map(|r| x[r * cols + c]).collect();
+            let bank = c % 4;
+            let mut h = dev
+                .load_in_bank(bank, 0, &col, Q, StoredOrder::BitReversed)
+                .unwrap();
+            let prog = dev.build_column_program(&h, col_root).unwrap();
+            dev.execute_program(bank, &prog).unwrap();
+            h.assume_order(StoredOrder::Natural); // DIT leaves natural order
+            let out = dev.read_polynomial(&h).unwrap();
+            for r in 0..rows {
+                matrix[r][c] = out[r];
+            }
+        }
+        // Stage 2+3: fused twiddle scaling + row transforms (root ω^rows).
+        let mut got = vec![0u32; n];
+        for (r, row) in matrix.iter().enumerate() {
+            let tw = modmath::arith::pow_mod(omega, r as u64, q) as u32;
+            let bank = r % 4;
+            let mut h = dev
+                .load_in_bank(bank, 0, row, Q, StoredOrder::Natural)
+                .unwrap();
+            let prog = dev.build_twiddle_row_program(&h, row_root, tw).unwrap();
+            dev.execute_program(bank, &prog).unwrap();
+            h.assume_order(StoredOrder::BitReversed); // DIF leaves bit-reversed
+            let spectrum = dev.read_polynomial(&h).unwrap();
+            // Stage 4: transpose scatter.
+            for c in 0..cols {
+                got[c * rows + r] = spectrum[c];
+            }
+        }
+        // root_of_unity(2n)² = root_of_unity(n) (same generator), so the
+        // host plan transforms over the same ω.
+        let psi = modmath::prime::root_of_unity(2 * n as u64, q).unwrap();
+        let field = modmath::prime::NttField::with_psi(n, q, psi).unwrap();
+        let x64: Vec<u64> = x.iter().map(|&v| v as u64).collect();
+        let expect = ntt_ref::naive::ntt(&field, &x64);
+        let got64: Vec<u64> = got.iter().map(|&v| v as u64).collect();
+        assert_eq!(got64, expect);
+    }
+
+    #[test]
+    fn stage_builders_validate_order_and_roots() {
+        let mut dev = PimDevice::new(PimConfig::hbm2e(2)).unwrap();
+        let x = poly(64, 5);
+        let natural = dev.load_in_bank(0, 0, &x, Q, StoredOrder::Natural).unwrap();
+        let bitrev = dev
+            .load_in_bank(0, 4096, &x, Q, StoredOrder::BitReversed)
+            .unwrap();
+        let omega = modmath::prime::root_of_unity(64, Q as u64).unwrap() as u32;
+        assert!(dev.build_column_program(&natural, omega).is_err());
+        assert!(dev.build_column_program(&bitrev, Q).is_err()); // unreduced
+        assert!(dev.build_twiddle_row_program(&bitrev, omega, 1).is_err());
+        assert!(dev.build_twiddle_row_program(&natural, omega, Q).is_err());
+        assert!(dev.build_column_program(&bitrev, omega).is_ok());
+        assert!(dev.build_twiddle_row_program(&natural, omega, 1).is_ok());
     }
 
     #[test]

@@ -134,6 +134,12 @@ pub struct QueueTimeline {
     /// Activations per rank (indexed by global rank id,
     /// `channel * ranks + rank`).
     pub per_rank_acts: Vec<u64>,
+    /// Completion time of each DAG barrier (indexed by barrier id), ps:
+    /// the instant the last program signaling that barrier finished.
+    /// Empty for barrier-free schedules ([`schedule_queues`]); filled by
+    /// [`schedule_queues_dag`] — the per-stage boundary of a split
+    /// large-transform job.
+    pub barrier_ps: Vec<u64>,
 }
 
 impl QueueTimeline {
@@ -327,6 +333,10 @@ struct Engine<'a> {
     logical_issue_ps: Vec<u64>,
     /// Next refresh deadline (ps); `u64::MAX` disables refresh.
     next_ref_ps: u64,
+    /// Issue floor, ps: no command may claim a bus slot earlier than
+    /// this. Raised to a DAG barrier's completion time while the engine
+    /// issues a program that waits on that barrier; 0 otherwise.
+    floor: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -349,7 +359,14 @@ impl<'a> Engine<'a> {
             } else {
                 u64::MAX
             },
+            floor: 0,
         }
+    }
+
+    /// Claims a bus slot no earlier than the engine's issue floor (the
+    /// DAG-barrier gate; a plain schedule's floor is 0).
+    fn claim(&self, bus: &mut dyn Bus, earliest_ps: u64) -> u64 {
+        bus.claim(earliest_ps.max(self.floor))
     }
 
     fn check_buf(&self, b: BufId) -> Result<usize, PimError> {
@@ -369,7 +386,7 @@ impl<'a> Engine<'a> {
         }
         if self.open_row.is_some() {
             let e = self.bank.earliest_issue(BankCommand::Pre, 0)?;
-            let slot = bus.claim(e);
+            let slot = self.claim(bus, e);
             self.bank.issue_at(BankCommand::Pre, slot)?;
             self.events.push(Event {
                 at_ps: slot,
@@ -381,7 +398,7 @@ impl<'a> Engine<'a> {
             .bank
             .earliest_issue(BankCommand::Act { row }, 0)?
             .max(rank.earliest_act(0));
-        let slot = bus.claim(e);
+        let slot = self.claim(bus, e);
         self.bank.issue_at(BankCommand::Act { row }, slot)?;
         rank.record_act(slot);
         self.energy.record_act(&self.eparams);
@@ -435,7 +452,7 @@ impl<'a> Engine<'a> {
             PimCommand::Act { row } => self.open(*row, bus, rank)?,
             PimCommand::Refresh => {
                 let e = self.bank.earliest_issue(BankCommand::Ref, 0)?;
-                let slot = bus.claim(e);
+                let slot = self.claim(bus, e);
                 self.bank.issue_at(BankCommand::Ref, slot)?;
                 self.events.push(Event {
                     at_ps: slot,
@@ -446,7 +463,7 @@ impl<'a> Engine<'a> {
             PimCommand::Pre => {
                 if self.open_row.is_some() {
                     let e = self.bank.earliest_issue(BankCommand::Pre, 0)?;
-                    let slot = bus.claim(e);
+                    let slot = self.claim(bus, e);
                     self.bank.issue_at(BankCommand::Pre, slot)?;
                     self.events.push(Event {
                         at_ps: slot,
@@ -462,7 +479,7 @@ impl<'a> Engine<'a> {
                 let e = self
                     .bank
                     .earliest_issue(BankCommand::Rd { col: *col }, self.buf_busy[i])?;
-                let slot = bus.claim(e);
+                let slot = self.claim(bus, e);
                 self.bank.issue_at(BankCommand::Rd { col: *col }, slot)?;
                 self.energy.record_rd(&self.eparams);
                 let done = slot + self.resolved.cl;
@@ -480,7 +497,7 @@ impl<'a> Engine<'a> {
                 let e = self
                     .bank
                     .earliest_issue(BankCommand::Wr { col: *col }, self.buf_ready[i])?;
-                let slot = bus.claim(e);
+                let slot = self.claim(bus, e);
                 self.bank.issue_at(BankCommand::Wr { col: *col }, slot)?;
                 self.energy.record_wr(&self.eparams);
                 let drained = slot + self.resolved.cl;
@@ -494,7 +511,7 @@ impl<'a> Engine<'a> {
             PimCommand::C1 { buf, .. } => {
                 let i = self.check_buf(*buf)?;
                 let ready = self.cu_free.max(self.buf_ready[i]);
-                let slot = bus.claim(ready);
+                let slot = self.claim(bus, ready);
                 let done = slot + self.config.c1_ps();
                 self.cu_free = done;
                 self.buf_ready[i] = done;
@@ -515,7 +532,7 @@ impl<'a> Engine<'a> {
             PimCommand::Scale { buf, .. } => {
                 let i = self.check_buf(*buf)?;
                 let ready = self.cu_free.max(self.buf_ready[i]);
-                let slot = bus.claim(ready);
+                let slot = self.claim(bus, ready);
                 let done = slot + self.config.elementwise_ps();
                 self.cu_free = done;
                 self.buf_ready[i] = done;
@@ -530,7 +547,7 @@ impl<'a> Engine<'a> {
             PimCommand::RegLoad { buf, .. } | PimCommand::RegStore { buf, .. } => {
                 let i = self.check_buf(*buf)?;
                 let ready = self.cu_free.max(self.buf_ready[i]);
-                let slot = bus.claim(ready);
+                let slot = self.claim(bus, ready);
                 let done = slot + self.config.reg_move_ps();
                 self.cu_free = done;
                 if matches!(cmd, PimCommand::RegStore { .. }) {
@@ -544,7 +561,7 @@ impl<'a> Engine<'a> {
                 });
             }
             PimCommand::RegBu { .. } => {
-                let slot = bus.claim(self.cu_free);
+                let slot = self.claim(bus, self.cu_free);
                 let done = slot + self.config.reg_bu_ps();
                 self.cu_free = done;
                 self.energy.record_c2(&self.eparams);
@@ -561,10 +578,10 @@ impl<'a> Engine<'a> {
                 };
                 // Broadcast beats occupy consecutive bus slots; the CU
                 // latches parameters when idle.
-                let mut slot = bus.claim(self.cu_free);
+                let mut slot = self.claim(bus, self.cu_free);
                 let first = slot;
                 for _ in 1..beats {
-                    slot = bus.claim(slot + 1);
+                    slot = self.claim(bus, slot + 1);
                 }
                 self.cu_free = self.cu_free.max(slot + self.resolved.cycle_ps);
                 self.energy.record_param_beats(&self.eparams, beats);
@@ -589,7 +606,7 @@ impl<'a> Engine<'a> {
         let pi = self.check_buf(p)?;
         let si = self.check_buf(s)?;
         let ready = self.cu_free.max(self.buf_ready[pi]).max(self.buf_ready[si]);
-        let slot = bus.claim(ready);
+        let slot = self.claim(bus, ready);
         let done = slot + latency_ps;
         self.cu_free = done;
         for i in [pi, si] {
@@ -650,7 +667,7 @@ pub fn schedule_parallel(
     config: &PimConfig,
     programs: &[Program],
 ) -> Result<ParallelTimeline, PimError> {
-    let queues: Vec<Vec<&Program>> = programs.iter().map(|p| vec![p]).collect();
+    let queues: Vec<Vec<DagJob>> = programs.iter().map(|p| vec![DagJob::plain(p)]).collect();
     let qt = schedule_multi(config, &queues)?;
     Ok(ParallelTimeline {
         banks: qt.banks,
@@ -705,16 +722,81 @@ pub fn schedule_queues(
     config: &PimConfig,
     queues: &[Vec<Program>],
 ) -> Result<QueueTimeline, PimError> {
-    let borrowed: Vec<Vec<&Program>> = queues.iter().map(|q| q.iter().collect()).collect();
+    let borrowed: Vec<Vec<DagJob>> = queues
+        .iter()
+        .map(|q| q.iter().map(DagJob::plain).collect())
+        .collect();
     schedule_multi(config, &borrowed)
 }
 
-/// Shared issue loop of [`schedule_parallel`] and [`schedule_queues`]:
-/// round-robin command interleave across banks, one stateful engine per
-/// bank, program-boundary completion times recorded per queue. One
-/// command bus per channel, one [`RankTimer`] per rank — the topology's
-/// coupling structure.
-fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueTimeline, PimError> {
+/// One queued program plus its dependency tags for
+/// [`schedule_queues_dag`]: the program may not start before the barrier
+/// it `waits_on` completes, and its own completion counts toward the
+/// barrier it `signals`.
+#[derive(Debug, Clone, Copy)]
+pub struct DagJob<'a> {
+    /// The mapped command stream.
+    pub program: &'a Program,
+    /// Barrier id this program waits for: none of its commands issue
+    /// before every program signaling that barrier has finished.
+    pub waits_on: Option<usize>,
+    /// Barrier id this program contributes to: the barrier completes when
+    /// the last contributor's commands have drained.
+    pub signals: Option<usize>,
+}
+
+impl<'a> DagJob<'a> {
+    /// An ordinary job with no dependencies (free to issue immediately).
+    pub fn plain(program: &'a Program) -> Self {
+        Self {
+            program,
+            waits_on: None,
+            signals: None,
+        }
+    }
+}
+
+/// Dependency-aware variant of [`schedule_queues`]: programs carry
+/// optional barrier tags ([`DagJob`]) and a program whose `waits_on`
+/// barrier is incomplete is held back — its bank stays idle (or, with
+/// ordinary jobs queued ahead of it, keeps draining those) until the last
+/// contributor finishes, then issues with its commands floored at the
+/// barrier's completion time.
+///
+/// This is the execution model of a *split large transform* (four-step
+/// DAG, see `engine::batch`'s `JobKind::SplitLarge`): stage-1 column
+/// sub-jobs fan out with no dependencies and all signal one barrier; the
+/// stage-2 twiddle+row sub-jobs wait on it, because each row gathers one
+/// element from *every* column's output. The barrier is the only
+/// synchronization — sub-jobs co-packed with ordinary small jobs share
+/// bus/rank/bank resources as usual, and ordinary jobs are never gated.
+/// Host data movement between stages (gather/scatter) sits outside the
+/// reported latency, like every host load/readback in this model.
+///
+/// Barrier ids are dense `0..n`: the returned
+/// [`QueueTimeline::barrier_ps`] has one completion time per id. A
+/// barrier no program signals completes at time 0.
+///
+/// # Errors
+///
+/// As [`schedule_queues`], plus [`PimError::BadConfig`] when the
+/// dependency tags deadlock (a cycle, e.g. two programs waiting on each
+/// other's barriers — never produced by the four-step lowering, whose
+/// DAG is a two-stage fan-in).
+pub fn schedule_queues_dag(
+    config: &PimConfig,
+    queues: &[Vec<DagJob<'_>>],
+) -> Result<QueueTimeline, PimError> {
+    schedule_multi(config, queues)
+}
+
+/// Shared issue loop of [`schedule_parallel`], [`schedule_queues`] and
+/// [`schedule_queues_dag`]: round-robin command interleave across banks,
+/// one stateful engine per bank, program-boundary completion times
+/// recorded per queue, barrier-tagged programs held until their
+/// dependencies drain. One command bus per channel, one [`RankTimer`]
+/// per rank — the topology's coupling structure.
+fn schedule_multi(config: &PimConfig, queues: &[Vec<DagJob>]) -> Result<QueueTimeline, PimError> {
     config.validate()?;
     let topo = config.topology;
     if queues.len() > topo.total_banks() {
@@ -727,6 +809,23 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
         });
     }
     let resolved = config.timing.resolve();
+    // Dense barrier table: how many contributors each barrier still
+    // waits for, and the completion front of those already done.
+    let n_barriers = queues
+        .iter()
+        .flatten()
+        .flat_map(|j| [j.waits_on, j.signals])
+        .flatten()
+        .map(|k| k + 1)
+        .max()
+        .unwrap_or(0);
+    let mut barrier_left = vec![0usize; n_barriers];
+    for job in queues.iter().flatten() {
+        if let Some(k) = job.signals {
+            barrier_left[k] += 1;
+        }
+    }
+    let mut barrier_ps = vec![0u64; n_barriers];
     // The fair (slot-map) bus lives in dram-sim so chip-level models and
     // this scheduler share one definition of "shared command bus"; each
     // channel gets its own.
@@ -753,16 +852,48 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
     loop {
         let mut progressed = false;
         for b in 0..queues.len() {
-            // Empty programs complete instantly at the bank's current
-            // completion front.
-            while prog_idx[b] < queues[b].len() && queues[b][prog_idx[b]].commands.is_empty() {
-                job_end_ps[b].push(max_end[b]);
+            // Complete any run of empty programs at the queue head
+            // instantly at the bank's completion front (after a barrier
+            // they wait on, at that barrier's front).
+            while prog_idx[b] < queues[b].len() {
+                let job = &queues[b][prog_idx[b]];
+                if let Some(k) = job.waits_on {
+                    if barrier_left[k] > 0 {
+                        break; // head gated: retry once contributors drain
+                    }
+                }
+                if !job.program.commands.is_empty() {
+                    break;
+                }
+                let end = job
+                    .waits_on
+                    .map(|k| barrier_ps[k])
+                    .unwrap_or(0)
+                    .max(max_end[b]);
+                max_end[b] = end;
+                job_end_ps[b].push(end);
+                if let Some(k) = job.signals {
+                    barrier_left[k] -= 1;
+                    barrier_ps[k] = barrier_ps[k].max(end);
+                }
                 prog_idx[b] += 1;
+                progressed = true;
             }
             if prog_idx[b] >= queues[b].len() {
                 continue;
             }
-            let prog = queues[b][prog_idx[b]];
+            let job = queues[b][prog_idx[b]];
+            if let Some(k) = job.waits_on {
+                if barrier_left[k] > 0 {
+                    continue; // this bank's head is gated this round
+                }
+                if cmd_idx[b] == 0 {
+                    // First command of a gated program: floor every issue
+                    // at the barrier's completion (the stage boundary).
+                    engines[b].floor = barrier_ps[k];
+                }
+            }
+            let prog = job.program;
             engines[b].issue(
                 &prog.commands[cmd_idx[b]],
                 &mut buses[bank_channel[b]],
@@ -775,6 +906,11 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
             seen_events[b] = engines[b].events.len();
             if cmd_idx[b] == prog.commands.len() {
                 job_end_ps[b].push(max_end[b]);
+                if let Some(k) = job.signals {
+                    barrier_left[k] -= 1;
+                    barrier_ps[k] = barrier_ps[k].max(max_end[b]);
+                }
+                engines[b].floor = 0;
                 prog_idx[b] += 1;
                 cmd_idx[b] = 0;
                 // Between queued jobs the host stages the next job's data
@@ -793,6 +929,17 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
             progressed = true;
         }
         if !progressed {
+            // Either every queue drained, or the remaining heads all wait
+            // on barriers whose contributors can no longer run: a cycle.
+            if let Some(b) = (0..queues.len()).find(|&b| prog_idx[b] < queues[b].len()) {
+                let k = queues[b][prog_idx[b]].waits_on.unwrap_or(0);
+                return Err(PimError::BadConfig {
+                    reason: format!(
+                        "dependency deadlock: bank {b} waits on barrier {k}, \
+                         which can never complete"
+                    ),
+                });
+            }
             break;
         }
     }
@@ -808,6 +955,7 @@ fn schedule_multi(config: &PimConfig, queues: &[Vec<&Program>]) -> Result<QueueT
         rank_acts: per_rank_acts.iter().sum(),
         per_channel_bus_slots,
         per_rank_acts,
+        barrier_ps,
     })
 }
 
@@ -1253,5 +1401,132 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("5 program queues"), "{msg}");
         assert!(msg.contains("2x1x2"), "{msg}");
+    }
+
+    #[test]
+    fn dag_barrier_gates_dependent_program() {
+        // Bank 0 signals barrier 0; bank 1's program waits on it. The
+        // waiting program must not issue a single command before the
+        // contributor drains, even though its bank is otherwise idle.
+        let c = PimConfig::hbm2e(2).with_banks(2);
+        let prog = program(&c, 512, MapperOptions::default());
+        let queues = vec![
+            vec![DagJob {
+                program: &prog,
+                waits_on: None,
+                signals: Some(0),
+            }],
+            vec![DagJob {
+                program: &prog,
+                waits_on: Some(0),
+                signals: None,
+            }],
+        ];
+        let qt = schedule_queues_dag(&c, &queues).unwrap();
+        assert_eq!(qt.barrier_ps, vec![qt.job_end_ps[0][0]]);
+        let barrier = qt.barrier_ps[0];
+        let first_start = qt.banks[1].events.iter().map(|e| e.at_ps).min().unwrap();
+        assert!(
+            first_start >= barrier,
+            "gated program started at {first_start} before barrier {barrier}"
+        );
+        // Untagged scheduling of the same queues overlaps the two banks.
+        let free = schedule_queues(&c, &[vec![prog.clone()], vec![prog.clone()]]).unwrap();
+        assert!(free.end_ps < qt.end_ps);
+        assert!(free.barrier_ps.is_empty());
+    }
+
+    #[test]
+    fn dag_plain_jobs_are_never_gated() {
+        // A barrier-free job queued on the same bank *ahead of* a gated
+        // one keeps the bank busy while the barrier is pending: its
+        // completion time matches the fully untagged schedule.
+        let c = PimConfig::hbm2e(2).with_banks(2);
+        let prog = program(&c, 512, MapperOptions::default());
+        let queues = vec![
+            vec![DagJob {
+                program: &prog,
+                waits_on: None,
+                signals: Some(0),
+            }],
+            vec![
+                DagJob::plain(&prog),
+                DagJob {
+                    program: &prog,
+                    waits_on: Some(0),
+                    signals: None,
+                },
+            ],
+        ];
+        let qt = schedule_queues_dag(&c, &queues).unwrap();
+        let free = schedule_queues(&c, &[vec![prog.clone()], vec![prog.clone()]]).unwrap();
+        assert_eq!(qt.job_end_ps[1][0], free.job_end_ps[1][0]);
+        // The gated follow-up still starts at/after the barrier.
+        assert!(qt.job_end_ps[1][1] > qt.barrier_ps[0]);
+    }
+
+    #[test]
+    fn dag_schedules_validate_against_independent_checker() {
+        let c = PimConfig::hbm2e(2).with_banks(4);
+        let prog = program(&c, 256, MapperOptions::default());
+        let mk = |waits_on, signals| DagJob {
+            program: &prog,
+            waits_on,
+            signals,
+        };
+        // Two-stage fan-in across four banks: the split-large shape.
+        let queues = vec![
+            vec![mk(None, Some(0)), mk(Some(0), None)],
+            vec![mk(None, Some(0)), mk(Some(0), None)],
+            vec![mk(None, Some(0)), mk(Some(0), None)],
+            vec![mk(None, Some(0)), mk(Some(0), None)],
+        ];
+        let qt = schedule_queues_dag(&c, &queues).unwrap();
+        let resolved = c.timing.resolve();
+        for (b, tl) in qt.banks.iter().enumerate() {
+            validate_trace(resolved, c.geometry, &tl.bank_trace())
+                .unwrap_or_else(|(i, e)| panic!("bank {b}: entry {i}: {e}"));
+        }
+        // Stage 2 on every bank starts only after the slowest stage 1.
+        let stage1_max = (0..4).map(|b| qt.job_end_ps[b][0]).max().unwrap();
+        assert_eq!(qt.barrier_ps[0], stage1_max);
+        for b in 0..4 {
+            assert!(qt.job_end_ps[b][1] > stage1_max);
+        }
+    }
+
+    #[test]
+    fn dag_deadlock_is_reported_not_hung() {
+        let c = PimConfig::hbm2e(2).with_banks(2);
+        let prog = program(&c, 256, MapperOptions::default());
+        let queues = vec![
+            vec![DagJob {
+                program: &prog,
+                waits_on: Some(0),
+                signals: Some(1),
+            }],
+            vec![DagJob {
+                program: &prog,
+                waits_on: Some(1),
+                signals: Some(0),
+            }],
+        ];
+        let err = schedule_queues_dag(&c, &queues).unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn dag_unsignaled_barrier_completes_at_zero() {
+        let c = PimConfig::hbm2e(2).with_banks(1);
+        let prog = program(&c, 256, MapperOptions::default());
+        let queues = vec![vec![DagJob {
+            program: &prog,
+            waits_on: Some(0),
+            signals: None,
+        }]];
+        let qt = schedule_queues_dag(&c, &queues).unwrap();
+        assert_eq!(qt.barrier_ps, vec![0]);
+        let free = schedule_queues(&c, &[vec![prog]]).unwrap();
+        assert_eq!(qt.end_ps, free.end_ps);
     }
 }

@@ -193,6 +193,160 @@ pub fn normalize(data: &mut [u64], q: u64) {
     }
 }
 
+/// Exclusive upper bound on moduli [`GeometricTwiddle`] accepts: with
+/// `q < 2³²` the remainder-advance product `w·ρ` (both factors `< q`)
+/// fits a `u64`, so the incremental quotient update needs no 128-bit
+/// arithmetic.
+pub const GEOMETRIC_MODULUS_BOUND: u64 = 1 << 32;
+
+/// An incrementally maintained Shoup constant pair for the geometric
+/// twiddle sequence `w⁰, w¹, w², …` — the "on-the-fly Shoup constant"
+/// trick for scaling passes whose multiplier is a running power of one
+/// fixed step `w` (e.g. the four-step NTT's per-row `ω^(r·c)` factors:
+/// `ω^r` is fixed along a row, so *one* quotient precompute per row
+/// covers every element).
+///
+/// The naive approach needs a fresh quotient `⌊tw·2⁶⁴/q⌋` (a 128-bit
+/// division) for every element. Instead this tracker carries the exact
+/// decomposition `tw·2⁶⁴ = q·s + ρ` with `s` the Shoup quotient and
+/// `ρ ∈ [0, q)` the remainder. Stepping `tw ← tw·w mod q` updates both
+/// halves exactly:
+///
+/// ```text
+/// tw'·2⁶⁴ = w·(q·s + ρ) − k·q·2⁶⁴          (k = ⌊tw·w/q⌋)
+///         = q·(w·s − k·2⁶⁴ + ⌊w·ρ/q⌋) + (w·ρ mod q)
+/// ```
+///
+/// so `s' = w·s + ⌊w·ρ/q⌋ (mod 2⁶⁴)` — the `k·2⁶⁴` term vanishes in
+/// wrapping arithmetic and the true `s' < 2⁶⁴`, making the wrapped value
+/// exact — and `ρ' = w·ρ mod q`. One 64-bit multiply + one 64-bit
+/// division per step, no 128-bit remainder anywhere.
+///
+/// Requires `2 ≤ q <` [`GEOMETRIC_MODULUS_BOUND`] (so `w·ρ < q² < 2⁶⁴`)
+/// and `w < q`.
+///
+/// # Example
+///
+/// ```
+/// use modmath::shoup::GeometricTwiddle;
+/// let (q, w) = (8380417u64, 1753u64);
+/// let mut tw = GeometricTwiddle::new(w, q);
+/// let mut expect = 1u64;
+/// for _ in 0..100 {
+///     assert_eq!(tw.mul_mod(12345), 12345 * expect % q);
+///     expect = expect * w % q;
+///     tw.advance();
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricTwiddle {
+    q: u64,
+    /// The fixed step multiplier and its (per-row, precomputed once)
+    /// Shoup quotient.
+    w: u64,
+    w_shoup: u64,
+    /// Current power `w^c`, fully reduced.
+    tw: u64,
+    /// `⌊tw·2⁶⁴/q⌋`, maintained incrementally.
+    tw_shoup: u64,
+    /// `tw·2⁶⁴ − q·tw_shoup ∈ [0, q)`, the exactness carry of the
+    /// incremental quotient update.
+    rho: u64,
+}
+
+impl GeometricTwiddle {
+    /// Whether modulus `q` fits the incremental datapath.
+    #[inline]
+    #[must_use]
+    pub fn supports(q: u64) -> bool {
+        (2..GEOMETRIC_MODULUS_BOUND).contains(&q)
+    }
+
+    /// Starts the sequence at `w⁰ = 1` with step `w < q`.
+    #[must_use]
+    pub fn new(w: u64, q: u64) -> Self {
+        debug_assert!(Self::supports(q), "geometric datapath requires q < 2^32");
+        debug_assert!(w < q, "Shoup constants must be reduced");
+        let one_shoup = precompute(1, q);
+        Self {
+            q,
+            w,
+            w_shoup: precompute(w, q),
+            tw: 1,
+            tw_shoup: one_shoup,
+            // 2⁶⁴ mod q: the low 64 bits of −q·⌊2⁶⁴/q⌋.
+            rho: q.wrapping_mul(one_shoup).wrapping_neg(),
+        }
+    }
+
+    /// The current `(w^c, ⌊w^c·2⁶⁴/q⌋)` pair.
+    #[inline]
+    #[must_use]
+    pub fn current(&self) -> (u64, u64) {
+        (self.tw, self.tw_shoup)
+    }
+
+    /// Lazy Shoup multiply by the current power: `x·w^c mod q` in
+    /// `[0, 2q)`, any `u64` input (the [`mul_lazy`] contract).
+    #[inline]
+    #[must_use]
+    pub fn mul_lazy(&self, x: u64) -> u64 {
+        let r = mul_lazy(x, self.tw, self.tw_shoup, self.q);
+        debug_assert!(r < 2 * self.q, "lazy product out of range");
+        r
+    }
+
+    /// Fully reduced multiply by the current power: `x·w^c mod q`.
+    #[inline]
+    #[must_use]
+    pub fn mul_mod(&self, x: u64) -> u64 {
+        reduce_once(self.mul_lazy(x), self.q)
+    }
+
+    /// Steps the sequence: `w^c → w^(c+1)`, updating the Shoup quotient
+    /// exactly without a 128-bit division.
+    #[inline]
+    pub fn advance(&mut self) {
+        // ⌊w·ρ/q⌋ and w·ρ mod q feed the quotient/remainder update; the
+        // product fits a u64 because q < 2³².
+        let u = self.w * self.rho;
+        let k_frac = u / self.q;
+        self.rho = u - k_frac * self.q;
+        self.tw_shoup = self.w.wrapping_mul(self.tw_shoup).wrapping_add(k_frac);
+        self.tw = mul_mod(self.tw, self.w, self.w_shoup, self.q);
+        debug_assert_eq!(
+            (self.tw as u128) << 64,
+            self.q as u128 * self.tw_shoup as u128 + self.rho as u128,
+            "incremental Shoup quotient diverged"
+        );
+    }
+}
+
+/// Scales `data[i] ← data[i]·w^i mod q` (inputs and outputs fully
+/// reduced) — the four-step NTT's step-2 row scaling, on the
+/// [`GeometricTwiddle`] incremental-Shoup datapath for `q < 2³²` and a
+/// widening fallback above it.
+pub fn scale_geometric(data: &mut [u64], w: u64, q: u64) {
+    debug_assert!(w < q, "Shoup constants must be reduced");
+    if w == 1 {
+        return;
+    }
+    if GeometricTwiddle::supports(q) {
+        let mut tw = GeometricTwiddle::new(w, q);
+        // data[0]·w⁰ is a no-op; start the running power at w¹.
+        for x in data.iter_mut().skip(1) {
+            tw.advance();
+            *x = tw.mul_mod(*x);
+        }
+    } else {
+        let mut tw = w;
+        for x in data.iter_mut().skip(1) {
+            *x = crate::arith::mul_mod(*x, tw, q);
+            tw = crate::arith::mul_mod(tw, w, q);
+        }
+    }
+}
+
 /// Lane-batched Harvey CT butterfly: one twiddle `(w, w')` applied to `L`
 /// independent even/odd leg pairs in lockstep — the arithmetic unit of the
 /// structure-of-arrays NTT datapath (`ntt_ref::lanes`), where one twiddle
@@ -326,6 +480,48 @@ mod tests {
     fn precompute_of_one_is_floor_2_64_over_q() {
         let q = 12289u64;
         assert_eq!(precompute(1, q), (u128::pow(2, 64) / q as u128) as u64);
+    }
+
+    #[test]
+    fn geometric_twiddle_tracks_exact_shoup_quotients() {
+        for q in [7681u64, 12289, 8380417, 2_013_265_921, (1 << 32) - 267] {
+            for w in [1u64, 2, 3, q / 3, q - 1, q - 2] {
+                let w = w % q;
+                let mut tw = GeometricTwiddle::new(w, q);
+                let mut expect = 1u64;
+                for step in 0..300 {
+                    let (cur, cur_shoup) = tw.current();
+                    assert_eq!(cur, expect, "q={q} w={w} step={step}");
+                    assert_eq!(cur_shoup, precompute(expect, q), "q={q} w={w} step={step}");
+                    let x = step * 0x9E37 % q;
+                    assert_eq!(tw.mul_mod(x), mulmod_u128(x, expect, q));
+                    assert!(tw.mul_lazy(x) < 2 * q);
+                    expect = mulmod_u128(expect, w, q);
+                    tw.advance();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_geometric_matches_widening_for_narrow_and_wide_moduli() {
+        // Narrow moduli ride the incremental tracker, Q_EDGE the widening
+        // fallback — outputs must agree with the plain widening loop.
+        for q in [12289u64, 8380417, 2_013_265_921, Q_EDGE] {
+            for w in [1u64, 5, q - 1] {
+                let mut data: Vec<u64> = (0..257u64).map(|i| i * 7919 % q).collect();
+                let expect: Vec<u64> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        let tw = crate::arith::pow_mod(w, i as u64, q);
+                        mulmod_u128(x, tw, q)
+                    })
+                    .collect();
+                scale_geometric(&mut data, w, q);
+                assert_eq!(data, expect, "q={q} w={w}");
+            }
+        }
     }
 
     #[test]

@@ -1,25 +1,173 @@
 //! Four-step (Bailey) NTT decomposition.
 //!
 //! Splits a size-`N = N₁·N₂` transform into column transforms, a twiddle
-//! scaling, row transforms, and a transpose. Included as the standard
-//! cache-oblivious alternative the PIM mapping competes against (it moves
-//! the whole array four times — more DRAM traffic than the row-centric
-//! schedule, which is the quantitative point of the paper's §III.A).
+//! scaling, row transforms, and a transpose. On the CPU it is the standard
+//! cache-oblivious alternative the PIM mapping competes against; on the
+//! device it is the *large-transform datapath*: the same four steps become
+//! a DAG of independent column/row sub-jobs fanned across the
+//! `channels × ranks × banks` topology (see `engine::batch`'s
+//! `JobKind::SplitLarge` and ARCHITECTURE.md "Large-transform splitting").
 //!
 //! The leaf (column/row) transforms are ordinary [`NttPlan`] sub-plans
 //! over the same modulus, so they automatically run the Shoup-lazy
-//! kernel whenever `q < 2⁶²`. The step-2 twiddle scaling keeps widening
-//! multiplies: its `ω^(r·c)` factors vary per element, so there is no
-//! constant to precompute a Shoup quotient for.
+//! kernel whenever `q < 2⁶²`. The step-2 twiddle scaling runs on per-row
+//! *on-the-fly Shoup constants* ([`modmath::shoup::GeometricTwiddle`]):
+//! along row `r` the factors `ω^(r·c)` are the powers of the fixed step
+//! `ω^r`, so one quotient precompute per row feeds an incrementally
+//! maintained `(w^c, ⌊w^c·2⁶⁴/q⌋)` pair and every element pays one
+//! Shoup-lazy multiply instead of a widening 128-bit remainder.
+//!
+//! Factorizations are chosen and validated by [`plan_split`], the typed
+//! front door every caller (CPU dataflow, device split path, benches)
+//! routes through.
 
 use crate::plan::NttPlan;
-use modmath::arith::{mul_mod, pow_mod};
+use modmath::arith::pow_mod;
 use modmath::prime::NttField;
+use modmath::shoup::scale_geometric;
+use std::fmt;
+
+/// A validated `N = rows·cols` four-step factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPlan {
+    /// `N₁`: column-transform length; also the number of row sub-jobs.
+    pub rows: usize,
+    /// `N₂`: row-transform length; also the number of column sub-jobs.
+    pub cols: usize,
+}
+
+impl SplitPlan {
+    /// The full transform length `rows·cols`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Validates an explicit `n = rows × (n/rows)` factorization.
+    ///
+    /// # Errors
+    ///
+    /// The same [`SplitError`]s as [`plan_split`], plus
+    /// [`SplitError::BadFactorization`] when `rows` does not yield two
+    /// power-of-two factors `≥ 2`.
+    pub fn for_factors(n: usize, rows: usize) -> Result<Self, SplitError> {
+        if !n.is_power_of_two() {
+            return Err(SplitError::NotPowerOfTwo { n });
+        }
+        if n < 4 {
+            return Err(SplitError::TooSmall { n });
+        }
+        if !rows.is_power_of_two() || rows < 2 || n % rows != 0 || n / rows < 2 {
+            return Err(SplitError::BadFactorization { n, rows });
+        }
+        Ok(Self {
+            rows,
+            cols: n / rows,
+        })
+    }
+}
+
+impl fmt::Display for SplitPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+/// Why a length cannot be four-step split (the typed replacement for the
+/// old assertion panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitError {
+    /// Transform lengths must be powers of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        n: usize,
+    },
+    /// Both factors must be `≥ 2`, so `n ≥ 4` is required.
+    TooSmall {
+        /// The offending length.
+        n: usize,
+    },
+    /// An explicitly requested `rows` does not factor `n` into two
+    /// power-of-two factors `≥ 2`.
+    BadFactorization {
+        /// The transform length.
+        n: usize,
+        /// The requested row count.
+        rows: usize,
+    },
+    /// A topology with zero lanes cannot host any sub-job.
+    NoLanes,
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPowerOfTwo { n } => {
+                write!(f, "length {n} is not a power of two")
+            }
+            Self::TooSmall { n } => {
+                write!(f, "length {n} < 4 cannot split into two factors >= 2")
+            }
+            Self::BadFactorization { n, rows } => {
+                let cols = n / (*rows).max(1);
+                write!(f, "{rows} x {cols} is not a valid factorization of {n}")
+            }
+            Self::NoLanes => write!(f, "topology has no lanes to fan sub-jobs across"),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
+/// Picks an `N₁ × N₂` four-step factorization of `n` for a topology with
+/// `lanes` parallel banks.
+///
+/// The split starts balanced (`rows = 2^⌊log₂n/2⌋ ≤ cols`, minimizing
+/// the longer leaf transform) and then shifts toward more columns until
+/// the column stage has at least one sub-job per lane (`cols ≥ lanes`) or
+/// `rows` would degenerate below 2 — the column stage fans `cols`
+/// independent sub-transforms, so it is the stage that must cover the
+/// topology. Use `lanes = 1` for a purely host-side split (the CPU
+/// four-step dataflow).
+///
+/// # Errors
+///
+/// [`SplitError::NoLanes`] for an empty topology,
+/// [`SplitError::NotPowerOfTwo`] / [`SplitError::TooSmall`] for lengths
+/// no four-step factorization exists for.
+///
+/// # Example
+///
+/// ```
+/// use ntt_ref::four_step::plan_split;
+/// let split = plan_split(32768, 16).unwrap();
+/// assert_eq!((split.rows, split.cols), (128, 256));
+/// assert!(plan_split(8, 0).is_err());
+/// assert!(plan_split(2, 1).is_err());
+/// ```
+pub fn plan_split(n: usize, lanes: usize) -> Result<SplitPlan, SplitError> {
+    if lanes == 0 {
+        return Err(SplitError::NoLanes);
+    }
+    if !n.is_power_of_two() {
+        return Err(SplitError::NotPowerOfTwo { n });
+    }
+    if n < 4 {
+        return Err(SplitError::TooSmall { n });
+    }
+    let log = n.trailing_zeros() as usize;
+    let mut rows_log = log / 2;
+    while rows_log > 1 && (n >> rows_log) < lanes {
+        rows_log -= 1;
+    }
+    SplitPlan::for_factors(n, 1 << rows_log)
+}
 
 /// Forward cyclic NTT, natural order in and out, four-step dataflow.
 ///
-/// `rows` must divide `plan.n()` and both factors must be powers of two
-/// `>= 2`.
+/// `rows` must yield a valid [`SplitPlan`] factorization (two power-of-two
+/// factors `≥ 2`); fallible callers should validate through
+/// [`plan_split`] / [`SplitPlan::for_factors`] first.
 ///
 /// # Panics
 ///
@@ -27,12 +175,9 @@ use modmath::prime::NttField;
 pub fn forward(plan: &NttPlan, data: &mut [u64], rows: usize) {
     let n = plan.n();
     assert_eq!(data.len(), n, "length mismatch");
-    assert!(
-        rows.is_power_of_two() && rows >= 2 && n % rows == 0 && n / rows >= 2,
-        "invalid four-step factorization: {rows} x {}",
-        n / rows
-    );
-    let cols = n / rows;
+    let split = SplitPlan::for_factors(n, rows)
+        .unwrap_or_else(|e| panic!("invalid four-step factorization: {e}"));
+    let cols = split.cols;
     let q = plan.modulus();
     let w = plan.field().root_of_unity();
 
@@ -52,14 +197,12 @@ pub fn forward(plan: &NttPlan, data: &mut [u64], rows: usize) {
             data[r * cols + c] = scratch[r];
         }
     }
-    // Step 2: twiddle scaling by ω^(r*c).
+    // Step 2: twiddle scaling by ω^(r*c) — along row r these are the
+    // powers of the fixed step ω^r, so the whole row runs on one
+    // per-row Shoup quotient precompute (incrementally advanced).
     for r in 0..rows {
         let wr = pow_mod(w, r as u64, q);
-        let mut tw = 1u64;
-        for c in 0..cols {
-            data[r * cols + c] = mul_mod(data[r * cols + c], tw, q);
-            tw = mul_mod(tw, wr, q);
-        }
+        scale_geometric(&mut data[r * cols..(r + 1) * cols], wr, q);
     }
     // Step 3: transform each row.
     for r in 0..rows {
@@ -113,5 +256,60 @@ mod tests {
         let p = plan(16);
         let mut x = vec![0u64; 16];
         forward(&p, &mut x, 16); // cols would be 1
+    }
+
+    #[test]
+    fn plan_split_balances_then_favors_columns() {
+        // Balanced when the topology is already covered.
+        assert_eq!(plan_split(64, 1).unwrap(), SplitPlan { rows: 8, cols: 8 });
+        assert_eq!(
+            plan_split(32768, 16).unwrap(),
+            SplitPlan {
+                rows: 128,
+                cols: 256
+            }
+        );
+        // Lanes exceed the balanced column count: shift toward columns.
+        assert_eq!(plan_split(64, 16).unwrap(), SplitPlan { rows: 4, cols: 16 });
+        // But never degenerate rows below 2.
+        assert_eq!(plan_split(16, 64).unwrap(), SplitPlan { rows: 2, cols: 8 });
+    }
+
+    #[test]
+    fn plan_split_reports_typed_errors() {
+        assert_eq!(plan_split(48, 4), Err(SplitError::NotPowerOfTwo { n: 48 }));
+        assert_eq!(plan_split(2, 4), Err(SplitError::TooSmall { n: 2 }));
+        assert_eq!(plan_split(1024, 0), Err(SplitError::NoLanes));
+        assert_eq!(
+            SplitPlan::for_factors(64, 64),
+            Err(SplitError::BadFactorization { n: 64, rows: 64 })
+        );
+        assert_eq!(
+            SplitPlan::for_factors(64, 3),
+            Err(SplitError::BadFactorization { n: 64, rows: 3 })
+        );
+        // Every error renders a reason.
+        for e in [
+            SplitError::NotPowerOfTwo { n: 48 },
+            SplitError::TooSmall { n: 2 },
+            SplitError::BadFactorization { n: 64, rows: 3 },
+            SplitError::NoLanes,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_split_factorizations_transform_correctly() {
+        for (n, lanes) in [(256usize, 1usize), (256, 16), (1024, 8), (4096, 64)] {
+            let split = plan_split(n, lanes).unwrap();
+            let p = plan(n);
+            let q = p.modulus();
+            let x: Vec<u64> = (0..n as u64).map(|i| (i * 31 + 11) % q).collect();
+            let expect = naive::ntt(p.field(), &x);
+            let mut got = x.clone();
+            forward(&p, &mut got, split.rows);
+            assert_eq!(got, expect, "n={n} lanes={lanes} split={split}");
+        }
     }
 }

@@ -246,7 +246,9 @@ impl Dispatcher {
 fn verify_one(golden: &mut CpuNttEngine, job: &NttJob, got: &[u64]) -> bool {
     let mut expect = job.coeffs.clone();
     let ok = match &job.kind {
-        JobKind::Forward => golden.forward(&mut expect, job.q).is_ok(),
+        // A split large transform is bit-identical to the whole forward
+        // NTT — that is the device path's correctness contract.
+        JobKind::Forward | JobKind::SplitLarge => golden.forward(&mut expect, job.q).is_ok(),
         JobKind::Inverse => golden.inverse(&mut expect, job.q).is_ok(),
         JobKind::NegacyclicPolymul { rhs } => {
             golden.negacyclic_polymul(&mut expect, rhs, job.q).is_ok()

@@ -727,8 +727,11 @@ impl NttEngine for CpuNttEngine {
             CpuDataflow::IterativeDit => plan.forward(data),
             CpuDataflow::Stockham => crate::reference::stockham::forward(plan, data),
             CpuDataflow::FourStep => {
-                let rows = 1usize << (data.len().trailing_zeros() / 2);
-                crate::reference::four_step::forward(plan, data, rows);
+                // check_input guarantees a power-of-two n >= 4, so the
+                // single-lane (host-side) split always exists.
+                let split = crate::reference::four_step::plan_split(data.len(), 1)
+                    .expect("validated length always splits");
+                crate::reference::four_step::forward(plan, data, split.rows);
             }
         })
     }

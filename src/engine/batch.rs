@@ -45,9 +45,11 @@ use crate::core::config::{PimConfig, Topology};
 use crate::core::device::{NttDirection, PimDevice, QueueReport, StoredOrder};
 use crate::core::layout::PolyLayout;
 use crate::core::mapper::Program;
-use crate::core::sched::lpt_assign_topology;
+use crate::core::sched::{lpt_assign_topology, DagJob};
 use crate::core::PimError;
+use crate::math::arith::pow_mod;
 use crate::math::prime;
+use crate::reference::four_step::{plan_split, SplitPlan};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -65,6 +67,16 @@ pub enum JobKind {
         /// Second operand, natural order, reduced mod `q`, same length.
         rhs: Vec<u64>,
     },
+    /// Forward cyclic NTT of `coeffs`, *split* across the topology as a
+    /// four-step DAG: `cols` independent column sub-transforms fan out
+    /// over the banks, a dependency barrier marks the stage boundary, and
+    /// `rows` fused twiddle+row sub-transforms fan back
+    /// ([`crate::reference::four_step::plan_split`] picks the
+    /// factorization). Bit-identical to [`JobKind::Forward`] on the same
+    /// input; the point is latency — one huge transform no longer
+    /// serializes on a single bank. Requires [`SchedulePolicy::Lpt`]
+    /// (round-robin waves cannot express the stage dependency).
+    SplitLarge,
 }
 
 /// One independent batch request: natural-order coefficients, reduced
@@ -112,6 +124,16 @@ impl NttJob {
         }
     }
 
+    /// A forward cyclic NTT split across the topology as a four-step DAG
+    /// (see [`JobKind::SplitLarge`]).
+    pub fn split_large(coeffs: Vec<u64>, q: u64) -> Self {
+        Self {
+            coeffs,
+            q,
+            kind: JobKind::SplitLarge,
+        }
+    }
+
     /// Transform length.
     pub fn n(&self) -> usize {
         self.coeffs.len()
@@ -153,15 +175,57 @@ impl std::str::FromStr for SchedulePolicy {
     }
 }
 
-/// The scheduler's decision for one batch: per-bank job queues plus the
+/// One schedulable unit of a batch plan: either a whole job, or one
+/// column/row sub-job of a split large transform. The scheduler packs
+/// *units* (a split job contributes `cols + rows` of them, fanned across
+/// banks); everything else in the executor stays in whole-job terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanUnit {
+    /// An ordinary job, by index into the batch's jobs slice.
+    Job(usize),
+    /// Stage-1 column sub-transform `column` of split job `job` — no
+    /// dependencies; signals the job's stage barrier when done.
+    SplitColumn {
+        /// Index of the split job in the batch.
+        job: usize,
+        /// Column index, `0..cols`.
+        column: usize,
+    },
+    /// Stage-2 fused twiddle+row sub-transform `row` of split job `job`
+    /// — waits on the job's stage barrier (each row gathers one element
+    /// from *every* column's output).
+    SplitRow {
+        /// Index of the split job in the batch.
+        job: usize,
+        /// Row index, `0..rows`.
+        row: usize,
+    },
+}
+
+impl PlanUnit {
+    /// The batch job this unit belongs to.
+    pub fn job(&self) -> usize {
+        match *self {
+            PlanUnit::Job(j) | PlanUnit::SplitColumn { job: j, .. } => j,
+            PlanUnit::SplitRow { job: j, .. } => j,
+        }
+    }
+}
+
+/// The scheduler's decision for one batch: per-bank unit queues plus the
 /// cost estimates that produced them. Exposed so tests (and curious
 /// callers) can audit assignments without running anything.
 #[derive(Debug, Clone)]
 pub struct BatchPlan {
-    /// `queues[b]` lists the job indices bank `b` runs, in order.
+    /// `queues[b]` lists the indices into [`Self::units`] bank `b` runs,
+    /// in order. For a split-free batch `units[i]` is `Job(i)`, so the
+    /// queue entries coincide with job indices.
     pub queues: Vec<Vec<usize>>,
-    /// Predicted per-job latency, ns (parallel to the jobs slice).
+    /// Predicted per-unit latency, ns (parallel to [`Self::units`]).
     pub costs: Vec<f64>,
+    /// Every schedulable unit of the batch, in job order with each split
+    /// job expanded into its column units then its row units.
+    pub units: Vec<PlanUnit>,
     /// The policy that produced the assignment.
     pub policy: SchedulePolicy,
 }
@@ -211,11 +275,18 @@ pub struct BatchOutcome {
     /// The policy that scheduled the batch.
     pub policy: SchedulePolicy,
     /// The job-index queues the batch actually ran (`assignment[b]` =
-    /// bank `b`'s jobs, in order).
+    /// bank `b`'s jobs, in order; a split job appears once per bank that
+    /// ran any of its sub-jobs).
     pub assignment: Vec<Vec<usize>>,
     /// Simulated per-job latency, ns, in job order: each job's completion
-    /// minus its bank-queue predecessor's completion.
+    /// minus its bank-queue predecessor's completion. For a split job it
+    /// is the completion time of the job's *last sub-job*, measured from
+    /// batch start (the sub-jobs span many banks, so there is no single
+    /// predecessor).
     pub job_latency_ns: Vec<f64>,
+    /// Per-stage accounting of every split large transform in the batch,
+    /// in job order (empty when no job was split).
+    pub splits: Vec<SplitReport>,
     /// The full device-level queue report behind the summary fields above
     /// (per-bank completion/energy, per-job end times, per-channel bus
     /// slots, per-rank ACTs). Under round-robin this is the
@@ -224,6 +295,23 @@ pub struct BatchOutcome {
     /// drain. Serving-layer front-ends attach it to every response of a
     /// micro-batch.
     pub queue_report: QueueReport,
+}
+
+/// Per-stage latency of one split large transform inside a batch.
+#[derive(Debug, Clone)]
+pub struct SplitReport {
+    /// Index of the split job in the batch.
+    pub job: usize,
+    /// The `rows × cols` factorization the job ran under.
+    pub rows: usize,
+    /// Row-transform length (`cols` column sub-jobs of length `rows`
+    /// fan out first; then `rows` row sub-jobs of length `cols`).
+    pub cols: usize,
+    /// When the column stage's dependency barrier completed, ns from
+    /// batch start — the last column sub-job's drain time.
+    pub column_stage_ns: f64,
+    /// When the job's last row sub-job completed, ns from batch start.
+    pub latency_ns: f64,
 }
 
 impl BatchOutcome {
@@ -376,8 +464,26 @@ impl BatchExecutor {
     /// plus element-wise passes; 3x one transform is accurate enough for
     /// bin-packing, which only needs relative weights.
     fn job_cost(&mut self, job: &NttJob) -> f64 {
-        let n = job.n();
-        let transform = match self.cost_memo.entry(n) {
+        let transform = self.transform_cost(job.n());
+        match job.kind {
+            JobKind::Forward | JobKind::Inverse => transform,
+            JobKind::NegacyclicPolymul { .. } => 3.0 * transform,
+            // A split job never reaches the packer whole (its units are
+            // costed individually); this is the serial sum for callers
+            // asking "how heavy is this job".
+            JobKind::SplitLarge => match plan_split(job.n(), self.device.config().total_banks()) {
+                Ok(split) => {
+                    split.cols as f64 * self.transform_cost(split.rows)
+                        + split.rows as f64 * self.transform_cost(split.cols)
+                }
+                Err(_) => transform,
+            },
+        }
+    }
+
+    /// Predicted single-transform latency at length `n`, memoized.
+    fn transform_cost(&mut self, n: usize) -> f64 {
+        match self.cost_memo.entry(n) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
             std::collections::hash_map::Entry::Vacant(v) => *v.insert(
                 super::pim_cost_estimate(self.device.config(), self.device.mapper_options(), n)
@@ -386,10 +492,6 @@ impl BatchExecutor {
                     // the model has no point.
                     .unwrap_or_else(|| (n as f64) * f64::from(n.trailing_zeros() + 1)),
             ),
-        };
-        match job.kind {
-            JobKind::Forward | JobKind::Inverse => transform,
-            JobKind::NegacyclicPolymul { .. } => 3.0 * transform,
         }
     }
 
@@ -402,22 +504,62 @@ impl BatchExecutor {
     pub fn plan(&mut self, jobs: &[NttJob]) -> Result<BatchPlan, EngineError> {
         self.validate(jobs)?;
         let banks = self.bank_count();
-        let costs: Vec<f64> = jobs.iter().map(|j| self.job_cost(j)).collect();
-        let queues = match self.policy {
+        if self.policy == SchedulePolicy::RoundRobin
+            && jobs.iter().any(|j| j.kind == JobKind::SplitLarge)
+        {
+            return Err(EngineError::Shape {
+                reason: "split large jobs require the lpt policy \
+                         (round-robin waves cannot express the stage dependency)"
+                    .into(),
+            });
+        }
+        // Expand jobs into schedulable units: ordinary jobs stay whole,
+        // split jobs contribute one unit per column and per row sub-job.
+        let mut units = Vec::with_capacity(jobs.len());
+        let mut costs = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if job.kind == JobKind::SplitLarge {
+                let split = plan_split(job.n(), banks).expect("validated above");
+                let col_cost = self.transform_cost(split.rows);
+                // The row stage adds the fused twiddle-scaling pass: one
+                // element-wise sweep on top of the transform.
+                let row_cost = self.transform_cost(split.cols) * 1.2;
+                for column in 0..split.cols {
+                    units.push(PlanUnit::SplitColumn { job: i, column });
+                    costs.push(col_cost);
+                }
+                for row in 0..split.rows {
+                    units.push(PlanUnit::SplitRow { job: i, row });
+                    costs.push(row_cost);
+                }
+            } else {
+                units.push(PlanUnit::Job(i));
+                costs.push(self.job_cost(job));
+            }
+        }
+        let mut queues = match self.policy {
             // Hierarchical: channels first (private buses), then banks.
             // Degenerates to flat LPT on a single-channel topology.
             SchedulePolicy::Lpt => lpt_assign_topology(&costs, &self.topology()),
             SchedulePolicy::RoundRobin => {
                 let mut queues: Vec<Vec<usize>> = vec![Vec::new(); banks];
-                for i in 0..jobs.len() {
+                for i in 0..units.len() {
                     queues[i % banks].push(i);
                 }
                 queues
             }
         };
+        // Barrier-gated row units go last in every bank queue: the bank
+        // keeps draining ordinary jobs and column units while the stage
+        // barrier is pending, instead of idling behind a gated head (and
+        // co-packed small jobs are never starved by a split).
+        for queue in &mut queues {
+            queue.sort_by_key(|&u| matches!(units[u], PlanUnit::SplitRow { .. }));
+        }
         Ok(BatchPlan {
             queues,
             costs,
+            units,
             policy: self.policy,
         })
     }
@@ -459,8 +601,61 @@ impl BatchExecutor {
                 dev.execute_program(bank, &program)?;
                 (program, ha)
             }
+            // Split jobs are expanded into column/row units by `plan` and
+            // executed via `run_column_unit`/`run_row_unit`, never whole.
+            JobKind::SplitLarge => {
+                return Err(EngineError::Shape {
+                    reason: "split large jobs cannot run as a single program".into(),
+                })
+            }
         };
         let out = dev.read_polynomial(&handle)?;
+        Ok((program, out.into_iter().map(u64::from).collect()))
+    }
+
+    /// Runs one stage-1 column sub-job of a split transform in `bank`:
+    /// gathers the column (stride `cols`) from the job's coefficients,
+    /// transforms it over `ω^cols`, and returns the natural-order column
+    /// spectrum for the host to scatter into the twiddle matrix.
+    fn run_column_unit(
+        &mut self,
+        bank: usize,
+        job: &NttJob,
+        split: &SplitPlan,
+        col_root: u32,
+        column: usize,
+    ) -> Result<(Program, Vec<u64>), EngineError> {
+        let col: Vec<u32> = (0..split.rows)
+            .map(|r| job.coeffs[r * split.cols + column] as u32)
+            .collect();
+        let dev = &mut self.device;
+        let mut h = dev.load_in_bank(bank, 0, &col, job.q as u32, StoredOrder::BitReversed)?;
+        let program = dev.build_column_program(&h, col_root)?;
+        dev.execute_program(bank, &program)?;
+        h.assume_order(StoredOrder::Natural);
+        let out = dev.read_polynomial(&h)?;
+        Ok((program, out.into_iter().map(u64::from).collect()))
+    }
+
+    /// Runs one stage-2 row sub-job in `bank`: the gathered matrix row is
+    /// twiddle-scaled by the powers of `tw = ω^row` and transformed over
+    /// `ω^rows`, returning the natural-order row spectrum for the final
+    /// transpose scatter.
+    fn run_row_unit(
+        &mut self,
+        bank: usize,
+        q: u64,
+        row_vec: &[u64],
+        row_root: u32,
+        tw: u32,
+    ) -> Result<(Program, Vec<u64>), EngineError> {
+        let words: Vec<u32> = row_vec.iter().map(|&c| c as u32).collect();
+        let dev = &mut self.device;
+        let mut h = dev.load_in_bank(bank, 0, &words, q as u32, StoredOrder::Natural)?;
+        let program = dev.build_twiddle_row_program(&h, row_root, tw)?;
+        dev.execute_program(bank, &program)?;
+        h.assume_order(StoredOrder::BitReversed);
+        let out = dev.read_polynomial(&h)?;
         Ok((program, out.into_iter().map(u64::from).collect()))
     }
 
@@ -480,6 +675,7 @@ impl BatchExecutor {
         let mut spectra: Vec<Vec<u64>> = vec![Vec::new(); jobs.len()];
         let mut usage: Vec<BankUsage> = vec![BankUsage::default(); banks];
         let mut job_latency_ns = vec![0.0f64; jobs.len()];
+        let mut splits: Vec<SplitReport> = Vec::new();
         for (bank, queue) in plan.queues.iter().enumerate() {
             usage[bank].jobs = queue.len();
         }
@@ -487,24 +683,132 @@ impl BatchExecutor {
 
         let queue_report = match self.policy {
             SchedulePolicy::Lpt => {
-                // Async drain: execute every queue functionally, then time
-                // all queues in one shared-bus schedule (banks advance to
-                // their next job as soon as they finish).
-                let mut programs: Vec<Vec<Program>> = vec![Vec::new(); banks];
-                for (bank, queue) in plan.queues.iter().enumerate() {
-                    for &ji in queue {
-                        let (program, out) = self.run_one(bank, &jobs[ji])?;
-                        spectra[ji] = out;
-                        programs[bank].push(program);
+                // Per split job: factorization, the parent root's powers,
+                // a dense barrier id, and the host-side twiddle matrix
+                // the column stage gathers into (the inter-stage
+                // transpose — host data movement, like every load).
+                struct SplitCtx {
+                    split: SplitPlan,
+                    omega: u64,
+                    col_root: u32,
+                    row_root: u32,
+                    barrier: usize,
+                    matrix: Vec<Vec<u64>>,
+                }
+                let mut ctxs: HashMap<usize, SplitCtx> = HashMap::new();
+                for (i, job) in jobs.iter().enumerate() {
+                    if job.kind == JobKind::SplitLarge {
+                        let split = plan_split(job.n(), banks).expect("validated");
+                        let omega = prime::root_of_unity(job.n() as u64, job.q)?;
+                        let barrier = ctxs.len();
+                        ctxs.insert(
+                            i,
+                            SplitCtx {
+                                split,
+                                omega,
+                                col_root: pow_mod(omega, split.cols as u64, job.q) as u32,
+                                row_root: pow_mod(omega, split.rows as u64, job.q) as u32,
+                                barrier,
+                                matrix: vec![vec![0u64; split.cols]; split.rows],
+                            },
+                        );
+                        spectra[i] = vec![0u64; job.n()];
                     }
                 }
-                let report = self.device.schedule_queues(&programs)?;
+                // Async drain, two functional passes. Pass A: ordinary
+                // jobs and column sub-jobs, in queue order (row units
+                // sort last in every queue, so program order still
+                // matches queue order).
+                // One scheduled program plus its DAG tags, per bank:
+                // `(program, waits_on, signals)`.
+                type TaggedProgram = (Program, Option<usize>, Option<usize>);
+                let mut programs: Vec<Vec<TaggedProgram>> = vec![Vec::new(); banks];
+                for (bank, queue) in plan.queues.iter().enumerate() {
+                    for &ui in queue {
+                        match plan.units[ui] {
+                            PlanUnit::Job(ji) => {
+                                let (program, out) = self.run_one(bank, &jobs[ji])?;
+                                spectra[ji] = out;
+                                programs[bank].push((program, None, None));
+                            }
+                            PlanUnit::SplitColumn { job: ji, column } => {
+                                let ctx = &ctxs[&ji];
+                                let (split, col_root, barrier) =
+                                    (ctx.split, ctx.col_root, ctx.barrier);
+                                let (program, out) = self
+                                    .run_column_unit(bank, &jobs[ji], &split, col_root, column)?;
+                                let ctx = ctxs.get_mut(&ji).expect("context exists");
+                                for (r, &v) in out.iter().enumerate() {
+                                    ctx.matrix[r][column] = v;
+                                }
+                                programs[bank].push((program, None, Some(barrier)));
+                            }
+                            PlanUnit::SplitRow { .. } => {} // pass B
+                        }
+                    }
+                }
+                // Pass B: row sub-jobs — each consumes one gathered
+                // matrix row, so it runs after every column drained.
+                for (bank, queue) in plan.queues.iter().enumerate() {
+                    for &ui in queue {
+                        if let PlanUnit::SplitRow { job: ji, row } = plan.units[ui] {
+                            let ctx = &ctxs[&ji];
+                            let (rows, row_root, barrier, q) =
+                                (ctx.split.rows, ctx.row_root, ctx.barrier, jobs[ji].q);
+                            let tw = pow_mod(ctx.omega, row as u64, q) as u32;
+                            let row_vec = ctx.matrix[row].clone();
+                            let (program, out) =
+                                self.run_row_unit(bank, q, &row_vec, row_root, tw)?;
+                            // Step 4 transpose: out[k₂·rows + k₁] = Y_{k₁}[k₂].
+                            for (c, &v) in out.iter().enumerate() {
+                                spectra[ji][c * rows + row] = v;
+                            }
+                            programs[bank].push((program, Some(barrier), None));
+                        }
+                    }
+                }
+                let dag: Vec<Vec<DagJob<'_>>> = programs
+                    .iter()
+                    .map(|queue| {
+                        queue
+                            .iter()
+                            .map(|(program, waits_on, signals)| DagJob {
+                                program,
+                                waits_on: *waits_on,
+                                signals: *signals,
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let report = self.device.schedule_queues_dag(&dag)?;
+                let mut split_end: HashMap<usize, f64> = HashMap::new();
                 for (bank, ends) in report.job_end_ns.iter().enumerate() {
                     let mut prev = 0.0;
                     for (slot, &end) in ends.iter().enumerate() {
-                        job_latency_ns[plan.queues[bank][slot]] = end - prev;
+                        match plan.units[plan.queues[bank][slot]] {
+                            PlanUnit::Job(ji) => job_latency_ns[ji] = end - prev,
+                            PlanUnit::SplitColumn { job: ji, .. }
+                            | PlanUnit::SplitRow { job: ji, .. } => {
+                                let e = split_end.entry(ji).or_insert(0.0);
+                                *e = e.max(end);
+                            }
+                        }
                         prev = end;
                     }
+                }
+                let mut tagged: Vec<(usize, &SplitCtx)> =
+                    ctxs.iter().map(|(&ji, ctx)| (ji, ctx)).collect();
+                tagged.sort_by_key(|&(ji, _)| ji);
+                for (ji, ctx) in tagged {
+                    let end = split_end.get(&ji).copied().unwrap_or(0.0);
+                    job_latency_ns[ji] = end;
+                    splits.push(SplitReport {
+                        job: ji,
+                        rows: ctx.split.rows,
+                        cols: ctx.split.cols,
+                        column_stage_ns: report.barrier_ns[ctx.barrier],
+                        latency_ns: end,
+                    });
                 }
                 report
             }
@@ -513,7 +817,8 @@ impl BatchExecutor {
                 // w; a full-chip barrier separates waves, so each wave is
                 // timed alone and the batch pays the sum of wave maxima.
                 // The per-wave reports merge into one batch-level report
-                // with the barrier semantics of `absorb_serial`.
+                // with the barrier semantics of `absorb_serial`. Split
+                // jobs never reach this branch (`plan` rejects them).
                 let topology = self.topology();
                 let mut merged = QueueReport::empty(
                     banks,
@@ -526,7 +831,9 @@ impl BatchExecutor {
                         .queues
                         .iter()
                         .enumerate()
-                        .filter_map(|(bank, queue)| queue.get(w).map(|&ji| (bank, ji)))
+                        .filter_map(|(bank, queue)| {
+                            queue.get(w).map(|&ui| (bank, plan.units[ui].job()))
+                        })
                         .collect();
                     for &(bank, ji) in &wave_jobs {
                         let (program, out) = self.run_one(bank, &jobs[ji])?;
@@ -536,7 +843,7 @@ impl BatchExecutor {
                     let report = self.device.schedule_queues(&wave_programs)?;
                     for (bank, ends) in report.job_end_ns.iter().enumerate() {
                         if let Some(&end) = ends.first() {
-                            job_latency_ns[plan.queues[bank][w]] = end;
+                            job_latency_ns[plan.units[plan.queues[bank][w]].job()] = end;
                         }
                     }
                     merged.absorb_serial(&report);
@@ -549,6 +856,23 @@ impl BatchExecutor {
             usage.energy_nj = queue_report.per_bank_energy_nj[bank];
         }
 
+        // Job-level assignment view: each bank's distinct jobs in queue
+        // order (a split job shows up on every bank that ran sub-jobs).
+        let assignment: Vec<Vec<usize>> = plan
+            .queues
+            .iter()
+            .map(|queue| {
+                let mut seen = Vec::new();
+                for &ui in queue {
+                    let ji = plan.units[ui].job();
+                    if !seen.contains(&ji) {
+                        seen.push(ji);
+                    }
+                }
+                seen
+            })
+            .collect();
+
         Ok(BatchOutcome {
             spectra,
             latency_ns: queue_report.latency_ns,
@@ -560,8 +884,9 @@ impl BatchExecutor {
             per_channel_bus_slots: queue_report.per_channel_bus_slots.clone(),
             banks: usage,
             policy: self.policy,
-            assignment: plan.queues,
+            assignment,
             job_latency_ns,
+            splits,
             queue_report,
         })
     }
@@ -611,8 +936,24 @@ pub fn validate_job(config: &PimConfig, job: &NttJob) -> Result<(), EngineError>
             job.q
         )));
     }
-    // Capacity: the operand(s) must fit the bank.
-    PolyLayout::new(config, 0, n).map_err(|e| shape(e.to_string()))?;
+    // Capacity: the operand(s) must fit the bank. A split job only ever
+    // materializes its column/row sub-vectors in a bank, so *those* must
+    // fit — the full transform may exceed any single bank.
+    if let JobKind::SplitLarge = job.kind {
+        let split = plan_split(n, config.total_banks())
+            .map_err(|e| shape(format!("cannot split length {n}: {e}")))?;
+        if split.rows < 4 || split.cols < 4 {
+            return Err(shape(format!(
+                "split {split} of length {n} has a sub-transform below the \
+                 device minimum of 4"
+            )));
+        }
+        PolyLayout::new(config, 0, split.rows)
+            .map_err(|e| shape(format!("column sub-job: {e}")))?;
+        PolyLayout::new(config, 0, split.cols).map_err(|e| shape(format!("row sub-job: {e}")))?;
+    } else {
+        PolyLayout::new(config, 0, n).map_err(|e| shape(e.to_string()))?;
+    }
     if job.coeffs.iter().any(|&c| c >= job.q) {
         return Err(shape("coefficients not reduced modulo q".into()));
     }
@@ -656,7 +997,9 @@ pub fn run_sequential(
     for job in jobs {
         let mut data = job.coeffs.clone();
         let rep = match &job.kind {
-            JobKind::Forward => engine.forward(&mut data, job.q)?,
+            // A split job is functionally a forward NTT: engines without
+            // a topology to split across just run the transform whole.
+            JobKind::Forward | JobKind::SplitLarge => engine.forward(&mut data, job.q)?,
             JobKind::Inverse => engine.inverse(&mut data, job.q)?,
             JobKind::NegacyclicPolymul { rhs } => {
                 engine.negacyclic_polymul(&mut data, rhs, job.q)?
@@ -715,7 +1058,8 @@ pub fn run_lane_batched(
     let mut groups: Vec<(u8, usize, u64, Vec<usize>)> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         let tag = match job.kind {
-            JobKind::Forward => 0u8,
+            // Split jobs are forward NTTs functionally — same lane group.
+            JobKind::Forward | JobKind::SplitLarge => 0u8,
             JobKind::Inverse => 1,
             JobKind::NegacyclicPolymul { .. } => 2,
         };
@@ -786,6 +1130,130 @@ mod tests {
 
     fn job(n: usize, seed: u64) -> NttJob {
         NttJob::new(poly(n, Q, seed), Q)
+    }
+
+    #[test]
+    fn split_large_matches_golden_forward_bit_exactly() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let n = 1024;
+        let jobs = vec![NttJob::split_large(poly(n, Q, 77), Q)];
+        let out = exec.run(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        let mut expect = jobs[0].coeffs.clone();
+        cpu.forward(&mut expect, Q).unwrap();
+        assert_eq!(out.spectra[0], expect, "split result must be bit-identical");
+        // The split fanned across all four banks and reported its stages.
+        assert_eq!(out.splits.len(), 1);
+        let sr = &out.splits[0];
+        assert_eq!((sr.job, sr.rows, sr.cols), (0, 32, 32));
+        assert!(sr.column_stage_ns > 0.0);
+        assert!(sr.latency_ns > sr.column_stage_ns);
+        assert_eq!(out.queue_report.barrier_ns.len(), 1);
+        assert!(out.assignment.iter().all(|bank| bank == &vec![0]));
+        assert_eq!(out.job_latency_ns[0], sr.latency_ns);
+    }
+
+    #[test]
+    fn split_co_packs_with_ordinary_jobs_without_starvation() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let n_small = 256;
+        let mut jobs: Vec<NttJob> = (0..4).map(|i| job(n_small, 800 + i)).collect();
+        jobs.push(NttJob::split_large(poly(1024, Q, 801), Q));
+        let out = exec.run(&jobs).unwrap();
+        let mut cpu = CpuNttEngine::golden();
+        for (i, j) in jobs.iter().enumerate() {
+            let mut expect = j.coeffs.clone();
+            cpu.forward(&mut expect, j.q).unwrap();
+            assert_eq!(out.spectra[i], expect, "job {i}");
+        }
+        // No starvation: every ordinary job completes before the split's
+        // row stage has drained (they are never gated on the barrier).
+        let split_end = out.splits[0].latency_ns;
+        for i in 0..4 {
+            assert!(
+                out.job_latency_ns[i] < split_end,
+                "small job {i} ({} ns) starved behind the split ({split_end} ns)",
+                out.job_latency_ns[i]
+            );
+        }
+    }
+
+    #[test]
+    fn split_plan_expands_units_and_orders_rows_last() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4)).unwrap();
+        let jobs = vec![job(256, 1), NttJob::split_large(poly(1024, Q, 2), Q)];
+        let plan = exec.plan(&jobs).unwrap();
+        // 1 ordinary + 32 columns + 32 rows.
+        assert_eq!(plan.units.len(), 65);
+        assert_eq!(plan.costs.len(), 65);
+        assert_eq!(plan.units[0], PlanUnit::Job(0));
+        let cols = plan
+            .units
+            .iter()
+            .filter(|u| matches!(u, PlanUnit::SplitColumn { job: 1, .. }))
+            .count();
+        let rows = plan
+            .units
+            .iter()
+            .filter(|u| matches!(u, PlanUnit::SplitRow { job: 1, .. }))
+            .count();
+        assert_eq!((cols, rows), (32, 32));
+        // Within every bank queue, all rows sit after all non-rows.
+        for queue in &plan.queues {
+            let first_row = queue
+                .iter()
+                .position(|&u| matches!(plan.units[u], PlanUnit::SplitRow { .. }));
+            if let Some(pos) = first_row {
+                assert!(queue[pos..]
+                    .iter()
+                    .all(|&u| matches!(plan.units[u], PlanUnit::SplitRow { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn split_requires_lpt_policy() {
+        let mut exec = BatchExecutor::new(PimConfig::hbm2e(2).with_banks(4))
+            .unwrap()
+            .with_policy(SchedulePolicy::RoundRobin);
+        let jobs = vec![NttJob::split_large(poly(1024, Q, 3), Q)];
+        let err = exec.run(&jobs).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("lpt")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn split_validation_reports_bad_lengths() {
+        let config = PimConfig::hbm2e(2).with_banks(4);
+        // Not a power of two: caught by the generic length check.
+        let err = validate_job(&config, &NttJob::split_large(vec![0; 48], Q)).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("power of two")),
+            "{err}"
+        );
+        // N = 8 only factors as 2×4: below the device sub-job minimum.
+        let err = validate_job(&config, &NttJob::split_large(poly(8, Q, 1), Q)).unwrap_err();
+        assert!(
+            matches!(&err, EngineError::Shape { reason } if reason.contains("minimum")),
+            "{err}"
+        );
+        // Valid split length passes.
+        assert!(validate_job(&config, &NttJob::split_large(poly(1024, Q, 4), Q)).is_ok());
+    }
+
+    #[test]
+    fn sequential_and_lane_batched_treat_split_as_forward() {
+        let jobs = vec![
+            NttJob::split_large(poly(256, Q, 5), Q),
+            NttJob::forward(poly(256, Q, 5), Q),
+        ];
+        let mut cpu = CpuNttEngine::golden();
+        let (seq, _) = run_sequential(&mut cpu, &jobs).unwrap();
+        assert_eq!(seq[0], seq[1], "split == forward on a CPU engine");
+        let (batched, _, _) = run_lane_batched(&mut cpu, &jobs).unwrap();
+        assert_eq!(batched, seq);
     }
 
     #[test]

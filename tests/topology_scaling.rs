@@ -61,7 +61,8 @@ fn sharded_device_is_bit_identical_to_single_rank_and_cpu_golden() {
     for (i, job) in jobs.iter().enumerate() {
         let mut expect = job.coeffs.clone();
         match &job.kind {
-            ntt_pim::engine::batch::JobKind::Forward => {
+            ntt_pim::engine::batch::JobKind::Forward
+            | ntt_pim::engine::batch::JobKind::SplitLarge => {
                 cpu.forward(&mut expect, job.q).unwrap();
             }
             ntt_pim::engine::batch::JobKind::Inverse => {
