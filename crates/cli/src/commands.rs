@@ -56,8 +56,13 @@ SERVE OPTIONS:
     --queue-depth <d>   admission bound (then Busy)           [default: 256]
     --tenant-inflight <k>  per-tenant in-flight cap (0 = off) [default: 0]
     --lengths <...>     request lengths, cycled               [default: 256,1024,2048,4096]
+    --devices <n>       simulated fleet size (replicas of the
+                        serve topology, routed by predicted drain) [default: 1]
+    --steal-threshold-us <t>  fleet imbalance tolerance before
+                        batches split / workers steal, µs     [default: 0]
     --smoke             small verified run (CI): golden-check every response
-    (serve defaults to the 2x2x4 topology; --channels/--ranks/--banks override)
+    (serve defaults to the 2x2x4 topology; --channels/--ranks/--banks override;
+     --devices > 1 appends a per-device fleet report)
 
 The device topology is channels x ranks x banks: jobs fan across the
 product (e.g. --channels 2 --ranks 2 --banks 4 = 16-way), with LPT
@@ -459,6 +464,11 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         .with_topology(topology)
         .with_refresh(args.has_flag("refresh"));
     pim.validate()?;
+    let devices: usize = args.get_or("devices", 1)?;
+    if devices == 0 {
+        return Err(CliError::usage("--devices must be >= 1"));
+    }
+    let steal_threshold_us: u64 = args.get_or("steal-threshold-us", 0)?;
 
     // One pre-generated job per request (mixed lengths, the RNS/FHE
     // traffic shape); Dilithium's modulus supports every default length.
@@ -478,6 +488,8 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
     let service = NttService::start(
         ServiceConfig::new(pim)
             .with_policy(policy)
+            .with_device_count(devices)
+            .with_steal_threshold(Duration::from_micros(steal_threshold_us))
             .with_max_wait(Duration::from_micros(max_wait_us))
             .with_queue_depth(queue_depth)
             .with_tenant_inflight(tenant_inflight)
@@ -598,6 +610,34 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         ntt_ref::lanes::kernel_label(),
         ntt_ref::lanes::LANE_WIDTH
     );
+    if devices > 1 {
+        let _ = writeln!(
+            out,
+            "  fleet           : {:>12} devices, makespan {:.2} µs, {:.0} jobs/s \
+             (steal threshold {steal_threshold_us} µs)",
+            stats.devices.len(),
+            stats.fleet_makespan_ns() / 1000.0,
+            stats.fleet_jobs_per_s()
+        );
+        for d in &stats.devices {
+            let _ = writeln!(
+                out,
+                "    device {:>2} [{}] : {:>5} lanes  {:>4} batches  {:>5} jobs  \
+                 occupancy {:>5.2}  utilization {:>4.2}  busy {:>9.2} µs  \
+                 steals {:>3}  {}",
+                d.device,
+                d.topology,
+                d.lanes,
+                d.batches,
+                d.jobs,
+                d.occupancy(),
+                d.utilization(),
+                d.sim_busy_ns / 1000.0,
+                d.steals,
+                if d.healthy { "healthy" } else { "RETIRED" }
+            );
+        }
+    }
     if stats.completed != requests as u64 {
         return Err(CliError::runtime(format!(
             "serve lost requests: {}/{requests} completed",
@@ -766,6 +806,26 @@ mod tests {
         assert!(run_line("serve --tenants 0 --requests 4").is_err());
         assert!(run_line("serve --tenants 2 --requests 0").is_err());
         assert!(run_line("serve --smoke --lengths 100 --requests 2 --tenants 1").is_err());
+        assert!(run_line("serve --devices 0 --requests 4").is_err());
+    }
+
+    #[test]
+    fn serve_fleet_appends_per_device_report() {
+        let out = run_line(
+            "serve --smoke --devices 4 --tenants 4 --requests 32 \
+             --channels 1 --ranks 1 --banks 4 --lengths 64,256 --max-wait-us 200",
+        )
+        .unwrap();
+        assert!(out.contains("serve smoke OK"), "{out}");
+        assert!(out.contains("fleet           :"), "{out}");
+        for d in 0..4 {
+            assert!(
+                out.contains(&format!("device  {d} [1x1x4]")),
+                "missing device {d} row: {out}"
+            );
+        }
+        assert!(out.contains("healthy"), "{out}");
+        assert!(!out.contains("RETIRED"), "{out}");
     }
 
     #[test]

@@ -1029,6 +1029,30 @@ pub fn lpt_assign_topology(costs: &[f64], topology: &crate::config::Topology) ->
     queues
 }
 
+/// Predicted makespan of a batch under hierarchical LPT packing: the
+/// load of the heaviest bank queue [`lpt_assign_topology`] would
+/// produce, in the same unit as `costs`.
+///
+/// This is the per-device half of the fleet router's cost model
+/// (ROADMAP item 1): a device's *predicted drain time* for a batch is
+/// its already-queued work plus this makespan on the device's own
+/// topology — so a 1×1×2 device and a 4×2×2 device quote honestly
+/// different prices for the same batch, and the router can compare
+/// them. Queue-drain overlap (bus contention, tRRD/tFAW) is not
+/// modeled; the figure is the same packing bound LPT itself optimizes,
+/// which is what load comparison needs.
+///
+/// # Panics
+///
+/// Panics when the topology has an empty level (as
+/// [`lpt_assign_topology`]).
+pub fn lpt_makespan(costs: &[f64], topology: &crate::config::Topology) -> f64 {
+    lpt_assign_topology(costs, topology)
+        .iter()
+        .map(|queue| queue.iter().map(|&j| costs[j].max(0.0)).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1343,6 +1367,30 @@ mod tests {
                 .sum();
             assert!((load - 13.0).abs() < 1e-9, "channel {ch} load {load}");
         }
+    }
+
+    #[test]
+    fn lpt_makespan_matches_heaviest_queue_and_scales_with_lanes() {
+        use crate::config::Topology;
+        let costs = [10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let topo = Topology::new(2, 1, 2);
+        let queues = lpt_assign_topology(&costs, &topo);
+        let heaviest = queues
+            .iter()
+            .map(|q| q.iter().map(|&j| costs[j]).sum::<f64>())
+            .fold(0.0, f64::max);
+        assert!((lpt_makespan(&costs, &topo) - heaviest).abs() < 1e-12);
+        // More lanes never predict a slower drain, fewer lanes quote a
+        // higher price — the heterogeneity the fleet router relies on.
+        let narrow = lpt_makespan(&costs, &Topology::new(1, 1, 2));
+        let wide = lpt_makespan(&costs, &Topology::new(4, 2, 2));
+        assert!(narrow > lpt_makespan(&costs, &topo));
+        assert!(wide <= lpt_makespan(&costs, &topo));
+        // Lower bounds: never below the single heaviest job, nor below
+        // the perfectly balanced share.
+        assert!(wide >= 10.0);
+        assert!(narrow >= costs.iter().sum::<f64>() / 2.0);
+        assert_eq!(lpt_makespan(&[], &topo), 0.0);
     }
 
     #[test]

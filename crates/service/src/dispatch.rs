@@ -1,74 +1,154 @@
-//! The dispatcher thread: turns a stream of independent requests into
-//! dense micro-batches and routes every result back to its ticket.
+//! The serving datapath: one **router** thread turning the request
+//! stream into dense micro-batches and placing them across the fleet,
+//! plus one **worker** thread per device executing its queue.
 //!
 //! Lifecycle of one micro-batch:
 //!
-//! 1. **Open** — block (in short polls, so shutdown stays responsive)
-//!    until a first request arrives; its arrival starts the `max_wait`
-//!    deadline clock.
-//! 2. **Fill** — keep collecting until the batch holds `max_batch`
-//!    requests (the device's lane count by default: a full batch exactly
-//!    fills the topology) or the deadline passes, whichever comes first.
-//!    Shutdown also closes the window early — nothing admitted is ever
-//!    dropped.
-//! 3. **Flush** — validate each request *individually* (a malformed one
-//!    fails its own ticket, never its batch-mates), execute the valid
-//!    rest through [`BatchExecutor`] over the full
-//!    `channels × ranks × banks` topology, optionally re-check the whole
-//!    micro-batch against the golden CPU model in one lane-batched sweep
-//!    ([`batch::run_lane_batched`]), then answer each ticket with
-//!    its result, its simulated per-job latency, and the batch's merged
-//!    device report.
+//! 1. **Open / fill** (router) — block until a first request arrives,
+//!    then keep collecting until the batch holds `max_batch` requests
+//!    (the fleet's total lane count by default) or the oldest has waited
+//!    `max_wait`. Shutdown closes the window early — nothing admitted is
+//!    ever dropped.
+//! 2. **Route** (router) — hand the batch to [`FleetRouter::route`]:
+//!    argmin over per-device predicted drain time, split across devices
+//!    when keeping it whole would breach the imbalance threshold. Jobs
+//!    no device can serve are rejected here on their own ticket
+//!    (malformed ⇒ [`ServiceError::Invalid`]; valid but the fleet has no
+//!    healthy device for them ⇒ [`ServiceError::Exec`]).
+//! 3. **Execute** (worker) — each device's worker pops its queue,
+//!    runs the group through its [`FailingDevice`]-wrapped
+//!    [`BatchExecutor`](ntt_pim::engine::batch::BatchExecutor),
+//!    optionally re-checks results against the golden CPU model in one
+//!    lane-batched sweep, and answers each ticket. An idle worker
+//!    **steals** from the most backed-up peer once that peer's predicted
+//!    backlog exceeds its own by the steal threshold
+//!    ([`fleet::pick_steal_victim`]), re-pricing the stolen group on its
+//!    own topology.
+//! 4. **Fail over** (worker) — a failed execution retires the device
+//!    ([`FleetRouter::mark_unhealthy`]), re-routes the failed group and
+//!    everything still queued on the device onto healthy peers, and only
+//!    reports a typed [`ServiceError::Exec`] when no healthy device
+//!    remains (or the group has already bounced off every device).
+//!    Tickets always resolve — result or error, never a hang.
 
+use crate::fault::{FailingDevice, FaultSwitch};
+use crate::fleet::{self, FleetRouter};
 use crate::stats::StatsInner;
 use crate::{BatchSummary, Pending, Response, ServiceError, Shared};
-use ntt_pim::engine::batch::{self, BatchExecutor, JobKind, NttJob};
+use ntt_pim::engine::batch::{self, BatchExecutor, BatchOutcome, JobKind, NttJob};
 use ntt_pim::engine::{CpuNttEngine, NttEngine};
 use ntt_ref::cache::PlanCache;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Poll granularity: how often the collect loops re-check the shutdown
-/// flag while waiting for requests. Bounds shutdown latency without
-/// burning CPU (idle service ≈ 1k wakeups/s on one thread).
+/// Poll granularity: how often the collect/worker loops re-check their
+/// exit conditions while idle. Bounds shutdown latency without burning
+/// CPU (idle service ≈ 1k wakeups/s per thread).
 const POLL: Duration = Duration::from_millis(1);
 
-pub(crate) struct Dispatcher {
-    exec: BatchExecutor,
-    rx: mpsc::Receiver<Pending>,
-    shared: Arc<Shared>,
-    max_batch: usize,
-    max_wait: Duration,
-    /// Golden verification engine, reading plans through the shared
-    /// cache (present when the service was configured to verify).
-    verify: Option<CpuNttEngine>,
+/// One placed group of requests riding to (or between) workers.
+pub(crate) struct RoutedBatch {
+    /// Tickets, parallel with `jobs`.
+    pub(crate) pending: Vec<Pending>,
+    /// The validated jobs of the group.
+    pub(crate) jobs: Vec<NttJob>,
+    /// Predicted makespan charged to the owning device's backlog — the
+    /// amount to release via [`FleetRouter::complete`] when done.
+    pub(crate) predicted_ns: f64,
+    /// Devices this group has already failed on (bounces the group off
+    /// at most every device before giving up with a typed error).
+    pub(crate) attempts: usize,
 }
 
-impl Dispatcher {
+/// State shared by the router thread and every worker.
+pub(crate) struct FleetState {
+    pub(crate) router: Mutex<FleetRouter>,
+    /// Per-device work queues, fed by the router (and by failover).
+    pub(crate) queues: Vec<Mutex<VecDeque<RoutedBatch>>>,
+    /// Set by the service owner after the router thread has drained and
+    /// joined: workers exit once this is up and their queue is empty.
+    pub(crate) done: AtomicBool,
+    /// Whether idle workers steal from backed-up peers.
+    pub(crate) work_stealing: bool,
+}
+
+impl FleetState {
+    pub(crate) fn new(router: FleetRouter, work_stealing: bool) -> Self {
+        let devices = router.device_count();
+        Self {
+            router: Mutex::new(router),
+            queues: (0..devices).map(|_| Mutex::new(VecDeque::new())).collect(),
+            done: AtomicBool::new(false),
+            work_stealing,
+        }
+    }
+
+    fn device_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Batches waiting (not in flight) per device — the steal policy's
+    /// second input.
+    fn queue_lens(&self) -> Vec<usize> {
+        self.queues
+            .iter()
+            .map(|q| q.lock().expect("queue poisoned").len())
+            .collect()
+    }
+
+    fn push(&self, device: usize, batch: RoutedBatch) {
+        self.queues[device]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(batch);
+    }
+}
+
+/// Answers one ticket and releases its admission slots. The release
+/// happens *before* the send: a caller woken by its response must be
+/// able to resubmit immediately without racing its own slot. A dropped
+/// ticket (caller gave up) still releases — the send result is
+/// irrelevant.
+fn respond(shared: &Shared, pending: Pending, result: Result<Response, ServiceError>) {
+    shared.release(&pending.tenant);
+    let _ = pending.tx.send(result);
+}
+
+fn stat(shared: &Shared, update: impl FnOnce(&mut StatsInner)) {
+    update(&mut shared.stats.lock().expect("stats poisoned"));
+}
+
+/// The front-end thread: collects micro-batches and places them.
+pub(crate) struct Router {
+    rx: mpsc::Receiver<Pending>,
+    shared: Arc<Shared>,
+    fleet: Arc<FleetState>,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl Router {
     pub(crate) fn new(
-        exec: BatchExecutor,
         rx: mpsc::Receiver<Pending>,
         shared: Arc<Shared>,
+        fleet: Arc<FleetState>,
         max_batch: usize,
         max_wait: Duration,
-        verify_cache: Option<Arc<PlanCache>>,
     ) -> Self {
         Self {
-            exec,
             rx,
             shared,
+            fleet,
             max_batch,
             max_wait,
-            verify: verify_cache.map(|cache| {
-                CpuNttEngine::with_cache(ntt_pim::engine::CpuDataflow::IterativeDit, cache)
-            }),
         }
     }
 
     pub(crate) fn run(mut self) {
         while let Some(batch) = self.collect() {
-            self.flush(batch);
+            self.place(batch);
         }
     }
 
@@ -121,57 +201,297 @@ impl Dispatcher {
         Some(batch)
     }
 
-    /// Executes one micro-batch and answers every ticket.
-    fn flush(&mut self, batch: Vec<Pending>) {
-        let config = *self.exec.config();
-        // Per-request validation: reject on the request's own ticket.
-        // The surviving jobs move out of their `Pending`s — the executor
-        // and the verifier borrow them, nothing is cloned.
-        let mut valid: Vec<Pending> = Vec::with_capacity(batch.len());
+    /// Routes one micro-batch onto the fleet's queues, rejecting jobs no
+    /// device can serve on their own ticket.
+    fn place(&mut self, batch: Vec<Pending>) {
+        let mut pending: Vec<Option<Pending>> = Vec::with_capacity(batch.len());
         let mut jobs: Vec<NttJob> = Vec::with_capacity(batch.len());
-        for mut pending in batch {
-            let job = std::mem::replace(&mut pending.job, NttJob::new(Vec::new(), 0));
-            match batch::validate_job(&config, &job) {
-                Ok(()) => {
-                    valid.push(pending);
-                    jobs.push(job);
-                }
+        for mut p in batch {
+            jobs.push(std::mem::replace(&mut p.job, NttJob::new(Vec::new(), 0)));
+            pending.push(Some(p));
+        }
+        let routing = self
+            .fleet
+            .router
+            .lock()
+            .expect("router poisoned")
+            .route(&jobs);
+        let mut jobs: Vec<Option<NttJob>> = jobs.into_iter().map(Some).collect();
+        for &j in &routing.unroutable {
+            let job = jobs[j].take().expect("unroutable job routed twice");
+            let p = pending[j].take().expect("unroutable ticket routed twice");
+            let error = self.classify_unroutable(&job);
+            if matches!(error, ServiceError::Invalid { .. }) {
+                stat(&self.shared, |s| s.rejected_invalid += 1);
+            }
+            respond(&self.shared, p, Err(error));
+        }
+        for placement in routing.placements {
+            let group_pending: Vec<Pending> = placement
+                .jobs
+                .iter()
+                .map(|&j| pending[j].take().expect("job placed twice"))
+                .collect();
+            let group_jobs: Vec<NttJob> = placement
+                .jobs
+                .iter()
+                .map(|&j| jobs[j].take().expect("job placed twice"))
+                .collect();
+            self.fleet.push(
+                placement.device,
+                RoutedBatch {
+                    pending: group_pending,
+                    jobs: group_jobs,
+                    predicted_ns: placement.predicted_ns,
+                    attempts: 0,
+                },
+            );
+        }
+    }
+
+    /// Why could no healthy device take this job? Malformed everywhere
+    /// ⇒ `Invalid` (with the first device's reason — on a homogeneous
+    /// fleet they all agree); valid on some retired device ⇒ `Exec`.
+    fn classify_unroutable(&self, job: &NttJob) -> ServiceError {
+        let router = self.fleet.router.lock().expect("router poisoned");
+        let mut first_reason = None;
+        let mut valid_somewhere = false;
+        for d in 0..router.device_count() {
+            match batch::validate_job(router.config(d), job) {
+                Ok(()) => valid_somewhere = true,
                 Err(e) => {
-                    self.stat(|s| s.rejected_invalid += 1);
-                    self.respond(
-                        pending,
-                        Err(ServiceError::Invalid {
-                            reason: e.to_string(),
-                        }),
-                    );
+                    first_reason.get_or_insert_with(|| e.to_string());
                 }
             }
         }
-        if valid.is_empty() {
+        if valid_somewhere {
+            ServiceError::Exec {
+                reason: "no healthy device can serve this request".into(),
+            }
+        } else {
+            ServiceError::Invalid {
+                reason: first_reason.unwrap_or_else(|| "fleet has no devices".into()),
+            }
+        }
+    }
+}
+
+/// One device's executing thread.
+pub(crate) struct Worker {
+    pub(crate) id: usize,
+    pub(crate) device: FailingDevice,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) fleet: Arc<FleetState>,
+    /// Golden verification engine, reading plans through the shared
+    /// cache (present when the service was configured to verify).
+    pub(crate) verify: Option<CpuNttEngine>,
+    /// Local mirror of this device's health — only its own worker ever
+    /// retires it.
+    healthy: bool,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        id: usize,
+        exec: BatchExecutor,
+        fault: Option<Arc<FaultSwitch>>,
+        shared: Arc<Shared>,
+        fleet: Arc<FleetState>,
+        verify_cache: Option<Arc<PlanCache>>,
+    ) -> Self {
+        Self {
+            id,
+            device: FailingDevice::new(exec, fault),
+            shared,
+            fleet,
+            verify: verify_cache.map(|cache| {
+                CpuNttEngine::with_cache(ntt_pim::engine::CpuDataflow::IterativeDit, cache)
+            }),
+            healthy: true,
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        loop {
+            let next = self.pop_own().or_else(|| self.steal());
+            match next {
+                Some(batch) => self.process(batch),
+                None => {
+                    if self.fleet.done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(POLL);
+                }
+            }
+        }
+    }
+
+    fn pop_own(&self) -> Option<RoutedBatch> {
+        self.fleet.queues[self.id]
+            .lock()
+            .expect("queue poisoned")
+            .pop_front()
+    }
+
+    /// Work stealing: an idle worker relieves the most backed-up peer
+    /// once that peer's predicted backlog exceeds its own by more than
+    /// the steal threshold, taking the *youngest* queued group (the
+    /// victim keeps its oldest work — better latency fairness) and
+    /// re-pricing it on its own topology.
+    fn steal(&mut self) -> Option<RoutedBatch> {
+        if !self.healthy || !self.fleet.work_stealing {
+            return None;
+        }
+        let (queued, threshold) = {
+            let router = self.fleet.router.lock().expect("router poisoned");
+            (router.queued_ns().to_vec(), router.steal_threshold_ns())
+        };
+        let lens = self.fleet.queue_lens();
+        let victim = fleet::pick_steal_victim(&queued, &lens, self.id, threshold)?;
+        let mut batch = self.fleet.queues[victim]
+            .lock()
+            .expect("queue poisoned")
+            .pop_back()?;
+        if batch
+            .jobs
+            .iter()
+            .any(|j| batch::validate_job(self.device.config(), j).is_err())
+        {
+            // This device cannot hold the group (capacity); hand it back.
+            self.fleet.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .push_back(batch);
+            return None;
+        }
+        batch.predicted_ns = self.fleet.router.lock().expect("router poisoned").reassign(
+            victim,
+            self.id,
+            batch.predicted_ns,
+            &batch.jobs,
+        );
+        let id = self.id;
+        stat(&self.shared, |s| s.devices[id].steals += 1);
+        Some(batch)
+    }
+
+    fn process(&mut self, batch: RoutedBatch) {
+        if !self.healthy {
+            // Retired device with leftovers in its queue: drain them onto
+            // the healthy fleet (accounting already released at retire
+            // time for pre-retirement batches; a freshly routed batch
+            // cannot land here because the router skips unhealthy
+            // devices).
+            self.reroute(batch, "device retired");
             return;
         }
-        let mut outcome = match self.exec.run(&jobs) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                // Validation passed but the device failed: every ticket
-                // of the batch learns why.
-                self.stat(|s| s.exec_failures += 1);
-                let reason = e.to_string();
-                for pending in valid {
-                    self.respond(
-                        pending,
-                        Err(ServiceError::Exec {
-                            reason: reason.clone(),
-                        }),
-                    );
-                }
-                return;
-            }
+        match self.device.run(&batch.jobs) {
+            Ok(outcome) => self.respond_batch(batch, outcome),
+            Err(e) => self.retire(batch, &e.to_string()),
+        }
+    }
+
+    /// A failed execution: retire this device, release its accounting,
+    /// and push the failed group plus everything still queued here back
+    /// through the router.
+    fn retire(&mut self, batch: RoutedBatch, reason: &str) {
+        self.healthy = false;
+        let id = self.id;
+        stat(&self.shared, |s| {
+            s.exec_failures += 1;
+            s.devices[id].exec_failures += 1;
+            s.devices[id].healthy = false;
+        });
+        let leftovers: Vec<RoutedBatch> = {
+            let mut queue = self.fleet.queues[self.id].lock().expect("queue poisoned");
+            queue.drain(..).collect()
         };
-        // Golden verify recomputes the whole micro-batch in one sweep
-        // through the lane-batched CPU kernel (same-(kind, n, q) jobs
-        // share each twiddle load), falling back to job-by-job scalar
-        // verification if the batched path rejects the batch.
+        {
+            let mut router = self.fleet.router.lock().expect("router poisoned");
+            router.mark_unhealthy(self.id);
+            router.complete(self.id, batch.predicted_ns);
+            for b in &leftovers {
+                router.complete(self.id, b.predicted_ns);
+            }
+        }
+        self.reroute(batch, reason);
+        for b in leftovers {
+            self.reroute(b, reason);
+        }
+    }
+
+    /// Re-places a group whose device went away. The group's queued-ns
+    /// accounting must already be released. Gives up with a typed error
+    /// once the group has failed on as many devices as the fleet has —
+    /// a ticket resolves, it never orbits.
+    fn reroute(&self, batch: RoutedBatch, reason: &str) {
+        let attempts = batch.attempts + 1;
+        if attempts >= self.fleet.device_count() {
+            for (pending, _) in batch.pending.into_iter().zip(batch.jobs) {
+                respond(
+                    &self.shared,
+                    pending,
+                    Err(ServiceError::Exec {
+                        reason: reason.to_string(),
+                    }),
+                );
+            }
+            return;
+        }
+        let routing = self
+            .fleet
+            .router
+            .lock()
+            .expect("router poisoned")
+            .route(&batch.jobs);
+        let mut pending: Vec<Option<Pending>> = batch.pending.into_iter().map(Some).collect();
+        let mut jobs: Vec<Option<NttJob>> = batch.jobs.into_iter().map(Some).collect();
+        for &j in &routing.unroutable {
+            let p = pending[j].take().expect("unroutable ticket routed twice");
+            respond(
+                &self.shared,
+                p,
+                Err(ServiceError::Exec {
+                    reason: reason.to_string(),
+                }),
+            );
+        }
+        for placement in routing.placements {
+            let group_pending: Vec<Pending> = placement
+                .jobs
+                .iter()
+                .map(|&j| pending[j].take().expect("job placed twice"))
+                .collect();
+            let group_jobs: Vec<NttJob> = placement
+                .jobs
+                .iter()
+                .map(|&j| jobs[j].take().expect("job placed twice"))
+                .collect();
+            self.fleet.push(
+                placement.device,
+                RoutedBatch {
+                    pending: group_pending,
+                    jobs: group_jobs,
+                    predicted_ns: placement.predicted_ns,
+                    attempts,
+                },
+            );
+        }
+    }
+
+    /// Verifies (optionally) and answers every ticket of one executed
+    /// group, then releases the group's backlog accounting.
+    fn respond_batch(&mut self, batch: RoutedBatch, mut outcome: BatchOutcome) {
+        let RoutedBatch {
+            pending,
+            jobs,
+            predicted_ns,
+            ..
+        } = batch;
+        // Golden verify recomputes the whole group in one sweep through
+        // the lane-batched CPU kernel (same-(kind, n, q) jobs share each
+        // twiddle load), falling back to job-by-job scalar verification
+        // if the batched path rejects the batch.
         let mut verify_lane_jobs = 0u64;
         let verified: Vec<bool> = match &mut self.verify {
             Some(golden) => match batch::run_lane_batched(golden, &jobs) {
@@ -191,8 +511,9 @@ impl Dispatcher {
             },
             None => vec![true; jobs.len()],
         };
-        let size = valid.len();
-        self.stat(|s| {
+        let size = pending.len();
+        let id = self.id;
+        stat(&self.shared, |s| {
             s.batches += 1;
             s.batched_jobs += size as u64;
             s.max_batch_seen = s.max_batch_seen.max(size as u64);
@@ -203,42 +524,38 @@ impl Dispatcher {
             s.verify_failures += verified.iter().filter(|&&ok| !ok).count() as u64;
             s.verify_lane_jobs += verify_lane_jobs;
             s.completed += verified.iter().filter(|&&ok| ok).count() as u64;
+            s.devices[id].batches += 1;
+            s.devices[id].jobs += size as u64;
+            s.devices[id].sim_busy_ns += outcome.latency_ns;
         });
         let summary = Arc::new(BatchSummary {
             size,
+            device: self.id,
+            lanes: self.device.config().total_banks(),
             latency_ns: outcome.latency_ns,
             energy_nj: outcome.energy_nj,
             policy: outcome.policy,
             topology: outcome.topology,
             queue: outcome.queue_report.clone(),
         });
-        for (i, pending) in valid.into_iter().enumerate() {
+        for (i, p) in pending.into_iter().enumerate() {
             let result = if verified[i] {
                 Ok(Response {
                     result: std::mem::take(&mut outcome.spectra[i]),
                     sim_latency_ns: outcome.job_latency_ns[i],
-                    wall: pending.submitted.elapsed(),
+                    wall: p.submitted.elapsed(),
                     batch: summary.clone(),
                 })
             } else {
                 Err(ServiceError::VerifyFailed)
             };
-            self.respond(pending, result);
+            respond(&self.shared, p, result);
         }
-    }
-
-    /// Answers one ticket and releases its admission slots. The release
-    /// happens *before* the send: a caller woken by its response must be
-    /// able to resubmit immediately without racing its own slot. A
-    /// dropped ticket (caller gave up) still releases — the send result
-    /// is irrelevant.
-    fn respond(&self, pending: Pending, result: Result<Response, ServiceError>) {
-        self.shared.release(&pending.tenant);
-        let _ = pending.tx.send(result);
-    }
-
-    fn stat(&self, update: impl FnOnce(&mut StatsInner)) {
-        update(&mut self.shared.stats.lock().expect("stats poisoned"));
+        self.fleet
+            .router
+            .lock()
+            .expect("router poisoned")
+            .complete(self.id, predicted_ns);
     }
 }
 
@@ -255,4 +572,120 @@ fn verify_one(golden: &mut CpuNttEngine, job: &NttJob, got: &[u64]) -> bool {
         }
     };
     ok && expect == got
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetRouter;
+    use ntt_pim::core::config::{PimConfig, Topology};
+
+    const Q: u64 = 12289;
+
+    fn poly(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) % Q
+            })
+            .collect()
+    }
+
+    fn shared(devices: &[Topology]) -> Arc<Shared> {
+        Arc::new(Shared {
+            closing: AtomicBool::new(false),
+            depth: std::sync::atomic::AtomicUsize::new(0),
+            queue_depth: 64,
+            tenant_inflight: 0,
+            tenants: Mutex::new(std::collections::HashMap::new()),
+            stats: Mutex::new(StatsInner::for_devices(devices)),
+        })
+    }
+
+    /// A deterministic end-to-end steal: device 0's worker never runs
+    /// (a wedged device, the worst-case stall), its queue holds a
+    /// routed batch with a large predicted backlog, and device 1's idle
+    /// worker must take the work, re-price it, execute it, and resolve
+    /// the ticket.
+    #[test]
+    fn idle_worker_steals_from_a_wedged_peer() {
+        let topo = Topology::new(1, 1, 4);
+        let configs = vec![
+            PimConfig::hbm2e(2).with_topology(topo),
+            PimConfig::hbm2e(2).with_topology(topo),
+        ];
+        let mut router = FleetRouter::new(&configs, 0.0).unwrap();
+        let jobs = vec![NttJob::new(poly(256, 7), Q)];
+        // Place the batch explicitly on device 0 (mimic the router having
+        // chosen it just before the device wedged).
+        let predicted = router.batch_cost_ns(0, &jobs);
+        let routing = router.route(&jobs);
+        assert_eq!(routing.placements.len(), 1);
+        let placed = &routing.placements[0];
+        let shared = shared(&[topo, topo]);
+        let fleet = Arc::new(FleetState::new(router, true));
+        // Move the placement onto device 0's queue wherever the router
+        // put it, adjusting the accounting to match.
+        if placed.device != 0 {
+            let mut r = fleet.router.lock().unwrap();
+            r.complete(placed.device, placed.predicted_ns);
+            r.reassign(0, 0, 0.0, &jobs); // charge device 0 instead
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        fleet.push(
+            0,
+            RoutedBatch {
+                pending: vec![Pending {
+                    tenant: "t".into(),
+                    job: NttJob::new(Vec::new(), 0),
+                    submitted: Instant::now(),
+                    tx,
+                }],
+                jobs: jobs.clone(),
+                predicted_ns: predicted,
+                attempts: 0,
+            },
+        );
+        shared.depth.store(1, Ordering::Release);
+        let exec = BatchExecutor::new(configs[1]).unwrap();
+        let mut thief = Worker::new(1, exec, None, shared.clone(), fleet.clone(), None);
+        let stolen = thief.steal().expect("backlogged peer must be stolen from");
+        assert_eq!(stolen.jobs.len(), 1);
+        thief.process(stolen);
+        let response = rx.recv().unwrap().expect("stolen work still resolves");
+        assert_eq!(response.batch.device, 1, "executed by the thief");
+        let stats = shared.stats.lock().unwrap();
+        assert_eq!(stats.devices[1].steals, 1);
+        assert_eq!(stats.devices[1].jobs, 1);
+        assert_eq!(stats.devices[0].jobs, 0);
+        // Both sides of the accounting returned to zero.
+        let router = fleet.router.lock().unwrap();
+        assert!(router.queued_ns().iter().all(|&q| q == 0.0));
+    }
+
+    /// A worker below the steal threshold leaves the victim alone.
+    #[test]
+    fn steal_respects_the_threshold() {
+        assert_eq!(
+            fleet::pick_steal_victim(&[100.0, 0.0], &[1, 0], 1, 200.0),
+            None
+        );
+        assert_eq!(
+            fleet::pick_steal_victim(&[100.0, 0.0], &[1, 0], 1, 50.0),
+            Some(0)
+        );
+        // No queued entries ⇒ nothing to steal however imbalanced.
+        assert_eq!(
+            fleet::pick_steal_victim(&[9999.0, 0.0], &[0, 0], 1, 0.0),
+            None
+        );
+        // The busiest victim wins.
+        assert_eq!(
+            fleet::pick_steal_victim(&[50.0, 80.0, 0.0], &[1, 1, 0], 2, 0.0),
+            Some(1)
+        );
+    }
 }

@@ -1,0 +1,98 @@
+//! Fault injection for the fleet tier: a switchable wrapper around one
+//! device's executor so tests can make a device error or stall **on
+//! command** and pin how the router reacts (drain onto healthy devices,
+//! resolve every ticket — result or typed error, never a hang).
+//!
+//! Every fleet worker drives its device through a [`FailingDevice`];
+//! without a [`FaultSwitch`] attached it is a zero-cost pass-through, so
+//! the production and fault-injected paths are the same code.
+
+use ntt_pim::core::config::PimConfig;
+use ntt_pim::engine::batch::{BatchExecutor, BatchOutcome, NttJob};
+use ntt_pim::engine::EngineError;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Remote control for one device's injected faults. Shared (`Arc`)
+/// between the test and the worker thread driving the device.
+#[derive(Debug, Default)]
+pub struct FaultSwitch {
+    /// Fail the next batch execution with a typed error (one-shot).
+    fail: AtomicBool,
+    /// Stall every batch execution this many microseconds (persistent —
+    /// models a slow or wedged device rather than a single hiccup).
+    stall_us: AtomicU64,
+}
+
+impl FaultSwitch {
+    /// A switch with no faults armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot execution failure: the device's next batch
+    /// errors instead of running.
+    pub fn fail_next(&self) {
+        self.fail.store(true, Ordering::Release);
+    }
+
+    /// Stalls every subsequent batch execution by `delay` of wall-clock
+    /// time (pass [`Duration::ZERO`] to clear).
+    pub fn stall_for(&self, delay: Duration) {
+        self.stall_us.store(
+            delay.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Release,
+        );
+    }
+
+    fn take_fail(&self) -> bool {
+        self.fail.swap(false, Ordering::AcqRel)
+    }
+
+    fn stall(&self) -> Duration {
+        Duration::from_micros(self.stall_us.load(Ordering::Acquire))
+    }
+}
+
+/// One fleet device with an optional fault switch in front of it.
+#[derive(Debug)]
+pub struct FailingDevice {
+    inner: BatchExecutor,
+    switch: Option<std::sync::Arc<FaultSwitch>>,
+}
+
+impl FailingDevice {
+    /// Wraps an executor; `switch: None` is a pure pass-through.
+    pub fn new(inner: BatchExecutor, switch: Option<std::sync::Arc<FaultSwitch>>) -> Self {
+        Self { inner, switch }
+    }
+
+    /// The wrapped device's configuration.
+    pub fn config(&self) -> &PimConfig {
+        self.inner.config()
+    }
+
+    /// Runs one batch, applying any armed fault first: an armed stall
+    /// sleeps (the caller's wall clock — simulated time is unaffected,
+    /// which is exactly what makes a stalled device's queue back up),
+    /// an armed failure returns a typed error without touching the
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// The injected fault, or whatever the wrapped executor reports.
+    pub fn run(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
+        if let Some(switch) = &self.switch {
+            let stall = switch.stall();
+            if !stall.is_zero() {
+                std::thread::sleep(stall);
+            }
+            if switch.take_fail() {
+                return Err(EngineError::Shape {
+                    reason: "injected device fault".into(),
+                });
+            }
+        }
+        self.inner.run(jobs)
+    }
+}

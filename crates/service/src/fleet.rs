@@ -1,0 +1,361 @@
+//! The fleet router: placement of micro-batches across N simulated PIM
+//! devices by a per-device extension of the LPT cost model.
+//!
+//! One [`BatchExecutor`](ntt_pim::engine::batch::BatchExecutor) packs a
+//! batch across the banks of *one* device; the fleet tier packs batches
+//! across *devices* the same way, one level up. For every healthy device
+//! the router predicts a **drain time** — the simulated nanoseconds
+//! until that device would finish everything already queued on it plus
+//! the candidate batch, where the batch's cost on that device is the
+//! hierarchical-LPT makespan on that device's own topology
+//! ([`DeviceCostModel::batch_makespan_ns`]). Placement is always argmin
+//! over predicted drain, so heterogeneous fleets balance naturally: a
+//! 1×1×2 device quotes ~8× the makespan of a 4×2×2 device for the same
+//! batch and receives proportionally less (but never zero) traffic.
+//!
+//! **Re-splitting.** Sending a whole micro-batch to the single cheapest
+//! device maximizes batch density but leaves the rest of the fleet idle.
+//! The router splits a batch job-by-job (greedy argmin over per-device
+//! normalized cost, largest jobs first — LPT again) whenever keeping it
+//! whole would leave the chosen device's drain more than the configured
+//! *steal threshold* above the least-loaded device's. Threshold 0 (the
+//! default) spreads every multi-job batch across the fleet; a large
+//! threshold keeps batches whole until the fleet genuinely backs up.
+//!
+//! **Invariant** (pinned by `tests/fleet_routing.rs`): the router never
+//! places work on a device whose predicted drain exceeds the minimum
+//! predicted drain among its alternatives by more than the steal
+//! threshold. Every placement records a [`RouteDecision`] carrying both
+//! sides of that comparison when the decision log is enabled.
+//!
+//! Accounting is in **simulated** nanoseconds: `queued_ns` rises when
+//! work is placed and falls when the owning worker reports completion
+//! ([`FleetRouter::complete`]) or a batch is stolen away
+//! ([`FleetRouter::reassign`]). A wall-clock-stalled device therefore
+//! keeps its elevated drain prediction until it actually finishes,
+//! steering new traffic — and work stealing — around it.
+
+use ntt_pim::core::config::{PimConfig, Topology};
+use ntt_pim::core::PimError;
+use ntt_pim::engine::batch::{validate_job, DeviceCostModel, NttJob};
+
+/// One group of jobs placed on one device by [`FleetRouter::route`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The device the group runs on.
+    pub device: usize,
+    /// Indices into the routed batch, in scheduling order (largest
+    /// first when the batch was split).
+    pub jobs: Vec<usize>,
+    /// Predicted makespan of the group on this device, ns — the amount
+    /// [`FleetRouter::complete`] must return when the group finishes.
+    pub predicted_ns: f64,
+}
+
+/// The outcome of routing one micro-batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Routing {
+    /// Per-device job groups (at most one per device).
+    pub placements: Vec<Placement>,
+    /// Jobs no healthy device can serve (invalid everywhere, or the
+    /// fleet has no healthy devices left). The caller owns the error
+    /// story for these.
+    pub unroutable: Vec<usize>,
+}
+
+/// One recorded placement decision: the chosen device's predicted drain
+/// against the best alternative's, the pair the routing invariant is
+/// stated over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteDecision {
+    /// The device picked.
+    pub device: usize,
+    /// Predicted drain of the picked device after receiving the work.
+    pub drain_ns: f64,
+    /// Minimum predicted drain over every candidate device for the same
+    /// work (the picked device included).
+    pub min_drain_ns: f64,
+    /// Jobs the decision placed (1 for a split's per-job decisions, the
+    /// whole batch otherwise).
+    pub jobs: usize,
+}
+
+/// Load-balancing router over a fleet of simulated PIM devices. See the
+/// module docs for the cost model and invariant.
+#[derive(Debug)]
+pub struct FleetRouter {
+    models: Vec<DeviceCostModel>,
+    /// Predicted simulated backlog per device: placed, not yet completed.
+    queued_ns: Vec<f64>,
+    healthy: Vec<bool>,
+    steal_threshold_ns: f64,
+    record: bool,
+    decisions: Vec<RouteDecision>,
+}
+
+impl FleetRouter {
+    /// Builds a router over one cost model per device configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors (naming no device; the
+    /// caller knows which configs it passed).
+    pub fn new(configs: &[PimConfig], steal_threshold_ns: f64) -> Result<Self, PimError> {
+        let models = configs
+            .iter()
+            .map(|c| DeviceCostModel::new(*c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            queued_ns: vec![0.0; models.len()],
+            healthy: vec![true; models.len()],
+            models,
+            steal_threshold_ns: steal_threshold_ns.max(0.0),
+            record: false,
+            decisions: Vec::new(),
+        })
+    }
+
+    /// Enables the decision log ([`Self::take_decisions`]) — for tests;
+    /// the log grows by one entry per placement decision until drained.
+    #[must_use]
+    pub fn with_decision_log(mut self) -> Self {
+        self.record = true;
+        self
+    }
+
+    /// Number of devices (healthy or not).
+    pub fn device_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Parallel lanes of one device (total banks of its topology).
+    pub fn lanes(&self, device: usize) -> usize {
+        self.models[device].lanes()
+    }
+
+    /// Parallel lanes across the whole fleet.
+    pub fn total_lanes(&self) -> usize {
+        self.models.iter().map(DeviceCostModel::lanes).sum()
+    }
+
+    /// One device's topology.
+    pub fn topology(&self, device: usize) -> Topology {
+        self.models[device].config().topology
+    }
+
+    /// One device's full configuration.
+    pub fn config(&self, device: usize) -> &PimConfig {
+        self.models[device].config()
+    }
+
+    /// Predicted simulated backlog per device, ns.
+    pub fn queued_ns(&self) -> &[f64] {
+        &self.queued_ns
+    }
+
+    /// Per-device health (devices turn unhealthy via
+    /// [`Self::mark_unhealthy`] and never recover).
+    pub fn healthy(&self) -> &[bool] {
+        &self.healthy
+    }
+
+    /// Number of devices still healthy.
+    pub fn healthy_devices(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
+    }
+
+    /// The imbalance threshold, ns (see the module docs).
+    pub fn steal_threshold_ns(&self) -> f64 {
+        self.steal_threshold_ns
+    }
+
+    /// Takes `device` out of the placement set permanently (a failed
+    /// execution is a model violation in a simulation, not a transient).
+    pub fn mark_unhealthy(&mut self, device: usize) {
+        self.healthy[device] = false;
+    }
+
+    /// Predicted makespan of `jobs` as one batch on `device`, ns.
+    pub fn batch_cost_ns(&mut self, device: usize, jobs: &[NttJob]) -> f64 {
+        self.models[device].batch_makespan_ns(jobs)
+    }
+
+    /// Places one micro-batch. At most one [`Placement`] per device;
+    /// jobs valid on no healthy device come back in
+    /// [`Routing::unroutable`]. Updates `queued_ns` — every placement
+    /// must eventually be paired with [`Self::complete`] (or
+    /// [`Self::reassign`]) by whoever executes it.
+    pub fn route(&mut self, jobs: &[NttJob]) -> Routing {
+        let mut routing = Routing::default();
+        if jobs.is_empty() {
+            return routing;
+        }
+        // Candidate devices per job: healthy and shape-valid (a job can
+        // overflow a small device's banks while fitting a large one's).
+        let candidates: Vec<Vec<usize>> = jobs
+            .iter()
+            .map(|job| {
+                (0..self.models.len())
+                    .filter(|&d| {
+                        self.healthy[d] && validate_job(self.models[d].config(), job).is_ok()
+                    })
+                    .collect()
+            })
+            .collect();
+        let routable: Vec<usize> = (0..jobs.len())
+            .filter(|&j| {
+                if candidates[j].is_empty() {
+                    routing.unroutable.push(j);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        if routable.is_empty() {
+            return routing;
+        }
+        // Fast path: every job can go everywhere the first one can, so
+        // the batch can stay whole. Heterogeneous candidate sets (rare:
+        // capacity edge cases) always take the per-job path.
+        let common = &candidates[routable[0]];
+        let uniform = routable.iter().all(|&j| candidates[j] == *common);
+        if uniform {
+            let batch: Vec<NttJob> = routable.iter().map(|&j| jobs[j].clone()).collect();
+            let drains: Vec<(usize, f64)> = common
+                .iter()
+                .map(|&d| {
+                    (
+                        d,
+                        self.queued_ns[d] + self.models[d].batch_makespan_ns(&batch),
+                    )
+                })
+                .collect();
+            let &(best, best_drain) = drains
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty candidate set");
+            let min_drain = best_drain;
+            let min_queued = common
+                .iter()
+                .map(|&d| self.queued_ns[d])
+                .fold(f64::INFINITY, f64::min);
+            // Keep the batch whole when splitting buys nothing: one
+            // candidate, one job, or the fleet is balanced to within the
+            // threshold even with the whole batch on one device.
+            if common.len() == 1
+                || routable.len() == 1
+                || best_drain <= min_queued + self.steal_threshold_ns
+            {
+                let predicted = best_drain - self.queued_ns[best];
+                self.queued_ns[best] += predicted;
+                self.log(RouteDecision {
+                    device: best,
+                    drain_ns: best_drain,
+                    min_drain_ns: min_drain,
+                    jobs: routable.len(),
+                });
+                routing.placements.push(Placement {
+                    device: best,
+                    jobs: routable,
+                    predicted_ns: predicted,
+                });
+                return routing;
+            }
+        }
+        // Split path: greedy LPT one level up. Largest jobs first, each
+        // to the candidate device with the least predicted drain, where
+        // a job's contribution on a device is its serial cost spread
+        // over that device's lanes (the marginal drain a lane-parallel
+        // device actually pays).
+        let mut order = routable;
+        order.sort_by(|&a, &b| {
+            let ca = self.models[candidates[a][0]].job_cost(&jobs[a]);
+            let cb = self.models[candidates[b][0]].job_cost(&jobs[b]);
+            cb.total_cmp(&ca).then(a.cmp(&b))
+        });
+        let mut tentative = self.queued_ns.clone();
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.models.len()];
+        for &j in &order {
+            let (dev, drain, min_drain) = {
+                let mut best: Option<(usize, f64)> = None;
+                for &d in &candidates[j] {
+                    let contrib = self.models[d].job_cost(&jobs[j]) / self.models[d].lanes() as f64;
+                    let drain = tentative[d] + contrib;
+                    if best.is_none_or(|(_, b)| drain < b) {
+                        best = Some((d, drain));
+                    }
+                }
+                let (d, drain) = best.expect("non-empty candidate set");
+                (d, drain, drain)
+            };
+            tentative[dev] = drain;
+            groups[dev].push(j);
+            self.log(RouteDecision {
+                device: dev,
+                drain_ns: drain,
+                min_drain_ns: min_drain,
+                jobs: 1,
+            });
+        }
+        for (device, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let batch: Vec<NttJob> = group.iter().map(|&j| jobs[j].clone()).collect();
+            let predicted = self.models[device].batch_makespan_ns(&batch);
+            self.queued_ns[device] += predicted;
+            routing.placements.push(Placement {
+                device,
+                jobs: group,
+                predicted_ns: predicted,
+            });
+        }
+        routing
+    }
+
+    /// Reports one placed group finished (or abandoned): releases its
+    /// predicted backlog from `device`.
+    pub fn complete(&mut self, device: usize, predicted_ns: f64) {
+        self.queued_ns[device] = (self.queued_ns[device] - predicted_ns).max(0.0);
+    }
+
+    /// Moves a stolen group's accounting from `from` to `to`, re-pricing
+    /// it on the thief's topology. Returns the new predicted makespan
+    /// (the amount `to` must later [`Self::complete`]).
+    pub fn reassign(&mut self, from: usize, to: usize, predicted_ns: f64, jobs: &[NttJob]) -> f64 {
+        self.complete(from, predicted_ns);
+        let predicted = self.models[to].batch_makespan_ns(jobs);
+        self.queued_ns[to] += predicted;
+        predicted
+    }
+
+    /// Drains the decision log (empty unless [`Self::with_decision_log`]).
+    pub fn take_decisions(&mut self) -> Vec<RouteDecision> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    fn log(&mut self, decision: RouteDecision) {
+        if self.record {
+            self.decisions.push(decision);
+        }
+    }
+}
+
+/// Picks the device a work-starved worker should steal from: the victim
+/// with the largest predicted backlog among devices that actually have
+/// undrained queue entries, provided its backlog exceeds the thief's by
+/// more than the steal threshold. Pure so the policy is unit-testable
+/// without threads; `queue_lens` is the per-device count of batches
+/// still waiting in queue (not in flight).
+pub fn pick_steal_victim(
+    queued_ns: &[f64],
+    queue_lens: &[usize],
+    thief: usize,
+    steal_threshold_ns: f64,
+) -> Option<usize> {
+    (0..queued_ns.len())
+        .filter(|&d| d != thief && queue_lens[d] > 0)
+        .filter(|&d| queued_ns[d] > queued_ns[thief] + steal_threshold_ns)
+        .max_by(|&a, &b| queued_ns[a].total_cmp(&queued_ns[b]).then(b.cmp(&a)))
+}

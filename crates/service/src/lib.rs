@@ -33,6 +33,16 @@
 //!   [`NttService::plan_cache`]) reads twiddle/Shoup tables through one
 //!   thread-safe [`PlanCache`], so tables are built once per `(n, q)`
 //!   process-wide; hit/miss counters surface in [`ServiceStats`].
+//! * **Fleet tier.** The service drives N simulated devices
+//!   (heterogeneous topologies allowed, [`ServiceConfig::with_devices`]):
+//!   a router thread places each micro-batch by predicted drain time —
+//!   per-device queued backlog plus the batch's LPT makespan on that
+//!   device's own topology ([`FleetRouter`]) — re-splitting batches
+//!   across devices when one would back up past the configurable
+//!   imbalance threshold; per-device worker threads execute their
+//!   queues, steal from backed-up peers, and fail over (typed errors,
+//!   never hangs) when a device dies. Per-device health/occupancy rolls
+//!   up in [`ServiceStats::devices`].
 //!
 //! Transport is `std` threads + `mpsc` — in-process by design, matching
 //! this offline environment; the dispatcher/admission structure is the
@@ -73,9 +83,13 @@
 #![warn(missing_docs)]
 
 mod dispatch;
+pub mod fault;
+pub mod fleet;
 mod stats;
 
-pub use stats::{percentile, ServiceStats};
+pub use fault::{FailingDevice, FaultSwitch};
+pub use fleet::{FleetRouter, Placement, RouteDecision, Routing};
+pub use stats::{percentile, DeviceStats, ServiceStats};
 
 use ntt_pim::core::config::{PimConfig, Topology};
 use ntt_pim::core::device::QueueReport;
@@ -172,11 +186,31 @@ pub struct ServiceConfig {
     /// The plan cache golden verification reads through. `None` (the
     /// default) uses [`PlanCache::global`].
     pub plan_cache: Option<Arc<PlanCache>>,
+    /// The fleet's device configurations. Empty (the default) means a
+    /// single device built from `pim`; set via [`Self::with_devices`]
+    /// (heterogeneous topologies allowed) or
+    /// [`Self::with_device_count`] (N replicas of `pim`).
+    pub devices: Vec<PimConfig>,
+    /// Imbalance threshold for batch re-splitting and work stealing:
+    /// a device may be picked (or left un-stolen-from) only while its
+    /// predicted drain stays within this much of the fleet minimum.
+    /// Zero (the default) spreads every multi-job batch across the
+    /// fleet and steals at the first sign of backlog.
+    pub steal_threshold: Duration,
+    /// Fault-injection switches for test mode, `(device index, switch)`
+    /// — see [`FaultSwitch`]. Out-of-range indices are ignored.
+    pub faults: Vec<(usize, Arc<FaultSwitch>)>,
+    /// Whether idle workers steal queued batches from backed-up peers
+    /// (on by default). Turning it off makes placement purely
+    /// router-driven — deterministic, at the cost of runtime-skew
+    /// resilience.
+    pub work_stealing: bool,
 }
 
 impl ServiceConfig {
-    /// Defaults: `max_batch` = device lanes, 200 µs `max_wait`, 256-deep
-    /// queue, no tenant caps, LPT scheduling, verification off.
+    /// Defaults: `max_batch` = fleet lanes, 200 µs `max_wait`, 256-deep
+    /// queue, no tenant caps, LPT scheduling, verification off, one
+    /// device, zero steal threshold.
     pub fn new(pim: PimConfig) -> Self {
         Self {
             pim,
@@ -187,7 +221,48 @@ impl ServiceConfig {
             tenant_inflight: 0,
             verify_golden: false,
             plan_cache: None,
+            devices: Vec::new(),
+            steal_threshold: Duration::ZERO,
+            faults: Vec::new(),
+            work_stealing: true,
         }
+    }
+
+    /// Enables or disables worker-side work stealing.
+    #[must_use]
+    pub fn with_work_stealing(mut self, on: bool) -> Self {
+        self.work_stealing = on;
+        self
+    }
+
+    /// Sets an explicit fleet of device configurations (heterogeneous
+    /// topologies allowed). An empty vector falls back to one device
+    /// built from `pim`.
+    #[must_use]
+    pub fn with_devices(mut self, devices: Vec<PimConfig>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Sets a homogeneous fleet of `count` replicas of `pim`.
+    #[must_use]
+    pub fn with_device_count(mut self, count: usize) -> Self {
+        self.devices = vec![self.pim; count.max(1)];
+        self
+    }
+
+    /// Sets the imbalance threshold for re-splitting and stealing.
+    #[must_use]
+    pub fn with_steal_threshold(mut self, threshold: Duration) -> Self {
+        self.steal_threshold = threshold;
+        self
+    }
+
+    /// Attaches a fault-injection switch to one device (test mode).
+    #[must_use]
+    pub fn with_device_fault(mut self, device: usize, switch: Arc<FaultSwitch>) -> Self {
+        self.faults.push((device, switch));
+        self
     }
 
     /// Sets the micro-batch flush size (`0` = device lanes).
@@ -246,6 +321,12 @@ impl ServiceConfig {
 pub struct BatchSummary {
     /// Requests the batch carried.
     pub size: usize,
+    /// The fleet device that executed it.
+    pub device: usize,
+    /// The executing device's parallel lanes — **device-relative** (its
+    /// own topology's total banks), never a fleet-wide constant; in a
+    /// heterogeneous fleet different responses report different values.
+    pub lanes: usize,
     /// Simulated end-to-end batch latency, ns.
     pub latency_ns: f64,
     /// Simulated batch energy, nJ.
@@ -425,58 +506,99 @@ impl Ticket {
     }
 }
 
-/// The serving layer: owns the dispatcher thread and the device it
-/// drives. See the crate docs for the architecture.
+/// The serving layer: owns the router thread, one worker thread per
+/// fleet device, and the devices they drive. See the crate docs for the
+/// architecture.
 pub struct NttService {
     shared: Arc<Shared>,
     tx: Option<mpsc::Sender<Pending>>,
-    dispatcher: Option<thread::JoinHandle<()>>,
+    router: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    fleet: Arc<dispatch::FleetState>,
     cache: Arc<PlanCache>,
     max_batch: usize,
     lanes: usize,
 }
 
 impl NttService {
-    /// Validates the configuration, builds the device, and starts the
-    /// dispatcher thread.
+    /// Validates the configuration, builds the fleet, and starts the
+    /// router and worker threads.
     ///
     /// # Errors
     ///
     /// Propagates device configuration errors.
     pub fn start(config: ServiceConfig) -> Result<Self, EngineError> {
-        let executor = BatchExecutor::new(config.pim)?.with_policy(config.policy);
-        let lanes = executor.bank_count();
+        let device_configs: Vec<PimConfig> = if config.devices.is_empty() {
+            vec![config.pim]
+        } else {
+            config.devices.clone()
+        };
+        let mut executors = Vec::with_capacity(device_configs.len());
+        for cfg in &device_configs {
+            executors.push(BatchExecutor::new(*cfg)?.with_policy(config.policy));
+        }
+        let lanes = executors.iter().map(BatchExecutor::bank_count).sum();
         let max_batch = if config.max_batch == 0 {
             lanes
         } else {
             config.max_batch
         };
+        let router = FleetRouter::new(&device_configs, config.steal_threshold.as_nanos() as f64)
+            .map_err(EngineError::from)?;
         let cache = config.plan_cache.unwrap_or_else(PlanCache::global);
+        let topologies: Vec<Topology> = device_configs.iter().map(|c| c.topology).collect();
         let shared = Arc::new(Shared {
             closing: AtomicBool::new(false),
             depth: AtomicUsize::new(0),
             queue_depth: config.queue_depth.max(1),
             tenant_inflight: config.tenant_inflight,
             tenants: Mutex::new(HashMap::new()),
-            stats: Mutex::new(stats::StatsInner::default()),
+            stats: Mutex::new(stats::StatsInner::for_devices(&topologies)),
         });
+        let fleet = Arc::new(dispatch::FleetState::new(router, config.work_stealing));
+        let mut faults: Vec<Option<Arc<FaultSwitch>>> = vec![None; device_configs.len()];
+        for (device, switch) in &config.faults {
+            if let Some(slot) = faults.get_mut(*device) {
+                *slot = Some(switch.clone());
+            }
+        }
         let (tx, rx) = mpsc::channel();
-        let dispatcher = dispatch::Dispatcher::new(
-            executor,
+        let front = dispatch::Router::new(
             rx,
             shared.clone(),
+            fleet.clone(),
             max_batch.max(1),
             config.max_wait,
-            config.verify_golden.then(|| cache.clone()),
         );
-        let handle = thread::Builder::new()
-            .name("ntt-service-dispatcher".into())
-            .spawn(move || dispatcher.run())
-            .expect("spawn dispatcher thread");
+        let router_handle = thread::Builder::new()
+            .name("ntt-service-router".into())
+            .spawn(move || front.run())
+            .expect("spawn router thread");
+        let workers = executors
+            .into_iter()
+            .zip(faults)
+            .enumerate()
+            .map(|(id, (exec, fault))| {
+                let worker = dispatch::Worker::new(
+                    id,
+                    exec,
+                    fault,
+                    shared.clone(),
+                    fleet.clone(),
+                    config.verify_golden.then(|| cache.clone()),
+                );
+                thread::Builder::new()
+                    .name(format!("ntt-service-worker-{id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn worker thread")
+            })
+            .collect();
         Ok(Self {
             shared,
             tx: Some(tx),
-            dispatcher: Some(handle),
+            router: Some(router_handle),
+            workers,
+            fleet,
             cache,
             max_batch,
             lanes,
@@ -496,9 +618,15 @@ impl NttService {
         self.max_batch
     }
 
-    /// The device's parallel lane count (total banks).
+    /// The fleet's parallel lane count (total banks summed across every
+    /// device).
     pub fn parallel_lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.fleet.queues.len()
     }
 
     /// The shared plan cache (hand it to CPU engines that should reuse
@@ -514,7 +642,8 @@ impl NttService {
     }
 
     /// Graceful shutdown: stops admitting, serves everything already
-    /// admitted, joins the dispatcher, and returns the final stats.
+    /// admitted, joins the router and every worker, and returns the
+    /// final stats.
     pub fn shutdown(mut self) -> ServiceStats {
         self.stop();
         self.stats()
@@ -523,7 +652,14 @@ impl NttService {
     fn stop(&mut self) {
         self.shared.closing.store(true, Ordering::Release);
         drop(self.tx.take());
-        if let Some(handle) = self.dispatcher.take() {
+        // The router exits only once every admitted request has been
+        // responded to (depth == 0), so by the time it joins, the
+        // workers' queues are empty and they can be released.
+        if let Some(handle) = self.router.take() {
+            let _ = handle.join();
+        }
+        self.fleet.done.store(true, Ordering::Release);
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -826,6 +962,57 @@ mod tests {
             .submit("t", NttJob::new(poly(64, Q, 1), Q))
             .unwrap_err();
         assert_eq!(err, ServiceError::Closed);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_reports_device_relative_lanes() {
+        use ntt_pim::core::config::Topology;
+        let big = ntt_pim::core::config::PimConfig::hbm2e(2).with_topology(Topology::new(4, 2, 2));
+        let small =
+            ntt_pim::core::config::PimConfig::hbm2e(2).with_topology(Topology::new(1, 1, 2));
+        let config = ServiceConfig::new(big)
+            .with_devices(vec![big, small])
+            .with_max_wait(Duration::from_millis(2));
+        let service = NttService::start(config).unwrap();
+        assert_eq!(service.device_count(), 2);
+        // Fleet lanes are the sum of *per-device* lane counts (16 + 2),
+        // not device_count × a global constant.
+        assert_eq!(service.parallel_lanes(), 18);
+        let client = service.client();
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|i| {
+                client
+                    .submit("t", NttJob::new(poly(256, Q, 500 + i), Q))
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            let response = ticket.wait().unwrap();
+            // Every response names its executing device and reports that
+            // device's own lane count — never a fleet-wide constant.
+            let expected_lanes = if response.batch.device == 0 { 16 } else { 2 };
+            assert_eq!(response.batch.lanes, expected_lanes);
+            assert_eq!(response.batch.topology.total_banks(), expected_lanes);
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.devices.len(), 2);
+        assert_eq!(stats.devices[0].lanes, 16);
+        assert_eq!(stats.devices[1].lanes, 2);
+        assert!(stats.devices.iter().all(|d| d.healthy));
+        assert_eq!(
+            stats.devices.iter().map(|d| d.jobs).sum::<u64>(),
+            stats.batched_jobs
+        );
+        // Utilization normalizes occupancy by the device's OWN lanes —
+        // a 2-lane device with 2-job batches reports 1.0, not 2/16.
+        for device in &stats.devices {
+            if device.batches > 0 {
+                assert!(
+                    (device.utilization() - device.occupancy() / device.lanes as f64).abs() < 1e-12
+                );
+                assert!(device.utilization() > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Service telemetry: the counters every serving decision leaves behind.
 
+use ntt_pim::core::config::Topology;
 use ntt_ref::cache::PlanCacheStats;
 
 /// Mutable counters behind the service's stats mutex.
@@ -20,9 +21,33 @@ pub(crate) struct StatsInner {
     pub(crate) energy_nj: f64,
     pub(crate) bus_slots: u64,
     pub(crate) rank_acts: u64,
+    /// One entry per fleet device, in device order.
+    pub(crate) devices: Vec<DeviceStats>,
 }
 
 impl StatsInner {
+    /// Seeds the per-device rows (everything else defaults to zero).
+    pub(crate) fn for_devices(topologies: &[Topology]) -> Self {
+        Self {
+            devices: topologies
+                .iter()
+                .enumerate()
+                .map(|(device, &topology)| DeviceStats {
+                    device,
+                    topology,
+                    lanes: topology.total_banks(),
+                    batches: 0,
+                    jobs: 0,
+                    sim_busy_ns: 0.0,
+                    steals: 0,
+                    exec_failures: 0,
+                    healthy: true,
+                })
+                .collect(),
+            ..Self::default()
+        }
+    }
+
     pub(crate) fn snapshot(&self, plan_cache: PlanCacheStats) -> ServiceStats {
         ServiceStats {
             accepted: self.accepted,
@@ -40,7 +65,57 @@ impl StatsInner {
             energy_nj: self.energy_nj,
             bus_slots: self.bus_slots,
             rank_acts: self.rank_acts,
+            devices: self.devices.clone(),
             plan_cache,
+        }
+    }
+}
+
+/// Per-device health and occupancy counters, one row of
+/// [`ServiceStats::devices`]. All counters are device-relative — in a
+/// heterogeneous fleet every device reports against its *own* lane
+/// count, never a fleet-wide constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceStats {
+    /// Device index in the fleet (stable across snapshots).
+    pub device: usize,
+    /// This device's topology.
+    pub topology: Topology,
+    /// This device's parallel lanes (total banks of **its** topology).
+    pub lanes: usize,
+    /// Micro-batch groups this device executed.
+    pub batches: u64,
+    /// Jobs this device executed.
+    pub jobs: u64,
+    /// Simulated busy time on this device, ns.
+    pub sim_busy_ns: f64,
+    /// Batches this device's worker stole from a backed-up peer.
+    pub steals: u64,
+    /// Batch executions that failed on this device.
+    pub exec_failures: u64,
+    /// Whether the router still places work here (a device that fails a
+    /// batch is retired for the rest of the service's life).
+    pub healthy: bool,
+}
+
+impl DeviceStats {
+    /// Mean executed batch size on this device (its batching density).
+    pub fn occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// Occupancy relative to this device's own lanes (1.0 = the mean
+    /// batch filled the topology exactly; above 1.0 = batches queued
+    /// more than one job per lane).
+    pub fn utilization(&self) -> f64 {
+        if self.lanes == 0 {
+            0.0
+        } else {
+            self.occupancy() / self.lanes as f64
         }
     }
 }
@@ -83,6 +158,9 @@ pub struct ServiceStats {
     pub bus_slots: u64,
     /// Rank-level activations across all batches.
     pub rank_acts: u64,
+    /// Per-device health and occupancy, in device order (a single-device
+    /// service has exactly one row).
+    pub devices: Vec<DeviceStats>,
     /// Shared plan-cache counters (twiddle/Shoup tables built vs reused).
     pub plan_cache: PlanCacheStats,
 }
@@ -109,11 +187,34 @@ impl ServiceStats {
     }
 
     /// Sustained simulated throughput, jobs per second of device time.
+    /// With more than one device this denominator is the *sum* of
+    /// per-device busy time; for fleet throughput (devices run in
+    /// parallel) use [`Self::fleet_jobs_per_s`].
     pub fn sim_jobs_per_s(&self) -> f64 {
         if self.sim_busy_ns <= 0.0 {
             0.0
         } else {
             self.batched_jobs as f64 / (self.sim_busy_ns * 1e-9)
+        }
+    }
+
+    /// Simulated wall time of the fleet, ns: the busiest device's total
+    /// busy time (devices drain their queues in parallel).
+    pub fn fleet_makespan_ns(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.sim_busy_ns)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fleet throughput, jobs per second of *parallel* simulated time
+    /// ([`Self::fleet_makespan_ns`] as the denominator).
+    pub fn fleet_jobs_per_s(&self) -> f64 {
+        let makespan = self.fleet_makespan_ns();
+        if makespan <= 0.0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / (makespan * 1e-9)
         }
     }
 }

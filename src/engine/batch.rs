@@ -44,8 +44,8 @@ use super::{CpuNttEngine, EngineError, EngineReport, NttEngine, ReportSource};
 use crate::core::config::{PimConfig, Topology};
 use crate::core::device::{NttDirection, PimDevice, QueueReport, StoredOrder};
 use crate::core::layout::PolyLayout;
-use crate::core::mapper::Program;
-use crate::core::sched::{lpt_assign_topology, DagJob};
+use crate::core::mapper::{MapperOptions, Program};
+use crate::core::sched::{lpt_assign_topology, lpt_makespan, DagJob};
 use crate::core::PimError;
 use crate::math::arith::pow_mod;
 use crate::math::prime;
@@ -172,6 +172,129 @@ impl std::str::FromStr for SchedulePolicy {
                 "unknown schedule policy `{other}` (expected `lpt` or `round-robin`)"
             )),
         }
+    }
+}
+
+/// The row stage of a split large transform adds the fused
+/// twiddle-scaling pass on top of the transform: one element-wise sweep,
+/// priced as a flat surcharge on the row transform's cost.
+const ROW_STAGE_FACTOR: f64 = 1.2;
+
+/// Value-free cost model of one simulated PIM device: predicts per-job
+/// latency and whole-batch makespan from the device configuration and
+/// topology alone, without touching bank storage.
+///
+/// [`BatchExecutor`] holds one internally to drive its LPT packing; the
+/// fleet router in `ntt-service` holds one *per device* so it can quote
+/// each device's predicted drain time for a micro-batch (already-queued
+/// work plus [`Self::batch_makespan_ns`] on that device's own topology)
+/// — the per-device extension of the per-bank LPT cost model. A model
+/// is cheap to clone and never mutates device state; predictions are
+/// memoized per transform length (PIM timing is value- and
+/// modulus-independent).
+#[derive(Debug, Clone)]
+pub struct DeviceCostModel {
+    config: PimConfig,
+    opts: MapperOptions,
+    /// Memoized single-transform latency per length.
+    memo: HashMap<usize, f64>,
+}
+
+impl DeviceCostModel {
+    /// Builds a cost model for `config` with default mapper options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation errors.
+    pub fn new(config: PimConfig) -> Result<Self, PimError> {
+        config.validate()?;
+        Ok(Self::with_options(config, MapperOptions::default()))
+    }
+
+    /// Builds a cost model with explicit mapper options (use this to
+    /// mirror a device whose options differ from the defaults).
+    pub fn with_options(config: PimConfig, opts: MapperOptions) -> Self {
+        Self {
+            config,
+            opts,
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The modeled device configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Parallel lanes of the modeled device (total banks across its
+    /// `channels × ranks × banks` topology).
+    pub fn lanes(&self) -> usize {
+        self.config.total_banks()
+    }
+
+    /// Predicted single-transform latency at length `n`, ns, memoized.
+    pub fn transform_cost(&mut self, n: usize) -> f64 {
+        match self.memo.entry(n) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => *v.insert(
+                super::pim_cost_estimate(&self.config, &self.opts, n)
+                    .map(|c| c.latency_ns)
+                    // N log N fallback keeps packing sensible even where
+                    // the model has no point.
+                    .unwrap_or_else(|| (n as f64) * f64::from(n.trailing_zeros() + 1)),
+            ),
+        }
+    }
+
+    /// Predicted serial latency of one job, ns. A negacyclic product
+    /// runs three transforms plus element-wise passes; 3× one transform
+    /// is accurate enough for bin-packing, which only needs relative
+    /// weights. A split large transform reports the serial sum of its
+    /// sub-jobs (callers asking "how heavy is this job"; the packer
+    /// costs its units individually via [`Self::unit_costs`]).
+    pub fn job_cost(&mut self, job: &NttJob) -> f64 {
+        let transform = self.transform_cost(job.n());
+        match job.kind {
+            JobKind::Forward | JobKind::Inverse => transform,
+            JobKind::NegacyclicPolymul { .. } => 3.0 * transform,
+            JobKind::SplitLarge => match plan_split(job.n(), self.config.total_banks()) {
+                Ok(split) => {
+                    split.cols as f64 * self.transform_cost(split.rows)
+                        + split.rows as f64 * self.transform_cost(split.cols)
+                }
+                Err(_) => transform,
+            },
+        }
+    }
+
+    /// Per-unit costs of a batch in scheduling order: ordinary jobs
+    /// contribute one unit, split large transforms one unit per column
+    /// and per row sub-job (a split that cannot be planned on this
+    /// device falls back to one whole-transform unit).
+    pub fn unit_costs(&mut self, jobs: &[NttJob]) -> Vec<f64> {
+        let banks = self.lanes();
+        let mut costs = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.kind == JobKind::SplitLarge {
+                if let Ok(split) = plan_split(job.n(), banks) {
+                    let col = self.transform_cost(split.rows);
+                    let row = self.transform_cost(split.cols) * ROW_STAGE_FACTOR;
+                    costs.extend(std::iter::repeat_n(col, split.cols));
+                    costs.extend(std::iter::repeat_n(row, split.rows));
+                    continue;
+                }
+            }
+            costs.push(self.job_cost(job));
+        }
+        costs
+    }
+
+    /// Predicted makespan of the whole batch on this device, ns: the
+    /// heaviest bank queue the hierarchical LPT packer would produce
+    /// ([`crate::core::sched::lpt_makespan`] over [`Self::unit_costs`]).
+    pub fn batch_makespan_ns(&mut self, jobs: &[NttJob]) -> f64 {
+        let costs = self.unit_costs(jobs);
+        lpt_makespan(&costs, &self.config.topology)
     }
 }
 
@@ -374,9 +497,9 @@ impl BatchOutcome {
 pub struct BatchExecutor {
     device: PimDevice,
     policy: SchedulePolicy,
-    /// Cost-model memo: predicted single-transform latency per length
-    /// (timing is value- and modulus-independent, so length is the key).
-    cost_memo: HashMap<usize, f64>,
+    /// Cost model mirroring the device (shared shape with the fleet
+    /// router's per-device models).
+    cost: DeviceCostModel,
 }
 
 impl BatchExecutor {
@@ -387,20 +510,23 @@ impl BatchExecutor {
     ///
     /// Propagates configuration validation errors.
     pub fn new(config: PimConfig) -> Result<Self, PimError> {
-        Ok(Self {
-            device: PimDevice::new(config)?,
-            policy: SchedulePolicy::default(),
-            cost_memo: HashMap::new(),
-        })
+        Ok(Self::from_device(PimDevice::new(config)?))
     }
 
     /// Wraps an existing device (preserving its mapper options).
     pub fn from_device(device: PimDevice) -> Self {
+        let cost = DeviceCostModel::with_options(*device.config(), *device.mapper_options());
         Self {
             device,
             policy: SchedulePolicy::default(),
-            cost_memo: HashMap::new(),
+            cost,
         }
+    }
+
+    /// The executor's device cost model (the same predictions the
+    /// planner packs by).
+    pub fn cost_model(&mut self) -> &mut DeviceCostModel {
+        &mut self.cost
     }
 
     /// Same executor with a different scheduling policy.
@@ -458,41 +584,15 @@ impl BatchExecutor {
         Ok(())
     }
 
-    /// Predicted latency of `job` from the device cost model, memoized
-    /// per transform length (PIM timing does not depend on coefficient
-    /// values or the modulus). A negacyclic product runs three transforms
-    /// plus element-wise passes; 3x one transform is accurate enough for
-    /// bin-packing, which only needs relative weights.
+    /// Predicted latency of `job` from the device cost model
+    /// ([`DeviceCostModel::job_cost`]).
     fn job_cost(&mut self, job: &NttJob) -> f64 {
-        let transform = self.transform_cost(job.n());
-        match job.kind {
-            JobKind::Forward | JobKind::Inverse => transform,
-            JobKind::NegacyclicPolymul { .. } => 3.0 * transform,
-            // A split job never reaches the packer whole (its units are
-            // costed individually); this is the serial sum for callers
-            // asking "how heavy is this job".
-            JobKind::SplitLarge => match plan_split(job.n(), self.device.config().total_banks()) {
-                Ok(split) => {
-                    split.cols as f64 * self.transform_cost(split.rows)
-                        + split.rows as f64 * self.transform_cost(split.cols)
-                }
-                Err(_) => transform,
-            },
-        }
+        self.cost.job_cost(job)
     }
 
     /// Predicted single-transform latency at length `n`, memoized.
     fn transform_cost(&mut self, n: usize) -> f64 {
-        match self.cost_memo.entry(n) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(v) => *v.insert(
-                super::pim_cost_estimate(self.device.config(), self.device.mapper_options(), n)
-                    .map(|c| c.latency_ns)
-                    // N log N fallback keeps packing sensible even where
-                    // the model has no point.
-                    .unwrap_or_else(|| (n as f64) * f64::from(n.trailing_zeros() + 1)),
-            ),
-        }
+        self.cost.transform_cost(n)
     }
 
     /// Validates the batch and computes the per-bank job queues the
@@ -521,9 +621,7 @@ impl BatchExecutor {
             if job.kind == JobKind::SplitLarge {
                 let split = plan_split(job.n(), banks).expect("validated above");
                 let col_cost = self.transform_cost(split.rows);
-                // The row stage adds the fused twiddle-scaling pass: one
-                // element-wise sweep on top of the transform.
-                let row_cost = self.transform_cost(split.cols) * 1.2;
+                let row_cost = self.transform_cost(split.cols) * ROW_STAGE_FACTOR;
                 for column in 0..split.cols {
                     units.push(PlanUnit::SplitColumn { job: i, column });
                     costs.push(col_cost);
