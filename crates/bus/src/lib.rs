@@ -1,0 +1,57 @@
+//! Pluggable backend bus for the NTT-PIM workspace.
+//!
+//! The paper's framing is comparative — row-centric DRAM PIM against
+//! other NTT accelerators — and this crate is the layer that makes the
+//! comparison *operational*: the PIM simulator, the lane-batched CPU
+//! dataflows, and the published accelerator models (MeNTT, BP-NTT)
+//! all sit behind one [`NttBackend`] trait as co-simulated,
+//! interchangeable devices, each advertising an honest
+//! [`CapabilityWindow`] (modulus bounds, max `N`, lane count) and a
+//! queryable cost model ([`BusCostModel`]).
+//!
+//! The pieces:
+//!
+//! * [`backend`] — the [`NttBackend`] trait plus the three first-class
+//!   implementations: [`PimBackend`] (cycle-approximate bank-parallel
+//!   simulation), [`CpuLanesBackend`] (bit-identical host compute with
+//!   a deterministic analytic lane-timing model), and
+//!   [`PublishedBackend`] (golden-path compute priced by published
+//!   datapoints).
+//! * [`registry`] — [`BackendBus`], a memory-mapped-style registry:
+//!   each registered backend owns an address aperture and commands are
+//!   dispatched by handle or by address ([`BackendBus::dispatch`]).
+//! * [`cost`] — [`BusCostModel`], the per-`(n, q, kind)` cost metadata
+//!   the heterogeneous fleet router quotes before placing a
+//!   micro-batch.
+//! * [`window`] — [`CapabilityWindow`] and the shared shape validation;
+//!   window violations are typed [`EngineError::Unsupported`] values,
+//!   never panics.
+//! * [`spec`] — [`BackendSpec`], the parseable description
+//!   (`"pim:2,cpu-lanes:1,bp-ntt:1"`) the service and CLI build fleets
+//!   from.
+//!
+//! Every backend computes bit-identical results for any admitted job —
+//! the published models and the CPU lanes run the same golden kernels;
+//! only the *timing* provenance differs ([`BackendOutcome::source`]).
+//! That invariant is what lets the serving layer route a job to
+//! whichever backend is predicted cheapest without changing a single
+//! output bit; the parity tests in this crate pin it.
+
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod cost;
+pub mod registry;
+pub mod spec;
+pub mod window;
+
+pub use backend::{BackendOutcome, CpuLanesBackend, NttBackend, PimBackend, PublishedBackend};
+pub use cost::{BusCostModel, CpuLaneCostModel, PublishedCostModel};
+pub use registry::{AddrRange, BackendBus, BackendHandle, BACKEND_APERTURE};
+pub use spec::{BackendSpec, PublishedKind};
+pub use window::{validate_shape, BackendKind, CapabilityWindow};
+
+// Re-exported so bus consumers (service, bench, CLI) name job and error
+// types through one crate.
+pub use ntt_pim::engine::batch::{NttJob, SchedulePolicy};
+pub use ntt_pim::engine::EngineError;

@@ -1,0 +1,255 @@
+//! The backend registry: device handles and address-range command
+//! dispatch.
+//!
+//! [`BackendBus`] is a memory-mapped-bus-style registry: every
+//! registered backend owns an address aperture ([`AddrRange`], one
+//! [`BACKEND_APERTURE`]-sized window per slot, assigned in registration
+//! order) and commands reach a backend either by [`BackendHandle`]
+//! ([`BackendBus::submit`]) or by any address inside its aperture
+//! ([`BackendBus::dispatch`]) — the same discipline a host driver uses
+//! to talk to a rank of heterogeneous accelerators behind one bridge.
+//!
+//! The bus also fronts each backend's cost metadata: [`BackendBus::quote_ns`]
+//! prices one job on one backend without touching device state, which
+//! is everything a cost-aware router needs.
+
+use crate::backend::{BackendOutcome, NttBackend};
+use crate::cost::BusCostModel;
+use crate::window::{BackendKind, CapabilityWindow};
+use ntt_pim::engine::batch::NttJob;
+use ntt_pim::engine::EngineError;
+
+/// Size of each backend's address aperture (16 MiB — roomy enough that
+/// command offsets never collide across slots).
+pub const BACKEND_APERTURE: u64 = 1 << 24;
+
+/// Opaque handle to one registered backend (registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BackendHandle(usize);
+
+impl BackendHandle {
+    /// The slot index behind the handle.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One backend's address aperture on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrRange {
+    /// First address of the aperture.
+    pub base: u64,
+    /// Aperture size in bytes.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Whether `addr` falls inside this aperture.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.len
+    }
+}
+
+struct Slot {
+    backend: Box<dyn NttBackend>,
+    range: AddrRange,
+    cost: BusCostModel,
+}
+
+/// Registry and dispatch layer over a set of heterogeneous backends.
+pub struct BackendBus {
+    slots: Vec<Slot>,
+}
+
+impl Default for BackendBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BackendBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Registers a backend, assigning it the next address aperture, and
+    /// returns its handle.
+    pub fn register(&mut self, backend: Box<dyn NttBackend>) -> BackendHandle {
+        let index = self.slots.len();
+        let range = AddrRange {
+            base: index as u64 * BACKEND_APERTURE,
+            len: BACKEND_APERTURE,
+        };
+        let cost = backend.cost_model();
+        self.slots.push(Slot {
+            backend,
+            range,
+            cost,
+        });
+        BackendHandle(index)
+    }
+
+    /// Number of registered backends.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no backend is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Handles of every registered backend, in registration order.
+    pub fn handles(&self) -> Vec<BackendHandle> {
+        (0..self.slots.len()).map(BackendHandle).collect()
+    }
+
+    /// The first backend whose label is `name`.
+    pub fn by_name(&self, name: &str) -> Option<BackendHandle> {
+        self.slots
+            .iter()
+            .position(|s| s.backend.label() == name)
+            .map(BackendHandle)
+    }
+
+    /// The backend whose aperture covers `addr`.
+    pub fn resolve(&self, addr: u64) -> Option<BackendHandle> {
+        self.slots
+            .iter()
+            .position(|s| s.range.contains(addr))
+            .map(BackendHandle)
+    }
+
+    /// A backend's address aperture.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn range(&self, handle: BackendHandle) -> AddrRange {
+        self.slots[handle.0].range
+    }
+
+    /// A backend's routing label.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn label(&self, handle: BackendHandle) -> &str {
+        self.slots[handle.0].backend.label()
+    }
+
+    /// A backend's family.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn kind(&self, handle: BackendHandle) -> BackendKind {
+        self.slots[handle.0].backend.kind()
+    }
+
+    /// A backend's capability window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn window(&self, handle: BackendHandle) -> CapabilityWindow {
+        self.slots[handle.0].backend.window()
+    }
+
+    /// Shared access to a backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn backend(&self, handle: BackendHandle) -> &dyn NttBackend {
+        self.slots[handle.0].backend.as_ref()
+    }
+
+    /// Exclusive access to a backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn backend_mut(&mut self, handle: BackendHandle) -> &mut dyn NttBackend {
+        self.slots[handle.0].backend.as_mut()
+    }
+
+    /// Admission check for one job on one backend — typed errors, never
+    /// panics on job content.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] or [`EngineError::Unsupported`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn admit(&self, handle: BackendHandle, job: &NttJob) -> Result<(), EngineError> {
+        self.slots[handle.0].backend.admit(job)
+    }
+
+    /// Prices one job on one backend: admission first, then the
+    /// backend's cost model — the `(n, q, kind)` metadata query routers
+    /// build placement decisions from.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors when the job is outside the backend's window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn quote_ns(&mut self, handle: BackendHandle, job: &NttJob) -> Result<f64, EngineError> {
+        let slot = &mut self.slots[handle.0];
+        slot.backend.admit(job)?;
+        Ok(slot.cost.job_cost(job))
+    }
+
+    /// Runs a micro-batch on the backend addressed by handle.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors naming the offending job index, or execution
+    /// errors from the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle from another bus (out of range).
+    pub fn submit(
+        &mut self,
+        handle: BackendHandle,
+        jobs: &[NttJob],
+    ) -> Result<BackendOutcome, EngineError> {
+        self.slots[handle.0].backend.run(jobs)
+    }
+
+    /// Runs a micro-batch on the backend whose aperture covers `addr`
+    /// (address-range command dispatch).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] when no aperture covers `addr`; otherwise
+    /// as [`Self::submit`].
+    pub fn dispatch(&mut self, addr: u64, jobs: &[NttJob]) -> Result<BackendOutcome, EngineError> {
+        let handle = self.resolve(addr).ok_or_else(|| EngineError::Shape {
+            reason: format!("no backend aperture covers address {addr:#x}"),
+        })?;
+        self.submit(handle, jobs)
+    }
+}
+
+impl std::fmt::Debug for BackendBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_list();
+        for slot in &self.slots {
+            d.entry(&format_args!(
+                "{} [{:#x}..{:#x}]",
+                slot.backend.label(),
+                slot.range.base,
+                slot.range.base + slot.range.len
+            ));
+        }
+        d.finish()
+    }
+}

@@ -1,0 +1,171 @@
+//! Parseable backend fleet descriptions (`"pim:2,cpu-lanes:1,bp-ntt:1"`).
+//!
+//! [`BackendSpec`] is the one value the service configuration and the
+//! CLI carry per fleet slot; [`BackendSpec::build`] turns it into a
+//! live [`NttBackend`] and [`BackendSpec::cost_model`] into the router's
+//! pricing entry, so every layer agrees on what a `"cpu-lanes"` slot
+//! means.
+
+use crate::backend::{CpuLanesBackend, NttBackend, PimBackend, PublishedBackend};
+use crate::cost::{BusCostModel, CpuLaneCostModel, PublishedCostModel};
+use crate::window::BackendKind;
+use ntt_pim::core::config::{PimConfig, Topology};
+use ntt_pim::core::PimError;
+use ntt_pim::engine::batch::{DeviceCostModel, SchedulePolicy};
+use ntt_pim::reference::cache::PlanCache;
+use pim_baselines::{BpNttModel, MenttModel, NttAccelerator};
+use std::sync::Arc;
+
+/// Which published comparator a `published` slot models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishedKind {
+    /// MeNTT: 6T-SRAM bit-serial PIM (max N 1024, fixed modulus).
+    Mentt,
+    /// BP-NTT: bit-parallel in-SRAM multiplier (max N 4096, fixed
+    /// modulus).
+    BpNtt,
+}
+
+impl PublishedKind {
+    /// The slot's routing label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PublishedKind::Mentt => "mentt",
+            PublishedKind::BpNtt => "bp-ntt",
+        }
+    }
+
+    fn model(self) -> Arc<dyn NttAccelerator + Send + Sync> {
+        match self {
+            PublishedKind::Mentt => Arc::new(MenttModel),
+            PublishedKind::BpNtt => Arc::new(BpNttModel),
+        }
+    }
+}
+
+/// One fleet slot: which backend to stand up there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendSpec {
+    /// A simulated PIM device with this configuration.
+    Pim(PimConfig),
+    /// The host CPU's lane-batched kernels.
+    CpuLanes,
+    /// A published comparator model.
+    Published(PublishedKind),
+}
+
+impl BackendSpec {
+    /// The default PIM slot: 2 atom buffers, `1×1×4` topology — the
+    /// shape `serve` has always defaulted to per device.
+    pub fn default_pim() -> Self {
+        BackendSpec::Pim(PimConfig::hbm2e(2).with_topology(Topology::new(1, 1, 4)))
+    }
+
+    /// Parses one slot name: `pim`, `cpu-lanes`, `mentt`, or `bp-ntt`
+    /// (a parsed `pim` gets the [`Self::default_pim`] configuration;
+    /// callers with their own topology substitute it afterwards).
+    ///
+    /// # Errors
+    ///
+    /// A description of the unknown name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "pim" => Ok(Self::default_pim()),
+            "cpu-lanes" => Ok(BackendSpec::CpuLanes),
+            "mentt" => Ok(BackendSpec::Published(PublishedKind::Mentt)),
+            "bp-ntt" => Ok(BackendSpec::Published(PublishedKind::BpNtt)),
+            other => Err(format!(
+                "unknown backend `{other}` (expected `pim`, `cpu-lanes`, `mentt`, or `bp-ntt`)"
+            )),
+        }
+    }
+
+    /// Parses a fleet description: comma-separated `name` or
+    /// `name:count` entries, e.g. `pim:2,cpu-lanes:1,bp-ntt:1`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed entry.
+    pub fn parse_list(s: &str) -> Result<Vec<Self>, String> {
+        let mut specs = Vec::new();
+        for entry in s.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err("empty backend entry".into());
+            }
+            let (name, count) = match entry.split_once(':') {
+                Some((name, count)) => (
+                    name,
+                    count
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad count in `{entry}`"))?,
+                ),
+                None => (entry, 1),
+            };
+            if count == 0 {
+                return Err(format!("zero count in `{entry}`"));
+            }
+            let spec = Self::parse(name)?;
+            specs.extend(std::iter::repeat_n(spec, count));
+        }
+        if specs.is_empty() {
+            return Err("empty backend list".into());
+        }
+        Ok(specs)
+    }
+
+    /// The slot's routing label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendSpec::Pim(_) => "pim",
+            BackendSpec::CpuLanes => "cpu-lanes",
+            BackendSpec::Published(k) => k.label(),
+        }
+    }
+
+    /// The slot's backend family.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendSpec::Pim(_) => BackendKind::Pim,
+            BackendSpec::CpuLanes => BackendKind::CpuLanes,
+            BackendSpec::Published(_) => BackendKind::Published,
+        }
+    }
+
+    /// Stands up the backend this slot describes. PIM slots take the
+    /// scheduling `policy`; CPU slots share `cache` when given (one
+    /// plan cache across a fleet's CPU slots and verifiers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM configuration validation errors.
+    pub fn build(
+        &self,
+        policy: SchedulePolicy,
+        cache: Option<&Arc<PlanCache>>,
+    ) -> Result<Box<dyn NttBackend>, PimError> {
+        Ok(match self {
+            BackendSpec::Pim(config) => Box::new(PimBackend::new(*config)?.with_policy(policy)),
+            BackendSpec::CpuLanes => Box::new(match cache {
+                Some(cache) => CpuLanesBackend::with_cache(Arc::clone(cache)),
+                None => CpuLanesBackend::new(),
+            }),
+            BackendSpec::Published(k) => Box::new(PublishedBackend::new(k.label(), k.model())),
+        })
+    }
+
+    /// The router-side cost model pricing this slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PIM configuration validation errors.
+    pub fn cost_model(&self) -> Result<BusCostModel, PimError> {
+        Ok(match self {
+            BackendSpec::Pim(config) => BusCostModel::Pim(DeviceCostModel::new(*config)?),
+            BackendSpec::CpuLanes => BusCostModel::CpuLanes(CpuLaneCostModel::new()),
+            BackendSpec::Published(k) => {
+                BusCostModel::Published(PublishedCostModel::new(k.label(), k.model()))
+            }
+        })
+    }
+}

@@ -1,0 +1,226 @@
+//! Cross-backend parity: random shapes, moduli, and kinds through the
+//! registry — every backend that admits a job returns results
+//! bit-identical to the golden CPU model, and every rejection is a
+//! typed capability-window error, never a panic. Runs identically on
+//! both feature halves (default and `simd`).
+
+use ntt_bus::{BackendBus, BackendSpec, EngineError, NttJob};
+use ntt_pim::engine::batch::{JobKind, SchedulePolicy};
+use ntt_pim::engine::{CpuNttEngine, NttEngine};
+use proptest::prelude::*;
+
+fn poly(n: usize, q: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) % q
+        })
+        .collect()
+}
+
+/// The length menu (64..4096 spans every backend's max-N boundary).
+const LENGTHS: [usize; 5] = [64, 256, 1024, 2048, 4096];
+/// Moduli with different 2-adic budgets (7681 caps n at 256; 12289 at
+/// 2048; Dilithium's 8380417 at 4096).
+const MODULI: [u64; 3] = [12289, 7681, 8_380_417];
+
+fn job_for(n: usize, q: u64, kind: u8, seed: u64) -> NttJob {
+    match kind % 3 {
+        0 => NttJob::forward(poly(n, q, seed), q),
+        1 => NttJob::inverse(poly(n, q, seed), q),
+        _ => NttJob::negacyclic_polymul(poly(n, q, seed), poly(n, q, seed ^ 0xabc), q),
+    }
+}
+
+fn golden(job: &NttJob) -> Vec<u64> {
+    let mut cpu = CpuNttEngine::golden();
+    let mut data = job.coeffs.clone();
+    match &job.kind {
+        JobKind::Forward | JobKind::SplitLarge => cpu.forward(&mut data, job.q).unwrap(),
+        JobKind::Inverse => cpu.inverse(&mut data, job.q).unwrap(),
+        JobKind::NegacyclicPolymul { rhs } => {
+            cpu.negacyclic_polymul(&mut data, rhs, job.q).unwrap()
+        }
+    };
+    data
+}
+
+/// A bus with every backend kind registered: PIM, CPU lanes, and both
+/// published models.
+fn full_bus() -> BackendBus {
+    let mut bus = BackendBus::new();
+    for spec in [
+        BackendSpec::default_pim(),
+        BackendSpec::CpuLanes,
+        BackendSpec::parse("mentt").unwrap(),
+        BackendSpec::parse("bp-ntt").unwrap(),
+    ] {
+        bus.register(spec.build(SchedulePolicy::Lpt, None).unwrap());
+    }
+    bus
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single jobs of every shape against every backend: admitted jobs
+    /// are bit-identical to golden; rejected jobs fail with a typed
+    /// window/shape error.
+    #[test]
+    fn every_admitted_job_is_bit_identical_to_golden(
+        n_sel in 0usize..LENGTHS.len(),
+        q_sel in 0usize..MODULI.len(),
+        kind in 0u8..3,
+        seed in 1u64..1_000_000,
+    ) {
+        let n = LENGTHS[n_sel];
+        let q = MODULI[q_sel];
+        let job = job_for(n, q, kind, seed);
+        let shape_valid = (q - 1) % (2 * n as u64) == 0;
+        let mut bus = full_bus();
+        let mut admitted_somewhere = false;
+        for handle in bus.handles() {
+            match bus.admit(handle, &job) {
+                Ok(()) => {
+                    admitted_somewhere = true;
+                    // Cost metadata is queryable for anything admitted.
+                    let quote = bus.quote_ns(handle, &job).unwrap();
+                    prop_assert!(
+                        quote.is_finite() && quote > 0.0,
+                        "{}: bad quote {quote}",
+                        bus.label(handle)
+                    );
+                    let out = bus.submit(handle, std::slice::from_ref(&job)).unwrap();
+                    prop_assert_eq!(
+                        &out.spectra[0],
+                        &golden(&job),
+                        "backend {} diverged on n={} q={} kind={}",
+                        bus.label(handle), n, q, kind % 3
+                    );
+                }
+                Err(EngineError::Shape { .. } | EngineError::Unsupported { .. }) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "{}: rejection must be a typed window/shape error, got {other:?}",
+                        bus.label(handle)
+                    )));
+                }
+            }
+        }
+        // The CPU backend's window is the widest (62-bit, unbounded N):
+        // every shape-valid job is admissible somewhere.
+        prop_assert_eq!(
+            admitted_somewhere,
+            shape_valid,
+            "n={} q={}: a valid shape must land somewhere, an invalid one nowhere",
+            n, q
+        );
+    }
+
+    /// Whole batches (mixed kinds, one shared shape so every backend
+    /// with the shape in-window can take the batch): each backend's
+    /// spectra all match golden, in order.
+    #[test]
+    fn admitted_batches_stay_ordered_and_bit_identical(
+        specs in prop::collection::vec((0u8..3, 1u64..1_000_000), 1..10),
+        n_sel in 0usize..3,
+    ) {
+        let n = [256usize, 512, 1024][n_sel];
+        let q = 12289u64;
+        let jobs: Vec<NttJob> = specs
+            .iter()
+            .map(|&(kind, seed)| job_for(n, q, kind, seed))
+            .collect();
+        let mut bus = full_bus();
+        for handle in bus.handles() {
+            if jobs.iter().any(|j| bus.admit(handle, j).is_err()) {
+                continue;
+            }
+            let out = bus.submit(handle, &jobs).unwrap();
+            prop_assert_eq!(out.spectra.len(), jobs.len());
+            for (i, job) in jobs.iter().enumerate() {
+                prop_assert_eq!(
+                    &out.spectra[i],
+                    &golden(job),
+                    "backend {} diverged on batch job {}",
+                    bus.label(handle), i
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic window pins: each backend's advertised capability
+/// window rejects exactly the out-of-range shapes, with typed errors.
+#[test]
+fn capability_windows_are_honest() {
+    let mut bus = full_bus();
+    let pim = bus.by_name("pim").unwrap();
+    let cpu = bus.by_name("cpu-lanes").unwrap();
+    let mentt = bus.by_name("mentt").unwrap();
+    let bp = bus.by_name("bp-ntt").unwrap();
+
+    // MeNTT stops at N=1024 and its fixed modulus.
+    let n2048 = NttJob::forward(poly(2048, 12289, 7), 12289);
+    assert!(matches!(
+        bus.admit(mentt, &n2048),
+        Err(EngineError::Unsupported { .. })
+    ));
+    assert!(bus.admit(bp, &n2048).is_ok(), "BP-NTT reaches 4096");
+    let dilithium = NttJob::forward(poly(256, 8_380_417, 7), 8_380_417);
+    assert!(matches!(
+        bus.admit(mentt, &dilithium),
+        Err(EngineError::Unsupported { .. })
+    ));
+    assert!(matches!(
+        bus.admit(bp, &dilithium),
+        Err(EngineError::Unsupported { .. })
+    ));
+    assert!(bus.admit(pim, &dilithium).is_ok());
+
+    // A >32-bit modulus is outside the PIM datapath but inside the
+    // CPU's 62-bit window — and the CPU result still matches golden.
+    let q_big = ntt_pim::math::prime::find_ntt_prime(512, 35).unwrap();
+    assert!(q_big > u64::from(u32::MAX));
+    let wide = NttJob::forward(poly(256, q_big, 9), q_big);
+    assert!(bus.admit(pim, &wide).is_err());
+    assert!(bus.admit(cpu, &wide).is_ok());
+    let out = bus.submit(cpu, std::slice::from_ref(&wide)).unwrap();
+    assert_eq!(out.spectra[0], golden(&wide));
+
+    // Malformed jobs are Shape errors on every backend — never panics.
+    let bad = NttJob::forward(vec![1; 100], 12289);
+    for handle in bus.handles() {
+        assert!(matches!(
+            bus.admit(handle, &bad),
+            Err(EngineError::Shape { .. })
+        ));
+    }
+}
+
+/// Registry mechanics: apertures partition the address space, dispatch
+/// by address reaches the right backend, and unmapped addresses are
+/// typed errors.
+#[test]
+fn aperture_dispatch_reaches_the_named_backend() {
+    let mut bus = full_bus();
+    assert_eq!(bus.len(), 4);
+    let cpu = bus.by_name("cpu-lanes").unwrap();
+    let range = bus.range(cpu);
+    assert_eq!(bus.resolve(range.base), Some(cpu));
+    assert_eq!(bus.resolve(range.base + range.len - 1), Some(cpu));
+    let job = NttJob::forward(poly(256, 12289, 3), 12289);
+    let out = bus
+        .dispatch(range.base + 0x40, std::slice::from_ref(&job))
+        .unwrap();
+    assert_eq!(out.spectra[0], golden(&job));
+    // Past the last aperture: typed Shape error.
+    let past = ntt_bus::BACKEND_APERTURE * bus.len() as u64;
+    assert!(matches!(
+        bus.dispatch(past, std::slice::from_ref(&job)),
+        Err(EngineError::Shape { .. })
+    ));
+}

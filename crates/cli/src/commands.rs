@@ -48,6 +48,10 @@ BATCH OPTIONS:
     --split          run job 0 as one large length---n NTT split across
                      the whole topology (four-step column/row sub-jobs
                      with a dependency barrier; requires --schedule lpt)
+    --backend <b>    run the batch through one named backend-bus slot
+                     instead of the raw executor: pim, cpu-lanes,
+                     mentt, or bp-ntt (jobs outside the backend's
+                     capability window are typed errors)
 
 SERVE OPTIONS:
     --tenants <t>       concurrent closed-loop tenants        [default: 8]
@@ -58,6 +62,10 @@ SERVE OPTIONS:
     --lengths <...>     request lengths, cycled               [default: 256,1024,2048,4096]
     --devices <n>       simulated fleet size (replicas of the
                         serve topology, routed by predicted drain) [default: 1]
+    --backends <list>   mixed backend fleet, name or name:count entries
+                        from pim, cpu-lanes, mentt, bp-ntt (for example
+                        pim:2,cpu-lanes:1); overrides --devices, routed
+                        cost-aware per micro-batch shape
     --steal-threshold-us <t>  fleet imbalance tolerance before
                         batches split / workers steal, µs     [default: 0]
     --smoke             small verified run (CI): golden-check every response
@@ -325,6 +333,13 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
         })
         .collect::<Result<_, CliError>>()?;
 
+    // --backend: drive the same jobs through one registered backend-bus
+    // slot (the registry/dispatch path the serving layer routes over)
+    // instead of the raw executor.
+    if let Some(name) = args.options.get("backend") {
+        return batch_on_backend(name, &jobs, config, policy, &lengths);
+    }
+
     let mut exec = BatchExecutor::new(config)
         .map_err(|e| CliError::runtime(e.to_string()))?
         .with_policy(policy);
@@ -421,6 +436,96 @@ fn batch(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(outp)
 }
 
+/// `batch --backend <name>`: registers the named backend on a
+/// [`ntt_bus::BackendBus`], prices every job through the bus's cost
+/// metadata, runs the batch via address-range dispatch, and verifies
+/// job 0 against the golden CPU model.
+fn batch_on_backend(
+    name: &str,
+    jobs: &[ntt_pim::engine::batch::NttJob],
+    config: PimConfig,
+    policy: ntt_pim::engine::batch::SchedulePolicy,
+    lengths: &[usize],
+) -> Result<String, CliError> {
+    use ntt_bus::{BackendBus, BackendSpec};
+    use ntt_pim::engine::{CpuNttEngine, NttEngine};
+
+    let mut spec = BackendSpec::parse(name).map_err(CliError::usage)?;
+    if matches!(spec, BackendSpec::Pim(_)) {
+        // The PIM slot uses the CLI's --channels/--ranks/--banks shape.
+        spec = BackendSpec::Pim(config);
+    }
+    let backend = spec
+        .build(policy, None)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut bus = BackendBus::new();
+    let handle = bus.register(backend);
+    // Cost metadata first: the per-job quotes a router would sum.
+    let mut predicted_ns = 0.0;
+    for job in jobs {
+        predicted_ns += bus
+            .quote_ns(handle, job)
+            .map_err(|e| CliError::runtime(e.to_string()))?;
+    }
+    let aperture = bus.range(handle);
+    let out = bus
+        .dispatch(aperture.base, jobs)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+
+    let mut golden = CpuNttEngine::golden();
+    let mut expect = jobs[0].coeffs.clone();
+    golden
+        .forward(&mut expect, jobs[0].q)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    if out.spectra[0] != expect {
+        return Err(CliError::runtime("batch verification FAILED".to_string()));
+    }
+
+    let lengths_str = lengths
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let window = bus.window(handle);
+    let mut outp = String::new();
+    let _ = writeln!(
+        outp,
+        "batched NTTs  lengths={lengths_str}  jobs={}  backend={} ({} kind, {} lanes)",
+        jobs.len(),
+        bus.label(handle),
+        bus.kind(handle),
+        window.lanes
+    );
+    let _ = writeln!(
+        outp,
+        "  aperture       : {:#x}..{:#x}",
+        aperture.base,
+        aperture.base + aperture.len
+    );
+    let _ = writeln!(outp, "  window         : {window}");
+    let _ = writeln!(
+        outp,
+        "  batch latency  : {:>12.2} µs",
+        out.latency_ns / 1000.0
+    );
+    let _ = writeln!(
+        outp,
+        "  predicted      : {:>12.2} µs (summed per-job cost quotes)",
+        predicted_ns / 1000.0
+    );
+    let _ = writeln!(outp, "  energy         : {:>12.2} nJ", out.energy_nj);
+    let _ = writeln!(
+        outp,
+        "  source         : {:>12}",
+        format!("{:?}", out.source)
+    );
+    let _ = writeln!(
+        outp,
+        "  verification   : OK (job 0 matches the CPU golden NTT)"
+    );
+    Ok(outp)
+}
+
 /// Nearest-rank percentile of an ascending-sorted ns sample, in µs
 /// (the shared [`ntt_service::percentile`], unit-converted).
 fn percentile_us(sorted_ns: &[f64], p: usize) -> f64 {
@@ -469,6 +574,19 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         return Err(CliError::usage("--devices must be >= 1"));
     }
     let steal_threshold_us: u64 = args.get_or("steal-threshold-us", 0)?;
+    // --backends: a mixed fleet (overrides --devices); PIM slots take
+    // the serve topology.
+    let backend_specs: Vec<ntt_service::BackendSpec> = match args.options.get("backends") {
+        Some(list) => ntt_service::BackendSpec::parse_list(list)
+            .map_err(CliError::usage)?
+            .into_iter()
+            .map(|spec| match spec {
+                ntt_service::BackendSpec::Pim(_) => ntt_service::BackendSpec::Pim(pim),
+                other => other,
+            })
+            .collect(),
+        None => Vec::new(),
+    };
 
     // One pre-generated job per request (mixed lengths, the RNS/FHE
     // traffic shape); Dilithium's modulus supports every default length.
@@ -485,17 +603,20 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         })
         .collect::<Result<_, CliError>>()?;
 
-    let service = NttService::start(
-        ServiceConfig::new(pim)
-            .with_policy(policy)
-            .with_device_count(devices)
-            .with_steal_threshold(Duration::from_micros(steal_threshold_us))
-            .with_max_wait(Duration::from_micros(max_wait_us))
-            .with_queue_depth(queue_depth)
-            .with_tenant_inflight(tenant_inflight)
-            .with_verify_golden(smoke),
-    )
-    .map_err(|e| CliError::runtime(e.to_string()))?;
+    let mut service_config = ServiceConfig::new(pim)
+        .with_policy(policy)
+        .with_steal_threshold(Duration::from_micros(steal_threshold_us))
+        .with_max_wait(Duration::from_micros(max_wait_us))
+        .with_queue_depth(queue_depth)
+        .with_tenant_inflight(tenant_inflight)
+        .with_verify_golden(smoke);
+    service_config = if backend_specs.is_empty() {
+        service_config.with_device_count(devices)
+    } else {
+        service_config.with_backends(backend_specs.clone())
+    };
+    let service =
+        NttService::start(service_config).map_err(|e| CliError::runtime(e.to_string()))?;
     let max_batch = service.max_batch();
 
     // Closed-loop load: each tenant thread walks its share of the job
@@ -610,7 +731,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         ntt_ref::lanes::kernel_label(),
         ntt_ref::lanes::LANE_WIDTH
     );
-    if devices > 1 {
+    if devices > 1 || !backend_specs.is_empty() {
         let _ = writeln!(
             out,
             "  fleet           : {:>12} devices, makespan {:.2} µs, {:.0} jobs/s \
@@ -622,10 +743,11 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         for d in &stats.devices {
             let _ = writeln!(
                 out,
-                "    device {:>2} [{}] : {:>5} lanes  {:>4} batches  {:>5} jobs  \
+                "    device {:>2} [{} {}] : {:>5} lanes  {:>4} batches  {:>5} jobs  \
                  occupancy {:>5.2}  utilization {:>4.2}  busy {:>9.2} µs  \
                  steals {:>3}  {}",
                 d.device,
+                d.backend,
                 d.topology,
                 d.lanes,
                 d.batches,
@@ -820,12 +942,44 @@ mod tests {
         assert!(out.contains("fleet           :"), "{out}");
         for d in 0..4 {
             assert!(
-                out.contains(&format!("device  {d} [1x1x4]")),
+                out.contains(&format!("device  {d} [pim 1x1x4]")),
                 "missing device {d} row: {out}"
             );
         }
         assert!(out.contains("healthy"), "{out}");
         assert!(!out.contains("RETIRED"), "{out}");
+    }
+
+    #[test]
+    fn serve_mixed_backends_reports_labeled_fleet() {
+        let out = run_line(
+            "serve --smoke --backends pim:1,cpu-lanes:1 --tenants 2 --requests 16 \
+             --channels 1 --ranks 1 --banks 4 --lengths 64,256 --max-wait-us 200",
+        )
+        .unwrap();
+        assert!(out.contains("serve smoke OK"), "{out}");
+        assert!(out.contains("device  0 [pim 1x1x4]"), "{out}");
+        assert!(out.contains("device  1 [cpu-lanes 1x1x8]"), "{out}");
+        // Malformed fleet descriptions are usage errors.
+        assert!(run_line("serve --backends frob --requests 2 --tenants 1").is_err());
+        assert!(run_line("serve --backends pim:0 --requests 2 --tenants 1").is_err());
+    }
+
+    #[test]
+    fn batch_backend_runs_through_the_bus() {
+        let out = run_line("batch --n 256 --jobs 6 --backend cpu-lanes").unwrap();
+        assert!(out.contains("backend=cpu-lanes"), "{out}");
+        assert!(out.contains("aperture"), "{out}");
+        assert!(out.contains("verification   : OK"), "{out}");
+        let out = run_line("batch --n 1024 --jobs 2 --q 12289 --backend bp-ntt").unwrap();
+        assert!(out.contains("backend=bp-ntt"), "{out}");
+        assert!(out.contains("Published"), "{out}");
+        let out = run_line("batch --n 256 --jobs 4 --banks 4 --backend pim").unwrap();
+        assert!(out.contains("backend=pim"), "{out}");
+        // Outside the window: typed error, not a panic; unknown names
+        // are usage errors.
+        assert!(run_line("batch --n 8192 --jobs 1 --backend bp-ntt").is_err());
+        assert!(run_line("batch --n 256 --jobs 1 --backend frob").is_err());
     }
 
     #[test]

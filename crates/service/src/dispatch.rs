@@ -15,27 +15,36 @@
 //!    no device can serve are rejected here on their own ticket
 //!    (malformed ⇒ [`ServiceError::Invalid`]; valid but the fleet has no
 //!    healthy device for them ⇒ [`ServiceError::Exec`]).
-//! 3. **Execute** (worker) — each device's worker pops its queue,
+//! 3. **Execute** (worker) — each backend's worker pops its queue,
 //!    runs the group through its [`FailingDevice`]-wrapped
-//!    [`BatchExecutor`](ntt_pim::engine::batch::BatchExecutor),
+//!    [`NttBackend`] (a PIM device, the CPU's lane-batched kernels, or
+//!    a published model — the bus makes them interchangeable),
 //!    optionally re-checks results against the golden CPU model in one
 //!    lane-batched sweep, and answers each ticket. An idle worker
 //!    **steals** from the most backed-up peer once that peer's predicted
 //!    backlog exceeds its own by the steal threshold
 //!    ([`fleet::pick_steal_victim`]), re-pricing the stolen group on its
-//!    own topology.
-//! 4. **Fail over** (worker) — a failed execution retires the device
+//!    own cost model — provided its backend admits every stolen job.
+//! 4. **Fail over** (worker) — a failed execution retires the backend
 //!    ([`FleetRouter::mark_unhealthy`]), re-routes the failed group and
-//!    everything still queued on the device onto healthy peers, and only
-//!    reports a typed [`ServiceError::Exec`] when no healthy device
-//!    remains (or the group has already bounced off every device).
+//!    everything still queued on it onto healthy peers, and only
+//!    reports a typed [`ServiceError::Exec`] when no healthy backend
+//!    remains (or the group has already bounced off every backend).
 //!    Tickets always resolve — result or error, never a hang.
+//! 5. **Re-admission** (worker) — unless disabled, a retired backend's
+//!    idle worker periodically claims the router's probe slot
+//!    ([`FleetRouter::request_probe`]), runs one probe job through the
+//!    same fault-injected path real batches take, and on success
+//!    rejoins the placement set with an empty backlog
+//!    ([`FleetRouter::readmit`]); a failed probe doubles the backoff
+//!    and retires the backend again.
 
 use crate::fault::{FailingDevice, FaultSwitch};
 use crate::fleet::{self, FleetRouter};
 use crate::stats::StatsInner;
 use crate::{BatchSummary, Pending, Response, ServiceError, Shared};
-use ntt_pim::engine::batch::{self, BatchExecutor, BatchOutcome, JobKind, NttJob};
+use ntt_bus::{BackendOutcome, NttBackend};
+use ntt_pim::engine::batch::{self, JobKind, NttJob};
 use ntt_pim::engine::{CpuNttEngine, NttEngine};
 use ntt_ref::cache::PlanCache;
 use std::collections::VecDeque;
@@ -72,16 +81,20 @@ pub(crate) struct FleetState {
     pub(crate) done: AtomicBool,
     /// Whether idle workers steal from backed-up peers.
     pub(crate) work_stealing: bool,
+    /// Whether retired backends may probe their way back into the
+    /// placement set.
+    pub(crate) readmission: bool,
 }
 
 impl FleetState {
-    pub(crate) fn new(router: FleetRouter, work_stealing: bool) -> Self {
+    pub(crate) fn new(router: FleetRouter, work_stealing: bool, readmission: bool) -> Self {
         let devices = router.device_count();
         Self {
             router: Mutex::new(router),
             queues: (0..devices).map(|_| Mutex::new(VecDeque::new())).collect(),
             done: AtomicBool::new(false),
             work_stealing,
+            readmission,
         }
     }
 
@@ -249,15 +262,16 @@ impl Router {
         }
     }
 
-    /// Why could no healthy device take this job? Malformed everywhere
-    /// ⇒ `Invalid` (with the first device's reason — on a homogeneous
-    /// fleet they all agree); valid on some retired device ⇒ `Exec`.
+    /// Why could no healthy backend take this job? Admitted nowhere
+    /// (malformed, or outside every capability window) ⇒ `Invalid`
+    /// (with the first backend's typed reason); admitted by some
+    /// retired backend ⇒ `Exec`.
     fn classify_unroutable(&self, job: &NttJob) -> ServiceError {
         let router = self.fleet.router.lock().expect("router poisoned");
         let mut first_reason = None;
         let mut valid_somewhere = false;
         for d in 0..router.device_count() {
-            match batch::validate_job(router.config(d), job) {
+            match router.admit(d, job) {
                 Ok(()) => valid_somewhere = true,
                 Err(e) => {
                     first_reason.get_or_insert_with(|| e.to_string());
@@ -276,7 +290,7 @@ impl Router {
     }
 }
 
-/// One device's executing thread.
+/// One backend's executing thread.
 pub(crate) struct Worker {
     pub(crate) id: usize,
     pub(crate) device: FailingDevice,
@@ -285,15 +299,20 @@ pub(crate) struct Worker {
     /// Golden verification engine, reading plans through the shared
     /// cache (present when the service was configured to verify).
     pub(crate) verify: Option<CpuNttEngine>,
-    /// Local mirror of this device's health — only its own worker ever
-    /// retires it.
+    /// Local mirror of this backend's health — only its own worker ever
+    /// retires or re-admits it.
     healthy: bool,
+    /// Idle ticks to wait before the next re-admission probe (doubling
+    /// backoff, capped).
+    probe_backoff: u32,
+    /// Countdown (in idle ticks) until the next probe attempt.
+    probe_wait: u32,
 }
 
 impl Worker {
     pub(crate) fn new(
         id: usize,
-        exec: BatchExecutor,
+        backend: Box<dyn NttBackend>,
         fault: Option<Arc<FaultSwitch>>,
         shared: Arc<Shared>,
         fleet: Arc<FleetState>,
@@ -301,13 +320,15 @@ impl Worker {
     ) -> Self {
         Self {
             id,
-            device: FailingDevice::new(exec, fault),
+            device: FailingDevice::new(backend, fault),
             shared,
             fleet,
             verify: verify_cache.map(|cache| {
                 CpuNttEngine::with_cache(ntt_pim::engine::CpuDataflow::IterativeDit, cache)
             }),
             healthy: true,
+            probe_backoff: 1,
+            probe_wait: 0,
         }
     }
 
@@ -320,9 +341,67 @@ impl Worker {
                     if self.fleet.done.load(Ordering::Acquire) {
                         break;
                     }
+                    if !self.healthy && self.fleet.readmission {
+                        self.try_probe();
+                    }
                     std::thread::sleep(POLL);
                 }
             }
+        }
+    }
+
+    /// One re-admission attempt: claim the router's probe slot, run the
+    /// backend's probe job through the same fault-injected path real
+    /// batches take, and rejoin on success. Probes back off
+    /// exponentially (in idle ticks) while the fault persists.
+    fn try_probe(&mut self) {
+        if self.probe_wait > 0 {
+            self.probe_wait -= 1;
+            return;
+        }
+        if !self
+            .fleet
+            .router
+            .lock()
+            .expect("router poisoned")
+            .request_probe(self.id)
+        {
+            return;
+        }
+        let probe = self.device.probe_job();
+        let passed = match self.device.run(std::slice::from_ref(&probe)) {
+            Ok(outcome) => match &mut self.verify {
+                Some(golden) => outcome
+                    .spectra
+                    .first()
+                    .is_some_and(|got| verify_one(golden, &probe, got)),
+                None => true,
+            },
+            Err(_) => false,
+        };
+        let id = self.id;
+        if passed {
+            self.fleet
+                .router
+                .lock()
+                .expect("router poisoned")
+                .readmit(id);
+            self.healthy = true;
+            self.probe_backoff = 1;
+            self.probe_wait = 0;
+            stat(&self.shared, |s| {
+                s.readmissions += 1;
+                s.devices[id].healthy = true;
+                s.devices[id].readmissions += 1;
+            });
+        } else {
+            self.fleet
+                .router
+                .lock()
+                .expect("router poisoned")
+                .fail_probe(id);
+            self.probe_backoff = (self.probe_backoff * 2).min(1 << 10);
+            self.probe_wait = self.probe_backoff;
         }
     }
 
@@ -352,12 +431,9 @@ impl Worker {
             .lock()
             .expect("queue poisoned")
             .pop_back()?;
-        if batch
-            .jobs
-            .iter()
-            .any(|j| batch::validate_job(self.device.config(), j).is_err())
-        {
-            // This device cannot hold the group (capacity); hand it back.
+        if batch.jobs.iter().any(|j| self.device.admit(j).is_err()) {
+            // This backend cannot take the group (capacity or window);
+            // hand it back.
             self.fleet.queues[victim]
                 .lock()
                 .expect("queue poisoned")
@@ -481,7 +557,7 @@ impl Worker {
 
     /// Verifies (optionally) and answers every ticket of one executed
     /// group, then releases the group's backlog accounting.
-    fn respond_batch(&mut self, batch: RoutedBatch, mut outcome: BatchOutcome) {
+    fn respond_batch(&mut self, batch: RoutedBatch, mut outcome: BackendOutcome) {
         let RoutedBatch {
             pending,
             jobs,
@@ -531,7 +607,9 @@ impl Worker {
         let summary = Arc::new(BatchSummary {
             size,
             device: self.id,
-            lanes: self.device.config().total_banks(),
+            backend: self.device.label().to_string(),
+            kind: self.device.kind(),
+            lanes: self.device.lanes(),
             latency_ns: outcome.latency_ns,
             energy_nj: outcome.energy_nj,
             policy: outcome.policy,
@@ -626,7 +704,7 @@ mod tests {
         assert_eq!(routing.placements.len(), 1);
         let placed = &routing.placements[0];
         let shared = shared(&[topo, topo]);
-        let fleet = Arc::new(FleetState::new(router, true));
+        let fleet = Arc::new(FleetState::new(router, true, true));
         // Move the placement onto device 0's queue wherever the router
         // put it, adjusting the accounting to match.
         if placed.device != 0 {
@@ -650,8 +728,8 @@ mod tests {
             },
         );
         shared.depth.store(1, Ordering::Release);
-        let exec = BatchExecutor::new(configs[1]).unwrap();
-        let mut thief = Worker::new(1, exec, None, shared.clone(), fleet.clone(), None);
+        let backend = Box::new(ntt_bus::PimBackend::new(configs[1]).unwrap());
+        let mut thief = Worker::new(1, backend, None, shared.clone(), fleet.clone(), None);
         let stolen = thief.steal().expect("backlogged peer must be stolen from");
         assert_eq!(stolen.jobs.len(), 1);
         thief.process(stolen);

@@ -1,20 +1,19 @@
 //! Fault injection for the fleet tier: a switchable wrapper around one
-//! device's executor so tests can make a device error or stall **on
-//! command** and pin how the router reacts (drain onto healthy devices,
-//! resolve every ticket — result or typed error, never a hang).
+//! backend so tests can make it error or stall **on command** and pin
+//! how the router reacts (drain onto healthy backends, resolve every
+//! ticket — result or typed error, never a hang — and, once the fault
+//! clears, re-admit the backend through the probe path).
 //!
-//! Every fleet worker drives its device through a [`FailingDevice`];
+//! Every fleet worker drives its backend through a [`FailingDevice`];
 //! without a [`FaultSwitch`] attached it is a zero-cost pass-through, so
 //! the production and fault-injected paths are the same code.
 
-use ntt_pim::core::config::PimConfig;
-use ntt_pim::engine::batch::{BatchExecutor, BatchOutcome, NttJob};
-use ntt_pim::engine::EngineError;
+use ntt_bus::{BackendKind, BackendOutcome, EngineError, NttBackend, NttJob};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Remote control for one device's injected faults. Shared (`Arc`)
-/// between the test and the worker thread driving the device.
+/// Remote control for one backend's injected faults. Shared (`Arc`)
+/// between the test and the worker thread driving the backend.
 #[derive(Debug, Default)]
 pub struct FaultSwitch {
     /// Fail the next batch execution with a typed error (one-shot).
@@ -30,7 +29,7 @@ impl FaultSwitch {
         Self::default()
     }
 
-    /// Arms a one-shot execution failure: the device's next batch
+    /// Arms a one-shot execution failure: the backend's next batch
     /// errors instead of running.
     pub fn fail_next(&self) {
         self.fail.store(true, Ordering::Release);
@@ -54,34 +53,68 @@ impl FaultSwitch {
     }
 }
 
-/// One fleet device with an optional fault switch in front of it.
-#[derive(Debug)]
+/// One fleet backend with an optional fault switch in front of it.
 pub struct FailingDevice {
-    inner: BatchExecutor,
+    inner: Box<dyn NttBackend>,
     switch: Option<std::sync::Arc<FaultSwitch>>,
 }
 
+impl std::fmt::Debug for FailingDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailingDevice")
+            .field("backend", &self.inner.label())
+            .field("faulted", &self.switch.is_some())
+            .finish()
+    }
+}
+
 impl FailingDevice {
-    /// Wraps an executor; `switch: None` is a pure pass-through.
-    pub fn new(inner: BatchExecutor, switch: Option<std::sync::Arc<FaultSwitch>>) -> Self {
+    /// Wraps a backend; `switch: None` is a pure pass-through.
+    pub fn new(inner: Box<dyn NttBackend>, switch: Option<std::sync::Arc<FaultSwitch>>) -> Self {
         Self { inner, switch }
     }
 
-    /// The wrapped device's configuration.
-    pub fn config(&self) -> &PimConfig {
-        self.inner.config()
+    /// The wrapped backend's routing label.
+    pub fn label(&self) -> &str {
+        self.inner.label()
+    }
+
+    /// The wrapped backend's family.
+    pub fn kind(&self) -> BackendKind {
+        self.inner.kind()
+    }
+
+    /// Lanes of the wrapped backend.
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    /// Whether the wrapped backend admits one job.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] or [`EngineError::Unsupported`].
+    pub fn admit(&self, job: &NttJob) -> Result<(), EngineError> {
+        self.inner.admit(job)
+    }
+
+    /// The wrapped backend's re-admission probe job.
+    pub fn probe_job(&self) -> NttJob {
+        self.inner.probe_job()
     }
 
     /// Runs one batch, applying any armed fault first: an armed stall
     /// sleeps (the caller's wall clock — simulated time is unaffected,
-    /// which is exactly what makes a stalled device's queue back up),
+    /// which is exactly what makes a stalled backend's queue back up),
     /// an armed failure returns a typed error without touching the
-    /// device.
+    /// backend. Probe jobs run through this same path, so an armed
+    /// fault fails the probe too — re-admission only succeeds once the
+    /// fault has genuinely cleared.
     ///
     /// # Errors
     ///
-    /// The injected fault, or whatever the wrapped executor reports.
-    pub fn run(&mut self, jobs: &[NttJob]) -> Result<BatchOutcome, EngineError> {
+    /// The injected fault, or whatever the wrapped backend reports.
+    pub fn run(&mut self, jobs: &[NttJob]) -> Result<BackendOutcome, EngineError> {
         if let Some(switch) = &self.switch {
             let stall = switch.stall();
             if !stall.is_zero() {

@@ -1,53 +1,78 @@
-//! The fleet router: placement of micro-batches across N simulated PIM
-//! devices by a per-device extension of the LPT cost model.
+//! The fleet router: placement of micro-batches across N co-simulated
+//! backends by a per-backend extension of the LPT cost model.
 //!
 //! One [`BatchExecutor`](ntt_pim::engine::batch::BatchExecutor) packs a
-//! batch across the banks of *one* device; the fleet tier packs batches
-//! across *devices* the same way, one level up. For every healthy device
-//! the router predicts a **drain time** — the simulated nanoseconds
-//! until that device would finish everything already queued on it plus
-//! the candidate batch, where the batch's cost on that device is the
-//! hierarchical-LPT makespan on that device's own topology
-//! ([`DeviceCostModel::batch_makespan_ns`]). Placement is always argmin
-//! over predicted drain, so heterogeneous fleets balance naturally: a
-//! 1×1×2 device quotes ~8× the makespan of a 4×2×2 device for the same
-//! batch and receives proportionally less (but never zero) traffic.
+//! batch across the banks of *one* PIM device; the fleet tier packs
+//! batches across *backends* the same way, one level up — and since the
+//! backend bus ([`ntt_bus`]) generalized the fleet from "N identical
+//! PIM devices" to "N backends of mixed kinds", those backends may be
+//! PIM devices, the host CPU's lane-batched kernels, or published
+//! accelerator models. For every healthy backend the router predicts a
+//! **drain time** — the simulated nanoseconds until that backend would
+//! finish everything already queued on it plus the candidate batch,
+//! where the batch's cost is that backend's own model
+//! ([`BusCostModel::batch_makespan_ns`]): hierarchical-LPT makespan for
+//! PIM, lane-wave timing for the CPU, serial published points for the
+//! comparators. Placement is always argmin over predicted drain, so
+//! mixed fleets balance naturally: a pile of length-256 jobs quotes
+//! cheaper on the CPU's cache-resident lanes than on the PIM bus and
+//! routes there; a split 16K transform quotes cheapest on PIM's bank
+//! fan-out and stays there.
+//!
+//! **Capability windows.** Backends are not interchangeable for every
+//! job: a published model caps `N` and pins the modulus, the PIM
+//! datapath is 32-bit. A job's candidate set is the healthy backends
+//! that [`BusCostModel::admit`] it; jobs no healthy backend admits come
+//! back as [`Routing::unroutable`], with typed errors owned by the
+//! caller.
 //!
 //! **Re-splitting.** Sending a whole micro-batch to the single cheapest
-//! device maximizes batch density but leaves the rest of the fleet idle.
-//! The router splits a batch job-by-job (greedy argmin over per-device
-//! normalized cost, largest jobs first — LPT again) whenever keeping it
-//! whole would leave the chosen device's drain more than the configured
-//! *steal threshold* above the least-loaded device's. Threshold 0 (the
-//! default) spreads every multi-job batch across the fleet; a large
-//! threshold keeps batches whole until the fleet genuinely backs up.
+//! backend maximizes batch density but leaves the rest of the fleet
+//! idle. The router splits a batch job-by-job (greedy argmin over
+//! per-backend normalized cost, largest jobs first — LPT again)
+//! whenever keeping it whole would leave the chosen backend's drain
+//! more than the configured *steal threshold* above the least-loaded
+//! backend's. Threshold 0 (the default) spreads every multi-job batch
+//! across the fleet; a large threshold keeps batches whole until the
+//! fleet genuinely backs up.
 //!
 //! **Invariant** (pinned by `tests/fleet_routing.rs`): the router never
-//! places work on a device whose predicted drain exceeds the minimum
+//! places work on a backend whose predicted drain exceeds the minimum
 //! predicted drain among its alternatives by more than the steal
 //! threshold. Every placement records a [`RouteDecision`] carrying both
 //! sides of that comparison when the decision log is enabled.
 //!
+//! **Health.** A backend that fails an execution is *retired* —
+//! removed from the placement set — but retirement is no longer
+//! necessarily permanent: [`DeviceHealth`] is a three-state machine
+//! (`Healthy → Retired → Probing → Healthy`). A worker that wants its
+//! backend back calls [`FleetRouter::request_probe`], runs one probe
+//! job *outside* the placement set, and reports
+//! [`FleetRouter::readmit`] (backlog reset to zero — it was drained
+//! onto the fleet at retirement) or [`FleetRouter::fail_probe`]
+//! (back to `Retired`). Probing backends receive no routed work.
+//!
 //! Accounting is in **simulated** nanoseconds: `queued_ns` rises when
 //! work is placed and falls when the owning worker reports completion
 //! ([`FleetRouter::complete`]) or a batch is stolen away
-//! ([`FleetRouter::reassign`]). A wall-clock-stalled device therefore
+//! ([`FleetRouter::reassign`]). A wall-clock-stalled backend therefore
 //! keeps its elevated drain prediction until it actually finishes,
 //! steering new traffic — and work stealing — around it.
 
+use ntt_bus::{BackendKind, BusCostModel, CapabilityWindow, EngineError, NttJob};
 use ntt_pim::core::config::{PimConfig, Topology};
 use ntt_pim::core::PimError;
-use ntt_pim::engine::batch::{validate_job, DeviceCostModel, NttJob};
+use ntt_pim::engine::batch::DeviceCostModel;
 
-/// One group of jobs placed on one device by [`FleetRouter::route`].
+/// One group of jobs placed on one backend by [`FleetRouter::route`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
-    /// The device the group runs on.
+    /// The backend the group runs on.
     pub device: usize,
     /// Indices into the routed batch, in scheduling order (largest
     /// first when the batch was split).
     pub jobs: Vec<usize>,
-    /// Predicted makespan of the group on this device, ns — the amount
+    /// Predicted makespan of the group on this backend, ns — the amount
     /// [`FleetRouter::complete`] must return when the group finishes.
     pub predicted_ns: f64,
 }
@@ -55,64 +80,85 @@ pub struct Placement {
 /// The outcome of routing one micro-batch.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Routing {
-    /// Per-device job groups (at most one per device).
+    /// Per-backend job groups (at most one per backend).
     pub placements: Vec<Placement>,
-    /// Jobs no healthy device can serve (invalid everywhere, or the
-    /// fleet has no healthy devices left). The caller owns the error
-    /// story for these.
+    /// Jobs no healthy backend admits (outside every capability window,
+    /// or the fleet has no healthy backends left). The caller owns the
+    /// error story for these.
     pub unroutable: Vec<usize>,
 }
 
-/// One recorded placement decision: the chosen device's predicted drain
-/// against the best alternative's, the pair the routing invariant is
-/// stated over.
+/// One recorded placement decision: the chosen backend's predicted
+/// drain against the best alternative's, the pair the routing invariant
+/// is stated over.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RouteDecision {
-    /// The device picked.
+    /// The backend picked.
     pub device: usize,
-    /// Predicted drain of the picked device after receiving the work.
+    /// Predicted drain of the picked backend after receiving the work.
     pub drain_ns: f64,
-    /// Minimum predicted drain over every candidate device for the same
-    /// work (the picked device included).
+    /// Minimum predicted drain over every candidate backend for the
+    /// same work (the picked backend included).
     pub min_drain_ns: f64,
     /// Jobs the decision placed (1 for a split's per-job decisions, the
     /// whole batch otherwise).
     pub jobs: usize,
 }
 
-/// Load-balancing router over a fleet of simulated PIM devices. See the
-/// module docs for the cost model and invariant.
+/// Where one backend sits in the retire/re-admit state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceHealth {
+    /// In the placement set.
+    Healthy,
+    /// Out of the placement set after a failed execution; eligible for
+    /// a probe.
+    Retired,
+    /// A worker holds the (single) probe slot and is running the probe
+    /// job; still out of the placement set.
+    Probing,
+}
+
+/// Load-balancing router over a fleet of co-simulated backends. See the
+/// module docs for the cost model, capability windows, and invariant.
 #[derive(Debug)]
 pub struct FleetRouter {
-    models: Vec<DeviceCostModel>,
-    /// Predicted simulated backlog per device: placed, not yet completed.
+    models: Vec<BusCostModel>,
+    /// Predicted simulated backlog per backend: placed, not completed.
     queued_ns: Vec<f64>,
-    healthy: Vec<bool>,
+    health: Vec<DeviceHealth>,
     steal_threshold_ns: f64,
     record: bool,
     decisions: Vec<RouteDecision>,
 }
 
 impl FleetRouter {
-    /// Builds a router over one cost model per device configuration.
+    /// Builds a homogeneous-PIM router, one cost model per device
+    /// configuration (the historical constructor; mixed fleets use
+    /// [`Self::with_backends`]).
     ///
     /// # Errors
     ///
-    /// Propagates configuration validation errors (naming no device; the
-    /// caller knows which configs it passed).
+    /// Propagates configuration validation errors (naming no device;
+    /// the caller knows which configs it passed).
     pub fn new(configs: &[PimConfig], steal_threshold_ns: f64) -> Result<Self, PimError> {
         let models = configs
             .iter()
-            .map(|c| DeviceCostModel::new(*c))
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self {
+            .map(|c| Ok(BusCostModel::Pim(DeviceCostModel::new(*c)?)))
+            .collect::<Result<Vec<_>, PimError>>()?;
+        Ok(Self::with_backends(models, steal_threshold_ns))
+    }
+
+    /// Builds a router over an arbitrary mixed fleet, one
+    /// [`BusCostModel`] per backend slot.
+    pub fn with_backends(models: Vec<BusCostModel>, steal_threshold_ns: f64) -> Self {
+        Self {
             queued_ns: vec![0.0; models.len()],
-            healthy: vec![true; models.len()],
+            health: vec![DeviceHealth::Healthy; models.len()],
             models,
             steal_threshold_ns: steal_threshold_ns.max(0.0),
             record: false,
             decisions: Vec::new(),
-        })
+        }
     }
 
     /// Enables the decision log ([`Self::take_decisions`]) — for tests;
@@ -123,45 +169,73 @@ impl FleetRouter {
         self
     }
 
-    /// Number of devices (healthy or not).
+    /// Number of backends (healthy or not).
     pub fn device_count(&self) -> usize {
         self.models.len()
     }
 
-    /// Parallel lanes of one device (total banks of its topology).
+    /// Parallel lanes of one backend (total banks for PIM, SIMD width
+    /// for the CPU, 1 for published models).
     pub fn lanes(&self, device: usize) -> usize {
         self.models[device].lanes()
     }
 
     /// Parallel lanes across the whole fleet.
     pub fn total_lanes(&self) -> usize {
-        self.models.iter().map(DeviceCostModel::lanes).sum()
+        self.models.iter().map(BusCostModel::lanes).sum()
     }
 
-    /// One device's topology.
+    /// One backend's (possibly synthetic `1×1×lanes`) topology.
     pub fn topology(&self, device: usize) -> Topology {
-        self.models[device].config().topology
+        self.models[device].topology()
     }
 
-    /// One device's full configuration.
-    pub fn config(&self, device: usize) -> &PimConfig {
-        self.models[device].config()
+    /// One backend's routing label.
+    pub fn label(&self, device: usize) -> &'static str {
+        self.models[device].label()
     }
 
-    /// Predicted simulated backlog per device, ns.
+    /// One backend's family.
+    pub fn kind(&self, device: usize) -> BackendKind {
+        self.models[device].kind()
+    }
+
+    /// One backend's capability window.
+    pub fn window(&self, device: usize) -> CapabilityWindow {
+        self.models[device].window()
+    }
+
+    /// Whether one backend admits one job — typed errors, never panics
+    /// on job content.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Shape`] or [`EngineError::Unsupported`].
+    pub fn admit(&self, device: usize, job: &NttJob) -> Result<(), EngineError> {
+        self.models[device].admit(job)
+    }
+
+    /// Predicted simulated backlog per backend, ns.
     pub fn queued_ns(&self) -> &[f64] {
         &self.queued_ns
     }
 
-    /// Per-device health (devices turn unhealthy via
-    /// [`Self::mark_unhealthy`] and never recover).
-    pub fn healthy(&self) -> &[bool] {
-        &self.healthy
+    /// One backend's health state.
+    pub fn health(&self, device: usize) -> DeviceHealth {
+        self.health[device]
     }
 
-    /// Number of devices still healthy.
+    /// Whether one backend is in the placement set.
+    pub fn is_healthy(&self, device: usize) -> bool {
+        self.health[device] == DeviceHealth::Healthy
+    }
+
+    /// Number of backends still in the placement set.
     pub fn healthy_devices(&self) -> usize {
-        self.healthy.iter().filter(|&&h| h).count()
+        self.health
+            .iter()
+            .filter(|&&h| h == DeviceHealth::Healthy)
+            .count()
     }
 
     /// The imbalance threshold, ns (see the module docs).
@@ -169,10 +243,37 @@ impl FleetRouter {
         self.steal_threshold_ns
     }
 
-    /// Takes `device` out of the placement set permanently (a failed
-    /// execution is a model violation in a simulation, not a transient).
+    /// Takes `device` out of the placement set after a failed
+    /// execution. The backend may later rejoin via the probe path
+    /// ([`Self::request_probe`] → [`Self::readmit`]).
     pub fn mark_unhealthy(&mut self, device: usize) {
-        self.healthy[device] = false;
+        self.health[device] = DeviceHealth::Retired;
+    }
+
+    /// Claims the probe slot for a retired backend. Returns `true` when
+    /// the caller now owns the probe (state moved `Retired → Probing`);
+    /// `false` when the backend is healthy or already being probed.
+    pub fn request_probe(&mut self, device: usize) -> bool {
+        if self.health[device] == DeviceHealth::Retired {
+            self.health[device] = DeviceHealth::Probing;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reports a failed probe: the backend returns to `Retired`.
+    pub fn fail_probe(&mut self, device: usize) {
+        if self.health[device] == DeviceHealth::Probing {
+            self.health[device] = DeviceHealth::Retired;
+        }
+    }
+
+    /// Re-admits a probed backend to the placement set with an empty
+    /// backlog (its queue was drained onto the fleet at retirement).
+    pub fn readmit(&mut self, device: usize) {
+        self.health[device] = DeviceHealth::Healthy;
+        self.queued_ns[device] = 0.0;
     }
 
     /// Predicted makespan of `jobs` as one batch on `device`, ns.
@@ -180,8 +281,8 @@ impl FleetRouter {
         self.models[device].batch_makespan_ns(jobs)
     }
 
-    /// Places one micro-batch. At most one [`Placement`] per device;
-    /// jobs valid on no healthy device come back in
+    /// Places one micro-batch. At most one [`Placement`] per backend;
+    /// jobs admitted by no healthy backend come back in
     /// [`Routing::unroutable`]. Updates `queued_ns` — every placement
     /// must eventually be paired with [`Self::complete`] (or
     /// [`Self::reassign`]) by whoever executes it.
@@ -190,15 +291,14 @@ impl FleetRouter {
         if jobs.is_empty() {
             return routing;
         }
-        // Candidate devices per job: healthy and shape-valid (a job can
-        // overflow a small device's banks while fitting a large one's).
+        // Candidate backends per job: healthy and inside the capability
+        // window (a job can overflow a published model's max N or a
+        // small PIM device's banks while fitting the CPU's).
         let candidates: Vec<Vec<usize>> = jobs
             .iter()
             .map(|job| {
                 (0..self.models.len())
-                    .filter(|&d| {
-                        self.healthy[d] && validate_job(self.models[d].config(), job).is_ok()
-                    })
+                    .filter(|&d| self.is_healthy(d) && self.models[d].admit(job).is_ok())
                     .collect()
             })
             .collect();
@@ -216,8 +316,8 @@ impl FleetRouter {
             return routing;
         }
         // Fast path: every job can go everywhere the first one can, so
-        // the batch can stay whole. Heterogeneous candidate sets (rare:
-        // capacity edge cases) always take the per-job path.
+        // the batch can stay whole. Heterogeneous candidate sets (mixed
+        // windows, capacity edge cases) always take the per-job path.
         let common = &candidates[routable[0]];
         let uniform = routable.iter().all(|&j| candidates[j] == *common);
         if uniform {
@@ -242,7 +342,7 @@ impl FleetRouter {
                 .fold(f64::INFINITY, f64::min);
             // Keep the batch whole when splitting buys nothing: one
             // candidate, one job, or the fleet is balanced to within the
-            // threshold even with the whole batch on one device.
+            // threshold even with the whole batch on one backend.
             if common.len() == 1
                 || routable.len() == 1
                 || best_drain <= min_queued + self.steal_threshold_ns
@@ -264,10 +364,10 @@ impl FleetRouter {
             }
         }
         // Split path: greedy LPT one level up. Largest jobs first, each
-        // to the candidate device with the least predicted drain, where
-        // a job's contribution on a device is its serial cost spread
-        // over that device's lanes (the marginal drain a lane-parallel
-        // device actually pays).
+        // to the candidate backend with the least predicted drain, where
+        // a job's contribution on a backend is its serial cost spread
+        // over that backend's lanes (the marginal drain a lane-parallel
+        // backend actually pays).
         let mut order = routable;
         order.sort_by(|&a, &b| {
             let ca = self.models[candidates[a][0]].job_cost(&jobs[a]);
@@ -321,7 +421,7 @@ impl FleetRouter {
     }
 
     /// Moves a stolen group's accounting from `from` to `to`, re-pricing
-    /// it on the thief's topology. Returns the new predicted makespan
+    /// it on the thief's cost model. Returns the new predicted makespan
     /// (the amount `to` must later [`Self::complete`]).
     pub fn reassign(&mut self, from: usize, to: usize, predicted_ns: f64, jobs: &[NttJob]) -> f64 {
         self.complete(from, predicted_ns);
@@ -342,12 +442,12 @@ impl FleetRouter {
     }
 }
 
-/// Picks the device a work-starved worker should steal from: the victim
-/// with the largest predicted backlog among devices that actually have
-/// undrained queue entries, provided its backlog exceeds the thief's by
-/// more than the steal threshold. Pure so the policy is unit-testable
-/// without threads; `queue_lens` is the per-device count of batches
-/// still waiting in queue (not in flight).
+/// Picks the backend a work-starved worker should steal from: the
+/// victim with the largest predicted backlog among backends that
+/// actually have undrained queue entries, provided its backlog exceeds
+/// the thief's by more than the steal threshold. Pure so the policy is
+/// unit-testable without threads; `queue_lens` is the per-backend count
+/// of batches still waiting in queue (not in flight).
 pub fn pick_steal_victim(
     queued_ns: &[f64],
     queue_lens: &[usize],

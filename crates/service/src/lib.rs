@@ -6,7 +6,8 @@
 //! *sustained utilization*: a PIM chip wins when every bank is busy, not
 //! when one transform finishes early. Up to this crate, every entry
 //! point in the workspace was a single synchronous caller handing a
-//! pre-formed batch to [`BatchExecutor`]; real serving traffic is the
+//! pre-formed batch to [`BatchExecutor`](ntt_pim::engine::batch::BatchExecutor);
+//! real serving traffic is the
 //! opposite — many independent clients, one small request each. This
 //! crate closes that gap:
 //!
@@ -33,16 +34,19 @@
 //!   [`NttService::plan_cache`]) reads twiddle/Shoup tables through one
 //!   thread-safe [`PlanCache`], so tables are built once per `(n, q)`
 //!   process-wide; hit/miss counters surface in [`ServiceStats`].
-//! * **Fleet tier.** The service drives N simulated devices
-//!   (heterogeneous topologies allowed, [`ServiceConfig::with_devices`]):
-//!   a router thread places each micro-batch by predicted drain time —
-//!   per-device queued backlog plus the batch's LPT makespan on that
-//!   device's own topology ([`FleetRouter`]) — re-splitting batches
-//!   across devices when one would back up past the configurable
-//!   imbalance threshold; per-device worker threads execute their
-//!   queues, steal from backed-up peers, and fail over (typed errors,
-//!   never hangs) when a device dies. Per-device health/occupancy rolls
-//!   up in [`ServiceStats::devices`].
+//! * **Fleet tier.** The service drives N co-simulated backends —
+//!   homogeneous PIM replicas ([`ServiceConfig::with_devices`]) or a
+//!   mixed fleet of PIM, CPU-lane, and published-model slots
+//!   ([`ServiceConfig::with_backends`]): a router thread places each
+//!   micro-batch on the backend predicted to drain it cheapest —
+//!   per-slot queued backlog plus the batch's makespan under that
+//!   slot's own cost model ([`FleetRouter`]) — re-splitting batches
+//!   across slots when one would back up past the configurable
+//!   imbalance threshold; per-slot worker threads execute their
+//!   queues, steal from backed-up peers, fail over (typed errors,
+//!   never hangs) when a backend dies, and probe retired backends back
+//!   into the fleet once their fault clears. Per-slot health, identity,
+//!   and occupancy roll up in [`ServiceStats::devices`].
 //!
 //! Transport is `std` threads + `mpsc` — in-process by design, matching
 //! this offline environment; the dispatcher/admission structure is the
@@ -88,12 +92,14 @@ pub mod fleet;
 mod stats;
 
 pub use fault::{FailingDevice, FaultSwitch};
-pub use fleet::{FleetRouter, Placement, RouteDecision, Routing};
+pub use fleet::{DeviceHealth, FleetRouter, Placement, RouteDecision, Routing};
+pub use ntt_bus::{BackendKind, BackendSpec, PublishedKind};
 pub use stats::{percentile, DeviceStats, ServiceStats};
 
+use ntt_bus::NttBackend;
 use ntt_pim::core::config::{PimConfig, Topology};
 use ntt_pim::core::device::QueueReport;
-use ntt_pim::engine::batch::{BatchExecutor, NttJob, SchedulePolicy};
+use ntt_pim::engine::batch::{NttJob, SchedulePolicy};
 use ntt_pim::engine::EngineError;
 use ntt_ref::cache::PlanCache;
 use std::collections::HashMap;
@@ -189,8 +195,19 @@ pub struct ServiceConfig {
     /// The fleet's device configurations. Empty (the default) means a
     /// single device built from `pim`; set via [`Self::with_devices`]
     /// (heterogeneous topologies allowed) or
-    /// [`Self::with_device_count`] (N replicas of `pim`).
+    /// [`Self::with_device_count`] (N replicas of `pim`). Ignored when
+    /// `backends` is non-empty.
     pub devices: Vec<PimConfig>,
+    /// The fleet's backend slots for a *mixed* fleet (PIM, CPU lanes,
+    /// published models). Empty (the default) means every slot is a PIM
+    /// device from `devices`/`pim`; set via [`Self::with_backends`]
+    /// ([`BackendSpec::parse_list`] accepts the CLI's
+    /// `pim:2,cpu-lanes:1,bp-ntt:1` syntax).
+    pub backends: Vec<BackendSpec>,
+    /// Whether a retired backend may rejoin the router after passing a
+    /// probe job (on by default). Off makes retirement permanent, the
+    /// pre-re-admission behavior.
+    pub readmission: bool,
     /// Imbalance threshold for batch re-splitting and work stealing:
     /// a device may be picked (or left un-stolen-from) only while its
     /// predicted drain stays within this much of the fleet minimum.
@@ -222,10 +239,27 @@ impl ServiceConfig {
             verify_golden: false,
             plan_cache: None,
             devices: Vec::new(),
+            backends: Vec::new(),
+            readmission: true,
             steal_threshold: Duration::ZERO,
             faults: Vec::new(),
             work_stealing: true,
         }
+    }
+
+    /// Sets an explicit mixed-backend fleet (takes precedence over
+    /// [`Self::with_devices`] when non-empty).
+    #[must_use]
+    pub fn with_backends(mut self, backends: Vec<BackendSpec>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// Enables or disables post-retirement probe re-admission.
+    #[must_use]
+    pub fn with_readmission(mut self, on: bool) -> Self {
+        self.readmission = on;
+        self
     }
 
     /// Enables or disables worker-side work stealing.
@@ -323,6 +357,10 @@ pub struct BatchSummary {
     pub size: usize,
     /// The fleet device that executed it.
     pub device: usize,
+    /// The executing backend's routing label (`pim`, `cpu-lanes`, …).
+    pub backend: String,
+    /// The executing backend's family.
+    pub kind: BackendKind,
     /// The executing device's parallel lanes — **device-relative** (its
     /// own topology's total banks), never a fleet-wide constant; in a
     /// heterogeneous fleet different responses report different values.
@@ -528,35 +566,53 @@ impl NttService {
     ///
     /// Propagates device configuration errors.
     pub fn start(config: ServiceConfig) -> Result<Self, EngineError> {
-        let device_configs: Vec<PimConfig> = if config.devices.is_empty() {
-            vec![config.pim]
+        let specs: Vec<BackendSpec> = if !config.backends.is_empty() {
+            config.backends.clone()
+        } else if config.devices.is_empty() {
+            vec![BackendSpec::Pim(config.pim)]
         } else {
-            config.devices.clone()
+            config
+                .devices
+                .iter()
+                .copied()
+                .map(BackendSpec::Pim)
+                .collect()
         };
-        let mut executors = Vec::with_capacity(device_configs.len());
-        for cfg in &device_configs {
-            executors.push(BatchExecutor::new(*cfg)?.with_policy(config.policy));
+        let cache = config.plan_cache.unwrap_or_else(PlanCache::global);
+        let mut backends: Vec<Box<dyn NttBackend>> = Vec::with_capacity(specs.len());
+        let mut models = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            backends.push(
+                spec.build(config.policy, Some(&cache))
+                    .map_err(EngineError::from)?,
+            );
+            models.push(spec.cost_model().map_err(EngineError::from)?);
         }
-        let lanes = executors.iter().map(BatchExecutor::bank_count).sum();
+        let lanes = backends.iter().map(|b| b.lanes()).sum();
         let max_batch = if config.max_batch == 0 {
             lanes
         } else {
             config.max_batch
         };
-        let router = FleetRouter::new(&device_configs, config.steal_threshold.as_nanos() as f64)
-            .map_err(EngineError::from)?;
-        let cache = config.plan_cache.unwrap_or_else(PlanCache::global);
-        let topologies: Vec<Topology> = device_configs.iter().map(|c| c.topology).collect();
+        let router = FleetRouter::with_backends(models, config.steal_threshold.as_nanos() as f64);
+        let slots: Vec<(String, BackendKind, Topology, usize)> = backends
+            .iter()
+            .map(|b| (b.label().to_string(), b.kind(), b.topology(), b.lanes()))
+            .collect();
         let shared = Arc::new(Shared {
             closing: AtomicBool::new(false),
             depth: AtomicUsize::new(0),
             queue_depth: config.queue_depth.max(1),
             tenant_inflight: config.tenant_inflight,
             tenants: Mutex::new(HashMap::new()),
-            stats: Mutex::new(stats::StatsInner::for_devices(&topologies)),
+            stats: Mutex::new(stats::StatsInner::for_backends(slots)),
         });
-        let fleet = Arc::new(dispatch::FleetState::new(router, config.work_stealing));
-        let mut faults: Vec<Option<Arc<FaultSwitch>>> = vec![None; device_configs.len()];
+        let fleet = Arc::new(dispatch::FleetState::new(
+            router,
+            config.work_stealing,
+            config.readmission,
+        ));
+        let mut faults: Vec<Option<Arc<FaultSwitch>>> = vec![None; specs.len()];
         for (device, switch) in &config.faults {
             if let Some(slot) = faults.get_mut(*device) {
                 *slot = Some(switch.clone());
@@ -574,14 +630,14 @@ impl NttService {
             .name("ntt-service-router".into())
             .spawn(move || front.run())
             .expect("spawn router thread");
-        let workers = executors
+        let workers = backends
             .into_iter()
             .zip(faults)
             .enumerate()
-            .map(|(id, (exec, fault))| {
+            .map(|(id, (backend, fault))| {
                 let worker = dispatch::Worker::new(
                     id,
-                    exec,
+                    backend,
                     fault,
                     shared.clone(),
                     fleet.clone(),

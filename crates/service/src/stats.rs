@@ -1,5 +1,6 @@
 //! Service telemetry: the counters every serving decision leaves behind.
 
+use ntt_bus::BackendKind;
 use ntt_pim::core::config::Topology;
 use ntt_ref::cache::PlanCacheStats;
 
@@ -21,26 +22,51 @@ pub(crate) struct StatsInner {
     pub(crate) energy_nj: f64,
     pub(crate) bus_slots: u64,
     pub(crate) rank_acts: u64,
+    pub(crate) readmissions: u64,
     /// One entry per fleet device, in device order.
     pub(crate) devices: Vec<DeviceStats>,
 }
 
 impl StatsInner {
-    /// Seeds the per-device rows (everything else defaults to zero).
+    /// Seeds the per-device rows for a homogeneous PIM fleet (everything
+    /// else defaults to zero). Production fleets seed through
+    /// [`Self::for_backends`]; test helpers keep this shorthand.
+    #[cfg(test)]
     pub(crate) fn for_devices(topologies: &[Topology]) -> Self {
-        Self {
-            devices: topologies
+        Self::for_backends(
+            topologies
                 .iter()
+                .map(|&topology| {
+                    (
+                        "pim".to_string(),
+                        BackendKind::Pim,
+                        topology,
+                        topology.total_banks(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Seeds the per-device rows from `(label, kind, topology, lanes)`
+    /// descriptors, one per fleet slot in device order.
+    pub(crate) fn for_backends(slots: Vec<(String, BackendKind, Topology, usize)>) -> Self {
+        Self {
+            devices: slots
+                .into_iter()
                 .enumerate()
-                .map(|(device, &topology)| DeviceStats {
+                .map(|(device, (backend, kind, topology, lanes))| DeviceStats {
                     device,
+                    backend,
+                    kind,
                     topology,
-                    lanes: topology.total_banks(),
+                    lanes,
                     batches: 0,
                     jobs: 0,
                     sim_busy_ns: 0.0,
                     steals: 0,
                     exec_failures: 0,
+                    readmissions: 0,
                     healthy: true,
                 })
                 .collect(),
@@ -65,6 +91,7 @@ impl StatsInner {
             energy_nj: self.energy_nj,
             bus_slots: self.bus_slots,
             rank_acts: self.rank_acts,
+            readmissions: self.readmissions,
             devices: self.devices.clone(),
             plan_cache,
         }
@@ -79,7 +106,13 @@ impl StatsInner {
 pub struct DeviceStats {
     /// Device index in the fleet (stable across snapshots).
     pub device: usize,
-    /// This device's topology.
+    /// This slot's backend routing label (`pim`, `cpu-lanes`, `mentt`,
+    /// `bp-ntt`, …).
+    pub backend: String,
+    /// This slot's backend family.
+    pub kind: BackendKind,
+    /// This device's topology (synthetic `1×1×lanes` for non-PIM
+    /// backends).
     pub topology: Topology,
     /// This device's parallel lanes (total banks of **its** topology).
     pub lanes: usize,
@@ -93,8 +126,12 @@ pub struct DeviceStats {
     pub steals: u64,
     /// Batch executions that failed on this device.
     pub exec_failures: u64,
-    /// Whether the router still places work here (a device that fails a
-    /// batch is retired for the rest of the service's life).
+    /// Times this device was re-admitted to the router after passing a
+    /// post-retirement probe job.
+    pub readmissions: u64,
+    /// Whether the router currently places work here. A device that
+    /// fails a batch is retired; with re-admission enabled it rejoins
+    /// once a probe job succeeds, otherwise retirement is permanent.
     pub healthy: bool,
 }
 
@@ -158,6 +195,9 @@ pub struct ServiceStats {
     pub bus_slots: u64,
     /// Rank-level activations across all batches.
     pub rank_acts: u64,
+    /// Devices re-admitted after retirement (fleet-wide total; per-slot
+    /// counts live in [`DeviceStats::readmissions`]).
+    pub readmissions: u64,
     /// Per-device health and occupancy, in device order (a single-device
     /// service has exactly one row).
     pub devices: Vec<DeviceStats>,

@@ -8,7 +8,10 @@
 use ntt_pim::core::config::{PimConfig, Topology};
 use ntt_pim::engine::batch::NttJob;
 use ntt_pim::engine::{CpuNttEngine, NttEngine};
-use ntt_service::{FaultSwitch, FleetRouter, NttService, ServiceConfig, ServiceError};
+use ntt_service::{
+    BackendKind, BackendSpec, FaultSwitch, FleetRouter, NttService, PublishedKind, ServiceConfig,
+    ServiceError,
+};
 use proptest::prelude::*;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -268,12 +271,14 @@ fn failed_device_drains_onto_healthy_fleet() {
     switch.fail_next();
     // A huge steal threshold keeps the batch whole and un-stolen, so it
     // deterministically lands on device 0 (argmin with a low-index
-    // tie-break on an idle fleet) and hits the armed fault.
+    // tie-break on an idle fleet) and hits the armed fault. Re-admission
+    // off: this test pins permanent retirement.
     let config = ServiceConfig::new(cfg)
         .with_devices(vec![cfg, cfg])
         .with_max_batch(32)
         .with_max_wait(Duration::from_millis(20))
         .with_steal_threshold(Duration::from_secs(10))
+        .with_readmission(false)
         .with_device_fault(0, switch);
     let service = NttService::start(config).unwrap();
     let client = service.client();
@@ -314,6 +319,7 @@ fn failed_single_device_fleet_reports_typed_errors_not_hangs() {
     switch.fail_next();
     let config = ServiceConfig::new(device((1, 1, 4)))
         .with_max_wait(Duration::from_millis(5))
+        .with_readmission(false)
         .with_device_fault(0, switch.clone());
     let service = NttService::start(config).unwrap();
     let client = service.client();
@@ -335,6 +341,129 @@ fn failed_single_device_fleet_reports_typed_errors_not_hangs() {
     assert_eq!(stats.accepted, 4);
     assert!(stats.exec_failures >= 1);
     assert!(!stats.devices[0].healthy);
+}
+
+/// One-shot fault with re-admission on (the default): the faulty device
+/// retires, its backlog drains onto the healthy peer, and — because
+/// `fail_next` is consumed by the failed batch — a later probe job
+/// succeeds and the device rejoins the router and serves again.
+#[test]
+fn retired_device_rejoins_after_probe_success() {
+    const Q: u64 = 12289;
+    let cfg = device((2, 2, 4));
+    let switch = Arc::new(FaultSwitch::new());
+    switch.fail_next();
+    let config = ServiceConfig::new(cfg)
+        .with_devices(vec![cfg, cfg])
+        .with_max_batch(16)
+        .with_max_wait(Duration::from_millis(5))
+        .with_steal_threshold(Duration::from_secs(10))
+        .with_device_fault(0, switch);
+    let service = NttService::start(config).unwrap();
+    let client = service.client();
+    // First wave: lands on device 0 (idle-fleet argmin tie-break), hits
+    // the armed fault, retires the device, and drains onto device 1.
+    let jobs: Vec<NttJob> = (0..16)
+        .map(|i| NttJob::new(poly(256, Q, 400 + i), Q))
+        .collect();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| client.submit("t", j.clone()).unwrap())
+        .collect();
+    for (job, ticket) in jobs.iter().zip(tickets) {
+        let response = ticket.wait().expect("drained jobs still resolve");
+        assert_eq!(response.result, expected(job));
+        assert_eq!(response.batch.device, 1);
+    }
+    // The idle worker probes the retired device; the one-shot fault was
+    // consumed by the failed batch, so the probe passes and the device
+    // rejoins. Wait for the re-admission to land in the stats.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !service.stats().devices[0].healthy {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "device 0 never re-admitted"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Second wave: the rejoined device is idle again and wins the
+    // tie-break, so it executes work post-re-admission.
+    let jobs: Vec<NttJob> = (0..16)
+        .map(|i| NttJob::new(poly(256, Q, 500 + i), Q))
+        .collect();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| client.submit("t", j.clone()).unwrap())
+        .collect();
+    for (job, ticket) in jobs.iter().zip(tickets) {
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.result, expected(job));
+        assert_eq!(response.batch.device, 0, "the rejoined device serves");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.exec_failures, 1);
+    assert_eq!(stats.readmissions, 1, "exactly one probe re-admission");
+    assert_eq!(stats.devices[0].readmissions, 1);
+    assert!(stats.devices[0].healthy);
+    assert_eq!(stats.devices[0].jobs, 16);
+    assert_eq!(stats.devices[1].jobs, 16);
+}
+
+/// End to end on a mixed fleet (PIM + CPU lanes + a published model):
+/// every response is bit-identical to the golden model whichever
+/// backend served it, and the stats rows carry each slot's identity.
+#[test]
+fn mixed_backend_fleet_serves_bit_identically() {
+    const Q: u64 = 12289;
+    let config = ServiceConfig::new(device((1, 1, 4)))
+        .with_backends(vec![
+            BackendSpec::default_pim(),
+            BackendSpec::CpuLanes,
+            BackendSpec::Published(PublishedKind::BpNtt),
+        ])
+        .with_max_wait(Duration::from_millis(2));
+    let service = NttService::start(config).unwrap();
+    let client = service.client();
+    // Shapes across the crossover: small transforms favor the CPU
+    // lanes, mid sizes the published model, and the polymuls the PIM
+    // slot — whatever the router picks must be bit-identical.
+    let jobs: Vec<NttJob> = (0..48)
+        .map(|i| match i % 4 {
+            0 => NttJob::forward(poly(256, Q, 600 + i), Q),
+            1 => NttJob::inverse(poly(1024, Q, 600 + i), Q),
+            2 => NttJob::forward(poly(2048, Q, 600 + i), Q),
+            _ => NttJob::negacyclic_polymul(poly(256, Q, 600 + i), poly(256, Q, 700 + i), Q),
+        })
+        .collect();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| client.submit("t", j.clone()).unwrap())
+        .collect();
+    for (job, ticket) in jobs.iter().zip(tickets) {
+        let response = ticket.wait().unwrap();
+        assert_eq!(
+            response.result,
+            expected(job),
+            "backend {} diverged from golden",
+            response.batch.backend
+        );
+        assert!(!response.batch.backend.is_empty());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 48);
+    assert_eq!(stats.devices.len(), 3);
+    assert_eq!(stats.devices[0].backend, "pim");
+    assert_eq!(stats.devices[0].kind, BackendKind::Pim);
+    assert_eq!(stats.devices[1].backend, "cpu-lanes");
+    assert_eq!(stats.devices[1].kind, BackendKind::CpuLanes);
+    assert_eq!(stats.devices[2].backend, "bp-ntt");
+    assert_eq!(stats.devices[2].kind, BackendKind::Published);
+    assert_eq!(
+        stats.devices.iter().map(|d| d.jobs).sum::<u64>(),
+        48,
+        "per-slot job counts partition the traffic"
+    );
 }
 
 /// A wall-clock-stalled device must not hang its tickets: its own

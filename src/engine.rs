@@ -36,7 +36,9 @@
 
 pub mod batch;
 
-use crate::baselines::{CryptoPimModel, FpgaModel, MenttModel, NttAccelerator, X86PaperModel};
+use crate::baselines::{
+    BpNttModel, CryptoPimModel, FpgaModel, MenttModel, NttAccelerator, X86PaperModel,
+};
 use crate::core::config::PimConfig;
 use crate::core::device::{NttDirection, PimDevice};
 use crate::core::PimError;
@@ -809,6 +811,12 @@ impl PublishedModelEngine {
     /// The MeNTT (6T-SRAM PIM) comparator.
     pub fn mentt() -> Self {
         Self::new(Box::new(MenttModel))
+    }
+
+    /// The BP-NTT (bit-parallel in-SRAM) comparator. Post-dates the
+    /// paper's Table III; see [`crate::baselines::BpNttModel`].
+    pub fn bp_ntt() -> Self {
+        Self::new(Box::new(BpNttModel))
     }
 
     /// The CryptoPIM (ReRAM) comparator.
